@@ -1,0 +1,326 @@
+// Benchmarks regenerating every experiment of the paper's evaluation
+// (Figures 7–12), the §4.5 walkthrough and the §4.3.1 overhead bound, plus
+// micro-benchmarks of the core machinery. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark reports the headline quantity of its figure as a
+// custom metric so `go test -bench` output doubles as the reproduction
+// record (see EXPERIMENTS.md).
+package pdms_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	pdms "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/factorgraph"
+	"repro/internal/feedback"
+	"repro/internal/graph"
+	"repro/internal/paper"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// BenchmarkFig7Convergence regenerates Figure 7: convergence of the
+// iterative message passing algorithm on the example graph (priors 0.7,
+// Δ=0.1). Reports iterations-to-convergence.
+func BenchmarkFig7Convergence(b *testing.B) {
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "iterations")
+}
+
+// BenchmarkFig9RelativeError regenerates Figure 9: error of the iterative
+// scheme against exact inference while cycles grow. Reports the worst mean
+// error (%) across cycle lengths (paper: < 6%).
+func BenchmarkFig9RelativeError(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig9(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, p := range pts {
+			if p.MeanAbsErr > worst {
+				worst = p.MeanAbsErr
+			}
+		}
+	}
+	b.ReportMetric(100*worst, "worst-error-%")
+}
+
+// BenchmarkFig10CycleLength regenerates Figure 10: posterior of a positive
+// cycle of 2–20 mappings for Δ ∈ {0.2, 0.1, 0.01}. Reports the posterior of
+// the 20-mapping cycle at Δ=0.1 (paper: ≈0.5, no evidence left).
+func BenchmarkFig10CycleLength(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig10(2, 20, []float64{0.2, 0.1, 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Delta == 0.1 && p.CycleLen == 20 {
+				last = p.Posterior
+			}
+		}
+	}
+	b.ReportMetric(last, "posterior-at-20")
+}
+
+// BenchmarkFig11FaultTolerance regenerates Figure 11: rounds to convergence
+// under message loss (3 seeds per point to keep the benchmark fast).
+// Reports mean rounds at P(send)=0.1 (paper: converges even at 90% loss).
+func BenchmarkFig11FaultTolerance(b *testing.B) {
+	var rounds float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig11([]float64{1.0, 0.5, 0.1}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = pts[len(pts)-1].MeanRounds
+	}
+	b.ReportMetric(rounds, "rounds-at-psend-0.1")
+}
+
+// BenchmarkFig12Precision regenerates Figure 12: precision of erroneous-
+// mapping detection on the automatically aligned bibliographic ontologies.
+// Reports precision at θ=0.3 (paper: ≥0.8 at low θ).
+func BenchmarkFig12Precision(b *testing.B) {
+	var precision float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12([]float64{0.3, 0.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		precision = res.Points[0].Precision
+	}
+	b.ReportMetric(precision, "precision-at-0.3")
+}
+
+// BenchmarkIntroExample regenerates the §4.5 walkthrough. Reports the
+// posterior of the faulty mapping (paper: 0.3).
+func BenchmarkIntroExample(b *testing.B) {
+	var post float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Intro()
+		if err != nil {
+			b.Fatal(err)
+		}
+		post = res.Posterior["m24"]
+	}
+	b.ReportMetric(post, "m24-posterior")
+}
+
+// BenchmarkOverheadBound measures the §4.3.1 per-round remote message count
+// on the Fig 5 network against the paper's bound.
+func BenchmarkOverheadBound(b *testing.B) {
+	var per int
+	for i := 0; i < b.N; i++ {
+		pt, err := experiments.Overhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		per = pt.PerRound
+	}
+	b.ReportMetric(float64(per), "remote-msgs/round")
+}
+
+// BenchmarkTopologyStats measures the §3.2.1 clustering claim on a
+// 150-peer scale-free overlay.
+func BenchmarkTopologyStats(b *testing.B) {
+	var cc float64
+	for i := 0; i < b.N; i++ {
+		stats, err := experiments.Topology(150, 3, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cc = stats[0].Clustering
+	}
+	b.ReportMetric(cc, "clustering")
+}
+
+// --- Micro-benchmarks of the core machinery ---
+
+// BenchmarkCountingFactorMessage measures the O(n²) counting-factor message
+// on a 16-variable feedback factor.
+func BenchmarkCountingFactorMessage(b *testing.B) {
+	g := factorgraph.New()
+	vars := make([]*factorgraph.Var, 16)
+	for i := range vars {
+		vars[i] = g.MustAddVar(fmt.Sprintf("m%d", i))
+	}
+	vals := make([]float64, len(vars)+1)
+	vals[0] = 1
+	for k := 2; k < len(vals); k++ {
+		vals[k] = 0.1
+	}
+	c, err := factorgraph.NewCounting(vars, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	incoming := make([]factorgraph.Msg, len(vars))
+	rng := rand.New(rand.NewSource(1))
+	for i := range incoming {
+		incoming[i] = factorgraph.Msg{rng.Float64(), rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Message(i%len(vars), incoming)
+	}
+}
+
+// BenchmarkCycleEnumeration measures bounded cycle enumeration on a
+// 60-peer scale-free overlay.
+func BenchmarkCycleEnumeration(b *testing.B) {
+	// Undirected: directed preferential attachment orients every edge from
+	// the new peer to an older one and is therefore acyclic.
+	g, err := graph.BarabasiAlbert(60, 2, false, rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(g.Cycles(5))
+	}
+	b.ReportMetric(float64(n), "cycles")
+}
+
+// BenchmarkDetectionRound measures one full periodic round (send + deliver
+// + refresh) on the Fig 5 network with all eleven attributes analyzed.
+func BenchmarkDetectionRound(b *testing.B) {
+	n := paper.Fig5Network()
+	if _, err := n.DiscoverStructural(paper.Attrs(), 6, paper.Delta); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.RunDetection(core.DetectOptions{MaxRounds: 1, Tolerance: 1e-300}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbeDiscovery measures the TTL-6 probe flood on the Fig 5
+// network.
+func BenchmarkProbeDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := paper.Fig5Network()
+		if _, err := n.DiscoverByProbes([]schema.Attribute{paper.Creator}, 6, paper.Delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryRouting measures θ-gated query routing end to end on the
+// introductory network with stores attached.
+func BenchmarkQueryRouting(b *testing.B) {
+	net := paper.IntroNetwork()
+	if _, err := net.DiscoverStructural([]schema.Attribute{paper.Creator, "Subject"}, 6, paper.Delta); err != nil {
+		b.Fatal(err)
+	}
+	res, err := net.RunDetection(pdms.DetectOptions{MaxRounds: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, _ := net.Peer("p2")
+	q := query.MustNew(p2.Schema(),
+		query.Op{Kind: query.Project, Attr: paper.Creator},
+		query.Op{Kind: query.Select, Attr: "Subject", Literal: "river"},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.RouteQuery("p2", q, pdms.RouteOptions{Posteriors: res, DefaultTheta: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLazySchedule measures the lazy piggybacking schedule to
+// convergence on the introductory network.
+func BenchmarkLazySchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := paper.IntroNetwork()
+		if _, err := net.DiscoverStructural([]schema.Attribute{paper.Creator}, 6, paper.Delta); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		peers := net.Peers()
+		workload := make([]core.LazyQuery, 3000)
+		for j := range workload {
+			p := peers[rng.Intn(len(peers))]
+			workload[j] = core.LazyQuery{
+				Origin: p.ID(),
+				Query:  query.MustNew(p.Schema(), query.Op{Kind: query.Project, Attr: paper.Creator}),
+			}
+		}
+		b.StartTimer()
+		if _, err := net.RunLazy(workload, core.LazyOptions{Tolerance: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactInference measures brute-force exact inference on the
+// 11-variable growing-cycle graph — the baseline cost that motivates the
+// iterative scheme.
+func BenchmarkExactInference(b *testing.B) {
+	n, err := paper.GrowingCycleNetwork(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := feedback.Analyze(paper.Creator, n.Topology(), n.Resolver(), 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fg, err := feedback.BuildFactorGraph(an, func(graph.EdgeID) float64 { return 0.8 }, paper.Delta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fg.Exact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEliminateExact measures junction-tree-style variable elimination
+// on a 40-variable low-treewidth factor graph — exact inference far beyond
+// the 24-variable enumeration limit (the §7 future-work alternative).
+func BenchmarkEliminateExact(b *testing.B) {
+	g := factorgraph.New()
+	vars := make([]*factorgraph.Var, 40)
+	for i := range vars {
+		vars[i] = g.MustAddVar(fmt.Sprintf("m%d", i))
+		g.MustAddFactor(factorgraph.Prior{V: vars[i], P: 0.6})
+	}
+	for i := 0; i+2 < len(vars); i += 2 {
+		c, err := factorgraph.NewCounting(
+			[]*factorgraph.Var{vars[i], vars[i+1], vars[i+2]},
+			[]float64{1, 0, 0.1, 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.MustAddFactor(c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ExactEliminate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

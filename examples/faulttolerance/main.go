@@ -1,0 +1,57 @@
+// Command faulttolerance reproduces the behaviour behind Figure 11: the
+// embedded message passing scheme needs no synchronization and tolerates
+// lost remote messages — it converges to the same posteriors even when 90%
+// of the messages are dropped, only more slowly. The program sweeps the
+// delivery probability P(send) and reports rounds-to-convergence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pdms "repro"
+	"repro/internal/eval"
+	"repro/internal/paper"
+)
+
+func main() {
+	reference := run(1.0, 0)
+	fmt.Printf("reliable delivery: %d rounds, m24 posterior %.4f\n\n",
+		reference.Rounds, reference.Posterior("m24", paper.Creator, -1))
+
+	var rows [][]string
+	for _, psend := range []float64{1.0, 0.9, 0.7, 0.5, 0.3, 0.1} {
+		res := run(psend, 42)
+		drift := res.Posterior("m24", paper.Creator, -1) - reference.Posterior("m24", paper.Creator, -1)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", psend),
+			fmt.Sprint(res.Rounds),
+			fmt.Sprintf("%v", res.Converged),
+			fmt.Sprint(res.Transport.Dropped),
+			fmt.Sprintf("%+.5f", drift),
+		})
+	}
+	fmt.Println(eval.Table(
+		[]string{"P(send)", "rounds", "converged", "dropped", "posterior drift"},
+		rows))
+	fmt.Println("the scheme converges even under heavy loss; only the number of")
+	fmt.Println("rounds grows (Fig 11), and the fixed point is unchanged.")
+}
+
+func run(psend float64, seed int64) pdms.DetectResult {
+	net := paper.IntroNetwork()
+	if _, err := net.DiscoverStructural([]pdms.Attribute{paper.Creator}, 6, paper.Delta); err != nil {
+		log.Fatal(err)
+	}
+	res, err := net.RunDetection(pdms.DetectOptions{
+		DefaultPrior: 0.8,
+		MaxRounds:    5000,
+		Tolerance:    1e-8,
+		PSend:        psend,
+		Seed:         seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

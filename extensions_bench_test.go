@@ -1,0 +1,86 @@
+package pdms_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkScaleDetection measures end-to-end detection (discovery +
+// inference) on a generated 120-peer scale-free PDMS with 15% corrupted
+// mappings — the §7 "larger automatically-generated PDMS settings"
+// extension. Reports recall over covered faulty mappings.
+func BenchmarkScaleDetection(b *testing.B) {
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Scale([]int{120}, 0.15, 4, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = pts[0].Recall
+	}
+	b.ReportMetric(recall, "recall")
+}
+
+// BenchmarkGranularityAblation compares fine vs coarse granularity (§4.1)
+// on whole-mapping corruption. Reports the coarse/fine variable ratio (the
+// state saved by coarse mode at equal decisions).
+func BenchmarkGranularityAblation(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.GranularityAblation(40, 0.15, 4, 4, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(pts[1].Variables) / float64(pts[0].Variables)
+	}
+	b.ReportMetric(ratio, "coarse/fine-vars")
+}
+
+// BenchmarkParallelPathAblation quantifies what §3.3's parallel-path
+// evidence adds over pure cycle analysis. Reports the separation gain.
+func BenchmarkParallelPathAblation(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ParallelPathAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = pts[0].Separation - pts[1].Separation
+	}
+	b.ReportMetric(gain, "separation-gain")
+}
+
+// BenchmarkPriorLearning runs six detect-and-commit epochs (§4.4). Reports
+// the final prior gap between the sound and faulty mappings.
+func BenchmarkPriorLearning(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		eps, err := experiments.PriorLearning(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := eps[len(eps)-1]
+		gap = last.PriorGood - last.PriorBad
+	}
+	b.ReportMetric(gap, "prior-gap")
+}
+
+// BenchmarkCompareSchedules runs the periodic, lazy and asynchronous
+// schedules back to back on the introductory network.
+func BenchmarkCompareSchedules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CompareSchedules(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurn measures a full detect → fix → rediscover → detect cycle.
+func BenchmarkChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Churn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package core implements the paper's contribution: fully decentralized
+// detection of erroneous schema mappings in a Peer Data Management System by
+// embedded probabilistic message passing (§4).
+//
+// A Network owns the peers, their schemas and the directed (or undirected)
+// topology of pairwise mappings. Each peer stores only the fraction of the
+// global factor graph that touches its own outgoing mappings (§4.1): one
+// binary correctness variable per (mapping, attribute) it owns, a prior
+// factor per variable, and a replica of every feedback factor — cycle or
+// parallel-path evidence — its variables participate in. Peers exchange
+// remote messages µ_{p→f}(m) (§4.3) over a simulated transport and update
+// posteriors locally; no central component ever holds the whole model.
+//
+// Evidence can be gathered two ways: structurally, by enumerating cycles and
+// parallel paths on the known topology (the oracle used by experiments), or
+// by the paper's probe flooding with a TTL (§3.2.1), implemented on the same
+// transport as the inference messages.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/schema"
+	"repro/internal/xmldb"
+)
+
+// Network is a PDMS: peers, schemas, mappings and the shared transport.
+// Networks are not safe for concurrent mutation; detection runs are
+// sequential and deterministic.
+type Network struct {
+	directed bool
+	topo     *graph.Graph
+	peers    map[graph.PeerID]*Peer
+	order    []graph.PeerID // insertion order for deterministic iteration
+	mappings map[graph.EdgeID]*schema.Mapping
+}
+
+// NewNetwork creates an empty PDMS. directed selects directed mappings
+// (§3.3) versus undirected ones (§3.2).
+func NewNetwork(directed bool) *Network {
+	var topo *graph.Graph
+	if directed {
+		topo = graph.NewDirected()
+	} else {
+		topo = graph.NewUndirected()
+	}
+	return &Network{
+		directed: directed,
+		topo:     topo,
+		peers:    make(map[graph.PeerID]*Peer),
+		mappings: make(map[graph.EdgeID]*schema.Mapping),
+	}
+}
+
+// Directed reports whether mappings are directed.
+func (n *Network) Directed() bool { return n.directed }
+
+// Topology returns the underlying mapping graph (shared, do not mutate).
+func (n *Network) Topology() *graph.Graph { return n.topo }
+
+// AddPeer registers a database with its schema.
+func (n *Network) AddPeer(id graph.PeerID, s *schema.Schema) (*Peer, error) {
+	if id == "" {
+		return nil, fmt.Errorf("core: empty peer id")
+	}
+	if s == nil {
+		return nil, fmt.Errorf("core: peer %q: nil schema", id)
+	}
+	if _, dup := n.peers[id]; dup {
+		return nil, fmt.Errorf("core: duplicate peer %q", id)
+	}
+	p := &Peer{
+		id:     id,
+		schema: s,
+		net:    n,
+		out:    make(map[graph.EdgeID]*schema.Mapping),
+		vars:   make(map[varKey]*varState),
+		evs:    make(map[string]*evReplica),
+		pinned: make(map[varKey]bool),
+	}
+	n.peers[id] = p
+	n.order = append(n.order, id)
+	n.topo.AddPeer(id)
+	return p, nil
+}
+
+// MustAddPeer is like AddPeer but panics on error.
+func (n *Network) MustAddPeer(id graph.PeerID, s *schema.Schema) *Peer {
+	p, err := n.AddPeer(id, s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Peer returns the peer with the given ID.
+func (n *Network) Peer(id graph.PeerID) (*Peer, bool) {
+	p, ok := n.peers[id]
+	return p, ok
+}
+
+// Peers returns all peers in insertion order.
+func (n *Network) Peers() []*Peer {
+	out := make([]*Peer, 0, len(n.order))
+	for _, id := range n.order {
+		out = append(out, n.peers[id])
+	}
+	return out
+}
+
+// NumPeers returns the number of peers.
+func (n *Network) NumPeers() int { return len(n.order) }
+
+// AddMapping declares a pairwise mapping from peer `from` to peer `to` with
+// the given attribute correspondences. The mapping is owned by (stored at)
+// the from-peer, matching the per-hop routing behaviour of §2. Both peers
+// must exist; every correspondence must respect the two schemas.
+func (n *Network) AddMapping(id graph.EdgeID, from, to graph.PeerID, pairs map[schema.Attribute]schema.Attribute) (*schema.Mapping, error) {
+	pf, ok := n.peers[from]
+	if !ok {
+		return nil, fmt.Errorf("core: mapping %q: unknown peer %q", id, from)
+	}
+	pt, ok := n.peers[to]
+	if !ok {
+		return nil, fmt.Errorf("core: mapping %q: unknown peer %q", id, to)
+	}
+	m, err := schema.NewMapping(string(id), pf.schema, pt.schema)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic insertion order for reproducibility of error messages.
+	attrs := make([]schema.Attribute, 0, len(pairs))
+	for a := range pairs {
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+	for _, a := range attrs {
+		if err := m.Add(a, pairs[a]); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.topo.AddEdge(id, from, to); err != nil {
+		return nil, err
+	}
+	n.mappings[id] = m
+	pf.out[id] = m
+	return m, nil
+}
+
+// MustAddMapping is like AddMapping but panics on error.
+func (n *Network) MustAddMapping(id graph.EdgeID, from, to graph.PeerID, pairs map[schema.Attribute]schema.Attribute) *schema.Mapping {
+	m, err := n.AddMapping(id, from, to, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// IdentityPairs builds the identity correspondence map for a schema —
+// convenient for synthetic topologies where all schemas share attributes.
+func IdentityPairs(s *schema.Schema) map[schema.Attribute]schema.Attribute {
+	out := make(map[schema.Attribute]schema.Attribute, s.Len())
+	for _, a := range s.Attributes() {
+		out[a] = a
+	}
+	return out
+}
+
+// RemoveMapping drops a mapping from the network (churn, §4.4). Inference
+// state derived from it is discarded on the next discovery.
+func (n *Network) RemoveMapping(id graph.EdgeID) {
+	e, ok := n.topo.Edge(id)
+	if !ok {
+		return
+	}
+	n.topo.RemoveEdge(id)
+	delete(n.mappings, id)
+	if p, ok := n.peers[e.From]; ok {
+		delete(p.out, id)
+	}
+}
+
+// Mapping returns the schema mapping for a topology edge.
+func (n *Network) Mapping(id graph.EdgeID) (*schema.Mapping, bool) {
+	m, ok := n.mappings[id]
+	return m, ok
+}
+
+// Resolver adapts the network to the feedback layer.
+func (n *Network) Resolver() func(graph.EdgeID) (*schema.Mapping, bool) {
+	return func(id graph.EdgeID) (*schema.Mapping, bool) { return n.Mapping(id) }
+}
+
+// Owner returns the peer owning (departing) mapping id.
+func (n *Network) Owner(id graph.EdgeID) (*Peer, bool) {
+	e, ok := n.topo.Edge(id)
+	if !ok {
+		return nil, false
+	}
+	p, ok := n.peers[e.From]
+	return p, ok
+}
+
+// varKey identifies a correctness variable: a mapping and the attribute (in
+// the mapping's source schema) it is judged on — the fine granularity of
+// §4.1.
+type varKey struct {
+	Mapping graph.EdgeID
+	Attr    schema.Attribute
+}
+
+// Peer is one database in the PDMS together with the fraction of the global
+// factor graph it stores (§4.1).
+type Peer struct {
+	id     graph.PeerID
+	schema *schema.Schema
+	net    *Network
+	out    map[graph.EdgeID]*schema.Mapping
+	store  *xmldb.Store
+
+	// Local factor-graph fragment.
+	vars   map[varKey]*varState
+	evs    map[string]*evReplica
+	pinned map[varKey]bool
+
+	// Prior beliefs (§4.4): current prior per variable and the evidence
+	// samples it is the running mean of. Lazily allocated.
+	priors  map[varKey]float64
+	samples map[varKey][]float64
+}
+
+// ID returns the peer's identifier.
+func (p *Peer) ID() graph.PeerID { return p.id }
+
+// Schema returns the peer's schema.
+func (p *Peer) Schema() *schema.Schema { return p.schema }
+
+// Outgoing returns the IDs of the peer's outgoing mappings, sorted.
+func (p *Peer) Outgoing() []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(p.out))
+	for id := range p.out {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AttachStore attaches a document store to the peer. The store's schema must
+// be the peer's schema.
+func (p *Peer) AttachStore(st *xmldb.Store) error {
+	if st == nil {
+		return fmt.Errorf("core: peer %q: nil store", p.id)
+	}
+	if st.Schema() != p.schema {
+		return fmt.Errorf("core: peer %q: store schema %q differs from peer schema %q",
+			p.id, st.Schema().Name(), p.schema.Name())
+	}
+	p.store = st
+	return nil
+}
+
+// Store returns the peer's document store, if any.
+func (p *Peer) Store() (*xmldb.Store, bool) {
+	return p.store, p.store != nil
+}

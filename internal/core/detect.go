@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/schema"
+)
+
+// DetectOptions configures a detection run (the periodic message passing
+// schedule of §4.3.1: one round = every peer sends its remote messages once
+// per period τ).
+type DetectOptions struct {
+	// DefaultPrior is the prior P(m = correct) for variables without
+	// explicit or learned priors. Defaults to 0.5 (maximum entropy, §4.4).
+	DefaultPrior float64
+	// MaxRounds bounds the number of periods. Defaults to 100.
+	MaxRounds int
+	// Tolerance is the convergence threshold on the largest posterior
+	// change across all peers between rounds. Defaults to 1e-6.
+	Tolerance float64
+	// StableRounds is how many consecutive rounds the tolerance must hold.
+	// Defaults to 1 (5 under message loss).
+	StableRounds int
+	// PSend delivers each remote message with this probability (Fig 11).
+	// 1 or 0 means reliable.
+	PSend float64
+	// Seed drives message loss.
+	Seed int64
+	// Trace, if non-nil, receives after every round the posterior map. The
+	// map is freshly allocated each call.
+	Trace func(round int, posteriors map[graph.EdgeID]map[schema.Attribute]float64)
+}
+
+func (o DetectOptions) withDefaults() (DetectOptions, error) {
+	if o.DefaultPrior == 0 {
+		o.DefaultPrior = 0.5
+	}
+	if o.DefaultPrior < 0 || o.DefaultPrior > 1 {
+		return o, fmt.Errorf("core: default prior %v out of [0,1]", o.DefaultPrior)
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 100
+	}
+	if o.MaxRounds < 0 {
+		return o, fmt.Errorf("core: negative MaxRounds")
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+	if o.PSend < 0 || o.PSend > 1 {
+		return o, fmt.Errorf("core: PSend %v out of [0,1]", o.PSend)
+	}
+	if o.PSend == 0 {
+		o.PSend = 1
+	}
+	if o.StableRounds < 0 {
+		return o, fmt.Errorf("core: negative StableRounds")
+	}
+	if o.StableRounds == 0 {
+		if o.PSend < 1 {
+			o.StableRounds = 5
+		} else {
+			o.StableRounds = 1
+		}
+	}
+	return o, nil
+}
+
+// DetectResult is the outcome of a detection run.
+type DetectResult struct {
+	// Posteriors maps mapping → attribute (at the mapping's source schema)
+	// → P(correct). Pinned variables appear with probability 0.
+	Posteriors map[graph.EdgeID]map[schema.Attribute]float64
+	// Rounds is the number of periods executed.
+	Rounds int
+	// Converged reports whether the tolerance was met before MaxRounds.
+	Converged bool
+	// RemoteMessages is the number of remote messages handed to the
+	// transport (the communication overhead of §4.3.1).
+	RemoteMessages int
+	// Transport carries the transport counters.
+	Transport network.Stats
+}
+
+// Posterior returns the posterior for a mapping and attribute, or def if the
+// variable was never part of any evidence.
+func (r DetectResult) Posterior(m graph.EdgeID, a schema.Attribute, def float64) float64 {
+	if mm, ok := r.Posteriors[m]; ok {
+		if p, ok := mm[a]; ok {
+			return p
+		}
+	}
+	return def
+}
+
+// RunDetection executes the periodic embedded message passing schedule on
+// previously discovered evidence (DiscoverStructural or DiscoverByProbes):
+// in every round each peer recomputes its variable→factor messages and sends
+// them to the other peers of each factor; the transport delivers them; every
+// peer then refreshes its factor→variable messages and posteriors. With
+// reliable delivery this is exactly the synchronous sum-product schedule of
+// the centralized engine.
+func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return DetectResult{}, err
+	}
+	var rng *rand.Rand
+	if opts.PSend < 1 {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	sim, err := network.NewSimulator(opts.PSend, rng)
+	if err != nil {
+		return DetectResult{}, err
+	}
+	for _, p := range n.Peers() {
+		p := p
+		sim.Register(p.id, func(e network.Envelope) {
+			if m, ok := e.Payload.(remoteMsg); ok {
+				p.handleRemote(m)
+			}
+		})
+	}
+
+	res := DetectResult{}
+	prev := n.snapshotPosteriors(opts.DefaultPrior)
+	stable := 0
+	for round := 1; round <= opts.MaxRounds; round++ {
+		res.RemoteMessages += n.sendRound(sim, opts.DefaultPrior)
+		sim.Step()
+		n.refreshRound()
+		res.Rounds = round
+
+		cur := n.snapshotPosteriors(opts.DefaultPrior)
+		maxDelta := posteriorDelta(prev, cur)
+		prev = cur
+		if opts.Trace != nil {
+			opts.Trace(round, clonePosteriors(cur))
+		}
+		if maxDelta < opts.Tolerance {
+			stable++
+			if stable >= opts.StableRounds {
+				res.Converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+	res.Posteriors = prev
+	res.Transport = sim.Stats()
+	return res, nil
+}
+
+// sendRound performs phase 1 of a period for every peer: compute and emit
+// the variable→factor messages. Messages to factors replicated on the same
+// peer are applied locally (they never touch the network); messages to other
+// peers are sent once per (factor, destination peer). Returns the number of
+// remote messages handed to the transport.
+func (n *Network) sendRound(sim *network.Simulator, defPrior float64) int {
+	sent := 0
+	for _, p := range n.Peers() {
+		for _, key := range p.sortedVarKeys() {
+			vs := p.vars[key]
+			prior := p.PriorFor(key.Mapping, key.Attr, defPrior)
+			for fi, f := range vs.factors {
+				out := vs.outgoing(fi, prior)
+				// Local copy: my own replica records my message so my other
+				// variables in this factor see it.
+				f.replica.remote[f.pos] = out
+				for _, dest := range f.replica.ev.otherOwners(f.pos, p.id) {
+					sim.Send(network.Envelope{
+						From:    p.id,
+						To:      dest,
+						Payload: remoteMsg{EvID: f.replica.ev.ID, Pos: f.pos, Msg: out},
+					})
+					sent++
+				}
+			}
+		}
+	}
+	return sent
+}
+
+// refreshRound performs phase 2: every peer recomputes factor→variable
+// messages from the replicas' remote messages.
+func (n *Network) refreshRound() {
+	for _, p := range n.Peers() {
+		for _, key := range p.sortedVarKeys() {
+			p.vars[key].refresh()
+		}
+	}
+}
+
+// snapshotPosteriors collects the current posterior of every variable in
+// the network, including pins.
+func (n *Network) snapshotPosteriors(defPrior float64) map[graph.EdgeID]map[schema.Attribute]float64 {
+	out := make(map[graph.EdgeID]map[schema.Attribute]float64)
+	put := func(m graph.EdgeID, a schema.Attribute, v float64) {
+		mm, ok := out[m]
+		if !ok {
+			mm = make(map[schema.Attribute]float64)
+			out[m] = mm
+		}
+		mm[a] = v
+	}
+	for _, p := range n.Peers() {
+		for _, key := range p.sortedVarKeys() {
+			vs := p.vars[key]
+			put(key.Mapping, key.Attr, vs.posterior(p.PriorFor(key.Mapping, key.Attr, defPrior)))
+		}
+		for key := range p.pinned {
+			put(key.Mapping, key.Attr, 0)
+		}
+	}
+	return out
+}
+
+func posteriorDelta(a, b map[graph.EdgeID]map[schema.Attribute]float64) float64 {
+	max := 0.0
+	for m, mb := range b {
+		ma := a[m]
+		for attr, pb := range mb {
+			pa, ok := ma[attr]
+			if !ok {
+				pa = 0.5
+			}
+			if d := math.Abs(pa - pb); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func clonePosteriors(src map[graph.EdgeID]map[schema.Attribute]float64) map[graph.EdgeID]map[schema.Attribute]float64 {
+	out := make(map[graph.EdgeID]map[schema.Attribute]float64, len(src))
+	for m, mm := range src {
+		c := make(map[schema.Attribute]float64, len(mm))
+		for a, v := range mm {
+			c[a] = v
+		}
+		out[m] = c
+	}
+	return out
+}
+
+// CommitPriors performs the prior-belief update of §4.4 on every peer: the
+// current posterior of each variable is recorded as a new evidence sample,
+// and the prior becomes the running mean of all samples (seeded with the
+// initial prior). Returns the number of variables updated.
+func (n *Network) CommitPriors(result DetectResult, defPrior float64) int {
+	if defPrior == 0 {
+		defPrior = 0.5
+	}
+	updated := 0
+	for _, p := range n.Peers() {
+		for _, key := range p.sortedVarKeys() {
+			post, ok := result.Posteriors[key.Mapping][key.Attr]
+			if !ok {
+				continue
+			}
+			if p.samples == nil {
+				p.samples = make(map[varKey][]float64)
+			}
+			if p.priors == nil {
+				p.priors = make(map[varKey]float64)
+			}
+			if _, seeded := p.samples[key]; !seeded {
+				p.samples[key] = []float64{p.PriorFor(key.Mapping, key.Attr, defPrior)}
+			}
+			p.samples[key] = append(p.samples[key], post)
+			sum := 0.0
+			for _, s := range p.samples[key] {
+				sum += s
+			}
+			p.priors[key] = sum / float64(len(p.samples[key]))
+			updated++
+		}
+	}
+	return updated
+}

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/paper"
+	"repro/internal/schema"
+)
+
+// TestFineGranularityDistinguishesAttributes: m24 swaps Creator/CreatedOn
+// but preserves Title; the fine-grained instances must disagree with each
+// other exactly as the ground truth does.
+func TestFineGranularityDistinguishesAttributes(t *testing.T) {
+	n := paper.IntroNetwork()
+	if _, err := n.Discover(core.DiscoverConfig{
+		Attrs:  []schema.Attribute{paper.Creator, "Title"},
+		MaxLen: 6,
+		Delta:  paper.Delta,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunDetection(core.DetectOptions{MaxRounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Posterior("m24", paper.Creator, -1); got >= 0.5 {
+		t.Errorf("m24 Creator posterior = %.3f, want < 0.5 (faulty)", got)
+	}
+	if got := res.Posterior("m24", "Title", -1); got <= 0.5 {
+		t.Errorf("m24 Title posterior = %.3f, want > 0.5 (Title is preserved)", got)
+	}
+}
+
+// TestCoarseGranularityFlagsWholeMapping: the coarse instance aggregates the
+// multi-attribute comparison, so m24 is flagged as a whole and every peer
+// stores a single variable per mapping.
+func TestCoarseGranularityFlagsWholeMapping(t *testing.T) {
+	n := paper.IntroNetwork()
+	rep, err := n.Discover(core.DiscoverConfig{
+		Attrs:       paper.Attrs(),
+		MaxLen:      6,
+		Delta:       paper.Delta,
+		Granularity: core.CoarseGrained,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One observation per structure regardless of how many attributes were
+	// compared: the 2 cycles and 1 parallel pair of the intro network.
+	if rep.Positive+rep.Negative != 3 {
+		t.Errorf("coarse observations = %d, want 3 (one per structure)", rep.Positive+rep.Negative)
+	}
+	res, err := n.RunDetection(core.DetectOptions{MaxRounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := res.Posterior("m24", core.CoarseKey(), -1)
+	good := res.Posterior("m23", core.CoarseKey(), -1)
+	if bad >= 0.5 {
+		t.Errorf("coarse m24 posterior = %.3f, want < 0.5", bad)
+	}
+	if good <= bad {
+		t.Errorf("coarse m23 (%.3f) not above m24 (%.3f)", good, bad)
+	}
+	// Exactly one variable per mapping.
+	for m, attrs := range res.Posteriors {
+		if len(attrs) != 1 {
+			t.Errorf("mapping %s has %d coarse variables, want 1", m, len(attrs))
+		}
+	}
+}
+
+// TestDisableParallelPaths: without §3.3 evidence only the two cycles
+// remain.
+func TestDisableParallelPaths(t *testing.T) {
+	n := paper.IntroNetwork()
+	rep, err := n.Discover(core.DiscoverConfig{
+		Attrs:                []schema.Attribute{paper.Creator},
+		MaxLen:               6,
+		Delta:                paper.Delta,
+		DisableParallelPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ParallelPairs != 0 {
+		t.Errorf("parallel pairs = %d with ablation on", rep.ParallelPairs)
+	}
+	if rep.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2", rep.Cycles)
+	}
+}

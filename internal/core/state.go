@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/factorgraph"
+	"repro/internal/graph"
+	"repro/internal/schema"
+)
+
+// evReplica is a peer-local replica of one feedback factor (§4.1): the
+// shared immutable description plus the most recent remote message received
+// for every position, unit by default (§4.3's virtual unit messages).
+type evReplica struct {
+	ev     *evidenceRef
+	remote []factorgraph.Msg
+}
+
+func newEvReplica(ev *evidenceRef) *evReplica {
+	r := &evReplica{ev: ev, remote: make([]factorgraph.Msg, len(ev.Mappings))}
+	for i := range r.remote {
+		r.remote[i] = factorgraph.Unit()
+	}
+	return r
+}
+
+// message computes the factor→variable message for position pos by the
+// counting-factor dynamic programming of §3.2.1 (O(n²) in the cycle
+// length), using the stored remote messages for the other positions.
+func (r *evReplica) message(pos int) factorgraph.Msg {
+	n := len(r.ev.Mappings)
+	dist := make([]float64, 1, n)
+	dist[0] = 1
+	for j := 0; j < n; j++ {
+		if j == pos {
+			continue
+		}
+		in := r.remote[j]
+		next := make([]float64, len(dist)+1)
+		for k, d := range dist {
+			next[k] += d * in[factorgraph.Correct]
+			next[k+1] += d * in[factorgraph.Incorrect]
+		}
+		dist = next
+	}
+	var out factorgraph.Msg
+	for k, d := range dist {
+		out[factorgraph.Correct] += d * r.ev.Vals[k]
+		out[factorgraph.Incorrect] += d * r.ev.Vals[k+1]
+	}
+	return out.Normalized()
+}
+
+// factorRef links a variable to a factor replica at its owner.
+type factorRef struct {
+	replica *evReplica
+	pos     int // the variable's position within the factor
+	// toVar is the latest factor→variable message (µ_{fa→mi}, §4.3).
+	toVar factorgraph.Msg
+}
+
+// varState is one binary correctness variable (mapping, attribute) owned by
+// a peer, together with its adjacent factor replicas.
+type varState struct {
+	key     varKey
+	factors []*factorRef
+}
+
+func newVarState(key varKey) *varState {
+	return &varState{key: key}
+}
+
+func (vs *varState) addFactor(r *evReplica, pos int) {
+	for _, f := range vs.factors {
+		if f.replica == r && f.pos == pos {
+			return
+		}
+	}
+	vs.factors = append(vs.factors, &factorRef{replica: r, pos: pos, toVar: factorgraph.Unit()})
+}
+
+// outgoing computes the variable→factor message for the factor at index fi:
+// the prior message times the product of the other factors' latest
+// factor→variable messages (µ_{mi→faj} of §4.3).
+func (vs *varState) outgoing(fi int, prior float64) factorgraph.Msg {
+	out := factorgraph.Msg{prior, 1 - prior}
+	for j, f := range vs.factors {
+		if j == fi {
+			continue
+		}
+		out = out.Mul(f.toVar)
+	}
+	return out.Normalized()
+}
+
+// posterior is the current belief: prior times all factor→variable messages
+// (P(mi | {F}) of §4.3), normalized.
+func (vs *varState) posterior(prior float64) float64 {
+	b := factorgraph.Msg{prior, 1 - prior}
+	for _, f := range vs.factors {
+		b = b.Mul(f.toVar)
+	}
+	return b.Normalized()[factorgraph.Correct]
+}
+
+// refresh recomputes every factor→variable message from the replicas'
+// current remote messages.
+func (vs *varState) refresh() {
+	for _, f := range vs.factors {
+		f.toVar = f.replica.message(f.pos)
+	}
+}
+
+// remoteMsg is the payload of a remote message (§4.3): the sender's
+// variable→factor message for factor EvID at position Pos.
+type remoteMsg struct {
+	EvID string
+	Pos  int
+	Msg  factorgraph.Msg
+}
+
+// sortedVarKeys returns the peer's variable keys in deterministic order.
+func (p *Peer) sortedVarKeys() []varKey {
+	keys := make([]varKey, 0, len(p.vars))
+	for k := range p.vars {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Mapping != keys[j].Mapping {
+			return keys[i].Mapping < keys[j].Mapping
+		}
+		return keys[i].Attr < keys[j].Attr
+	})
+	return keys
+}
+
+// PriorFor returns the peer's prior belief P(m = correct) for a mapping and
+// attribute: an explicitly set or learned prior if present, else def.
+func (p *Peer) PriorFor(mapping graph.EdgeID, attr schema.Attribute, def float64) float64 {
+	if p.priors != nil {
+		if v, ok := p.priors[varKey{Mapping: mapping, Attr: attr}]; ok {
+			return v
+		}
+	}
+	return def
+}
+
+// SetPrior installs explicit prior knowledge about a mapping's correctness
+// for an attribute (§4.4: e.g. an expert-validated mapping gets prior 1).
+// The prior seeds the evidence-sample sequence used by learned updates.
+func (p *Peer) SetPrior(mapping graph.EdgeID, attr schema.Attribute, prior float64) {
+	if p.priors == nil {
+		p.priors = make(map[varKey]float64)
+	}
+	if p.samples == nil {
+		p.samples = make(map[varKey][]float64)
+	}
+	key := varKey{Mapping: mapping, Attr: attr}
+	p.priors[key] = prior
+	p.samples[key] = []float64{prior}
+}
+
+// handleRemote stores an incoming remote message into the matching factor
+// replica. Unknown evidence IDs are ignored (stale messages after churn).
+func (p *Peer) handleRemote(m remoteMsg) {
+	r, ok := p.evs[m.EvID]
+	if !ok {
+		return
+	}
+	if m.Pos < 0 || m.Pos >= len(r.remote) {
+		return
+	}
+	r.remote[m.Pos] = m.Msg
+}
+
+// Pinned reports whether the peer has pinned (mapping, attr) to zero
+// because the mapping provides no correspondence for the attribute
+// (§3.2.1's ⊥ rule).
+func (p *Peer) Pinned(mapping graph.EdgeID, attr schema.Attribute) bool {
+	return p.pinned[varKey{Mapping: mapping, Attr: attr}]
+}

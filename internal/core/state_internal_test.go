@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/factorgraph"
+	"repro/internal/feedback"
+	"repro/internal/graph"
+	"repro/internal/schema"
+)
+
+func testEvidence(nVars int, vals []float64) *evidenceRef {
+	ev := &evidenceRef{ID: "test", Attr: "a", Polarity: feedback.Positive, Vals: vals}
+	for i := 0; i < nVars; i++ {
+		ev.Mappings = append(ev.Mappings, graph.EdgeID(rune('a'+i)))
+		ev.Owners = append(ev.Owners, graph.PeerID(rune('A'+i)))
+	}
+	return ev
+}
+
+// TestReplicaMessageMatchesCountingFactor: the peer-local DP must agree with
+// the factorgraph package's Counting factor on random inputs.
+func TestReplicaMessageMatchesCountingFactor(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		vals := make([]float64, n+1)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		ev := testEvidence(n, vals)
+		r := newEvReplica(ev)
+		g := factorgraph.New()
+		vars := make([]*factorgraph.Var, n)
+		incoming := make([]factorgraph.Msg, n)
+		for i := range vars {
+			vars[i] = g.MustAddVar(string(rune('a' + i)))
+			incoming[i] = factorgraph.Msg{rng.Float64(), rng.Float64()}
+			r.remote[i] = incoming[i]
+		}
+		c, err := factorgraph.NewCounting(vars, vals)
+		if err != nil {
+			return false
+		}
+		for pos := 0; pos < n; pos++ {
+			got := r.message(pos)
+			want := c.Message(pos, incoming).Normalized()
+			if math.Abs(got[0]-want[0]) > 1e-12 || math.Abs(got[1]-want[1]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarStateMath(t *testing.T) {
+	ev1 := testEvidence(2, []float64{1, 0, 0.1})
+	ev2 := testEvidence(2, []float64{0, 1, 0.9})
+	r1, r2 := newEvReplica(ev1), newEvReplica(ev2)
+	vs := newVarState(varKey{Mapping: "m", Attr: "a"})
+	vs.addFactor(r1, 0)
+	vs.addFactor(r2, 0)
+	vs.addFactor(r1, 0) // duplicate registration ignored
+	if len(vs.factors) != 2 {
+		t.Fatalf("factors = %d, want 2", len(vs.factors))
+	}
+	vs.refresh()
+	// outgoing to factor 0 must exclude factor 0's own contribution.
+	out0 := vs.outgoing(0, 0.5)
+	manual := factorgraph.Msg{0.5, 0.5}.Mul(vs.factors[1].toVar).Normalized()
+	if math.Abs(out0[0]-manual[0]) > 1e-12 {
+		t.Errorf("outgoing(0) = %v, want %v", out0, manual)
+	}
+	// posterior includes everything.
+	post := vs.posterior(0.5)
+	full := factorgraph.Msg{0.5, 0.5}.Mul(vs.factors[0].toVar).Mul(vs.factors[1].toVar).Normalized()
+	if math.Abs(post-full[0]) > 1e-12 {
+		t.Errorf("posterior = %v, want %v", post, full[0])
+	}
+	// With no factors, posterior equals the prior.
+	lone := newVarState(varKey{Mapping: "x", Attr: "a"})
+	if p := lone.posterior(0.7); math.Abs(p-0.7) > 1e-12 {
+		t.Errorf("bare posterior = %v", p)
+	}
+}
+
+func TestHandleRemoteBounds(t *testing.T) {
+	n := NewNetwork(true)
+	s := mustSchema(t)
+	p, err := n.AddPeer("p", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := testEvidence(2, []float64{1, 0, 0.1})
+	p.evs[ev.ID] = newEvReplica(ev)
+	// Unknown evidence and out-of-range positions are ignored silently
+	// (stale messages after churn must not crash peers).
+	p.handleRemote(remoteMsg{EvID: "ghost", Pos: 0, Msg: factorgraph.Unit()})
+	p.handleRemote(remoteMsg{EvID: ev.ID, Pos: -1, Msg: factorgraph.Unit()})
+	p.handleRemote(remoteMsg{EvID: ev.ID, Pos: 99, Msg: factorgraph.Unit()})
+	p.handleRemote(remoteMsg{EvID: ev.ID, Pos: 1, Msg: factorgraph.Msg{0.2, 0.8}})
+	if got := p.evs[ev.ID].remote[1]; got != (factorgraph.Msg{0.2, 0.8}) {
+		t.Errorf("remote not stored: %v", got)
+	}
+}
+
+func TestOtherOwnersDedup(t *testing.T) {
+	ev := &evidenceRef{
+		Mappings: []graph.EdgeID{"a", "b", "c", "d"},
+		Owners:   []graph.PeerID{"P", "Q", "Q", "P"},
+	}
+	got := ev.otherOwners(0, "P")
+	if len(got) != 1 || got[0] != "Q" {
+		t.Errorf("otherOwners = %v, want [Q]", got)
+	}
+	got = ev.otherOwners(1, "Q")
+	if len(got) != 1 || got[0] != "P" {
+		t.Errorf("otherOwners = %v, want [P]", got)
+	}
+}
+
+func TestSortedVarKeysOrder(t *testing.T) {
+	n := NewNetwork(true)
+	s := mustSchema(t)
+	p, err := n.AddPeer("p", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []varKey{
+		{Mapping: "m2", Attr: "b"},
+		{Mapping: "m1", Attr: "z"},
+		{Mapping: "m2", Attr: "a"},
+		{Mapping: "m1", Attr: "a"},
+	} {
+		p.vars[k] = newVarState(k)
+	}
+	keys := p.sortedVarKeys()
+	want := []varKey{
+		{Mapping: "m1", Attr: "a"},
+		{Mapping: "m1", Attr: "z"},
+		{Mapping: "m2", Attr: "a"},
+		{Mapping: "m2", Attr: "b"},
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys[%d] = %v, want %v", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestSetPriorSeedsSamples(t *testing.T) {
+	n := NewNetwork(true)
+	s := mustSchema(t)
+	p, err := n.AddPeer("p", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetPrior("m", "a", 0.9)
+	if got := p.PriorFor("m", "a", 0.5); got != 0.9 {
+		t.Errorf("PriorFor = %v", got)
+	}
+	if got := p.PriorFor("m", "other", 0.5); got != 0.5 {
+		t.Errorf("unset PriorFor = %v", got)
+	}
+	if samples := p.samples[varKey{Mapping: "m", Attr: "a"}]; len(samples) != 1 || samples[0] != 0.9 {
+		t.Errorf("samples = %v", samples)
+	}
+}
+
+func mustSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew("S", "a", "b", "z")
+}

@@ -1,0 +1,115 @@
+package eon
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestBuildDefault(t *testing.T) {
+	ex, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Network.NumPeers() != 6 {
+		t.Errorf("peers = %d, want 6", ex.Network.NumPeers())
+	}
+	if len(ex.Alignments) != 30 {
+		t.Errorf("alignments = %d, want 30", len(ex.Alignments))
+	}
+	// Calibration window around the paper's 396 correspondences / 86
+	// erroneous.
+	total, faulty := len(ex.Correspondences), ex.Faulty()
+	if total < 350 || total > 600 {
+		t.Errorf("correspondences = %d, outside window", total)
+	}
+	if faulty < 50 || faulty > 150 {
+		t.Errorf("faulty = %d, outside window", faulty)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rounds = 0
+	if _, err := Build(cfg); err == nil {
+		t.Error("rounds=0: want error")
+	}
+	cfg = DefaultConfig()
+	cfg.Cutoff = 7
+	if _, err := Build(cfg); err == nil {
+		t.Error("bad cutoff: want error")
+	}
+}
+
+func TestRunPrecisionShape(t *testing.T) {
+	ex, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Negative == 0 || rep.Positive == 0 {
+		t.Fatalf("report = %+v, want both polarities of evidence", rep)
+	}
+	pts := eval.PrecisionCurve(ex.Judgments(), []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+	// Fig 12's qualitative claims: precision well above the base rate at
+	// low θ, declining (weakly) as θ grows; recall grows with θ.
+	base := float64(ex.Faulty()) / float64(len(ex.Correspondences))
+	low := pts[1] // θ=0.3
+	if low.Detected == 0 {
+		t.Fatal("nothing detected at θ=0.3")
+	}
+	if low.Precision < 2.5*base {
+		t.Errorf("precision at θ=0.3 = %.2f, want well above base rate %.2f", low.Precision, base)
+	}
+	if low.Precision < 0.6 {
+		t.Errorf("precision at θ=0.3 = %.2f, want ≥0.6 (paper: ≥0.8)", low.Precision)
+	}
+	if pts[4].Recall < pts[1].Recall {
+		t.Error("recall should not decrease with θ")
+	}
+	if pts[4].Precision > pts[1].Precision {
+		t.Errorf("precision should decline from low θ (%.2f) to high θ (%.2f)", pts[1].Precision, pts[4].Precision)
+	}
+	// Every correspondence got a posterior in [0,1].
+	for _, c := range ex.Correspondences {
+		if c.Posterior < 0 || c.Posterior > 1 {
+			t.Fatalf("posterior out of range: %+v", c)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() []Correspondence {
+		ex, err := Build(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ex.Correspondences
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic correspondence count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic result at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAnalysisAttributes(t *testing.T) {
+	ex, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := ex.AnalysisAttributes()
+	if len(attrs) != 6*33 {
+		t.Errorf("analysis attributes = %d, want %d", len(attrs), 6*33)
+	}
+}

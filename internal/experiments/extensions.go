@@ -1,0 +1,448 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/paper"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// This file implements the extensions the paper leaves as current/future
+// work (§7): detection quality on larger automatically generated PDMS
+// settings, the coarse-vs-fine granularity trade-off of §4.1, the value of
+// parallel-path evidence (§3.3), and prior learning across epochs (§4.4).
+
+// syntheticPDMS builds an undirected scale-free PDMS of n peers over a
+// shared schema of numAttrs attributes, with identity mappings of which a
+// fraction corrupt are made erroneous. wholeMapping selects the corruption
+// model: a cyclic shift of every attribute (the whole mapping is wrong)
+// versus a swap of a0/a1 only (a per-attribute error). Returns the network
+// and the set of corrupted mapping IDs.
+func syntheticPDMS(n, attach, numAttrs int, corrupt float64, wholeMapping bool, rng *rand.Rand) (*core.Network, map[graph.EdgeID]bool, error) {
+	if corrupt < 0 || corrupt > 1 {
+		return nil, nil, fmt.Errorf("experiments: corrupt fraction %v out of [0,1]", corrupt)
+	}
+	topo, err := graph.BarabasiAlbert(n, attach, false, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs := make([]schema.Attribute, numAttrs)
+	for i := range attrs {
+		attrs[i] = schema.Attribute(fmt.Sprintf("a%d", i))
+	}
+	net := core.NewNetwork(false)
+	for _, p := range topo.Peers() {
+		net.MustAddPeer(p, schema.MustNew("S_"+string(p), attrs...))
+	}
+	identity := make(map[schema.Attribute]schema.Attribute, numAttrs)
+	shifted := make(map[schema.Attribute]schema.Attribute, numAttrs)
+	swapped := make(map[schema.Attribute]schema.Attribute, numAttrs)
+	for i, a := range attrs {
+		identity[a] = a
+		shifted[a] = attrs[(i+1)%numAttrs]
+		swapped[a] = a
+	}
+	swapped[attrs[0]], swapped[attrs[1]] = attrs[1], attrs[0]
+
+	faulty := make(map[graph.EdgeID]bool)
+	for _, e := range topo.Edges() {
+		pairs := identity
+		if rng.Float64() < corrupt {
+			faulty[e.ID] = true
+			if wholeMapping {
+				pairs = shifted
+			} else {
+				pairs = swapped
+			}
+		}
+		if _, err := net.AddMapping(e.ID, e.From, e.To, pairs); err != nil {
+			return nil, nil, err
+		}
+	}
+	return net, faulty, nil
+}
+
+// ScalePoint is one point of the large-network experiment.
+type ScalePoint struct {
+	Peers, Mappings, Faulty int
+	// Covered is the number of mappings that participate in at least one
+	// evidence structure (only they can be judged).
+	Covered int
+	// Precision/Recall of "posterior < 0.5 ⇒ faulty" over covered mappings.
+	Precision, Recall float64
+	Rounds            int
+	Evidence          int // non-neutral observations
+	Millis            float64
+}
+
+// Scale runs erroneous-mapping detection on generated scale-free PDMS
+// overlays of growing size (§7: "testing our heuristics on larger
+// automatically-generated PDMS settings"). Each network corrupts the given
+// fraction of mappings on attribute a0; detection analyzes a0 with cycles
+// up to maxLen.
+func Scale(sizes []int, corrupt float64, maxLen int, seed int64) ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, size := range sizes {
+		rng := rand.New(rand.NewSource(seed))
+		net, faulty, err := syntheticPDMS(size, 2, paper.NumAttrs, corrupt, false, rng)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rep, err := net.DiscoverStructural([]schema.Attribute{"a0"}, maxLen, 0)
+		if err != nil {
+			return nil, err
+		}
+		res, err := net.RunDetection(core.DetectOptions{MaxRounds: 50, Tolerance: 1e-6})
+		if err != nil {
+			return nil, err
+		}
+		pt := ScalePoint{
+			Peers:    net.NumPeers(),
+			Mappings: net.Topology().NumEdges(),
+			Faulty:   len(faulty),
+			Rounds:   res.Rounds,
+			Evidence: rep.Positive + rep.Negative,
+			Millis:   float64(time.Since(start).Microseconds()) / 1000,
+		}
+		det, detTrue := 0, 0
+		for m, attrs := range res.Posteriors {
+			p, ok := attrs["a0"]
+			if !ok {
+				continue
+			}
+			pt.Covered++
+			if p < 0.5 {
+				det++
+				if faulty[m] {
+					detTrue++
+				}
+			}
+		}
+		if det > 0 {
+			pt.Precision = float64(detTrue) / float64(det)
+		} else {
+			pt.Precision = 1
+		}
+		coveredFaulty := 0
+		for m := range faulty {
+			if _, ok := res.Posteriors[m]["a0"]; ok {
+				coveredFaulty++
+			}
+		}
+		if coveredFaulty > 0 {
+			pt.Recall = float64(detTrue) / float64(coveredFaulty)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// GranularityPoint is one arm of the §4.1 granularity ablation.
+type GranularityPoint struct {
+	Granularity       string
+	Variables         int // distinct (mapping, attr) variables network-wide
+	Precision, Recall float64
+}
+
+// GranularityAblation corrupts whole mappings (every attribute wrong) on a
+// generated overlay and compares fine-grained detection (§4.1, one variable
+// per attribute, judged by the a0 instance) against coarse-grained
+// detection (one variable per mapping fed by every attribute's evidence).
+// With whole-mapping corruption the coarse variable aggregates evidence
+// across attributes and should dominate.
+func GranularityAblation(size int, corrupt float64, analysisAttrs int, maxLen int, seed int64) ([]GranularityPoint, error) {
+	if analysisAttrs < 1 || analysisAttrs > paper.NumAttrs {
+		return nil, fmt.Errorf("experiments: analysisAttrs %d out of range", analysisAttrs)
+	}
+	attrs := make([]schema.Attribute, analysisAttrs)
+	for i := range attrs {
+		attrs[i] = schema.Attribute(fmt.Sprintf("a%d", i))
+	}
+	score := func(g core.Granularity) (GranularityPoint, error) {
+		rng := rand.New(rand.NewSource(seed))
+		net, faulty, err := syntheticPDMS(size, 2, paper.NumAttrs, corrupt, true, rng)
+		if err != nil {
+			return GranularityPoint{}, err
+		}
+		if _, err := net.Discover(core.DiscoverConfig{
+			Attrs: attrs, MaxLen: maxLen, Granularity: g,
+		}); err != nil {
+			return GranularityPoint{}, err
+		}
+		res, err := net.RunDetection(core.DetectOptions{MaxRounds: 50, Tolerance: 1e-6})
+		if err != nil {
+			return GranularityPoint{}, err
+		}
+		pt := GranularityPoint{Granularity: "fine"}
+		if g == core.CoarseGrained {
+			pt.Granularity = "coarse"
+		}
+		det, detTrue, coveredFaulty := 0, 0, 0
+		for m, attrVals := range res.Posteriors {
+			var p float64
+			var ok bool
+			if g == core.CoarseGrained {
+				p, ok = attrVals[core.CoarseKey()]
+			} else {
+				// Fine granularity judges the mapping by the mean of its
+				// per-attribute posteriors.
+				var sum float64
+				var cnt int
+				for _, v := range attrVals {
+					sum += v
+					cnt++
+				}
+				if cnt > 0 {
+					p, ok = sum/float64(cnt), true
+				}
+			}
+			if !ok {
+				continue
+			}
+			pt.Variables += len(attrVals)
+			if faulty[m] {
+				coveredFaulty++
+			}
+			if p < 0.5 {
+				det++
+				if faulty[m] {
+					detTrue++
+				}
+			}
+		}
+		if det > 0 {
+			pt.Precision = float64(detTrue) / float64(det)
+		} else {
+			pt.Precision = 1
+		}
+		if coveredFaulty > 0 {
+			pt.Recall = float64(detTrue) / float64(coveredFaulty)
+		}
+		return pt, nil
+	}
+	fine, err := score(core.FineGrained)
+	if err != nil {
+		return nil, err
+	}
+	coarse, err := score(core.CoarseGrained)
+	if err != nil {
+		return nil, err
+	}
+	return []GranularityPoint{fine, coarse}, nil
+}
+
+// ParallelPathPoint is one arm of the §3.3 ablation.
+type ParallelPathPoint struct {
+	Arm        string
+	Evidence   int
+	Posterior  float64 // faulty mapping's posterior (lower is better)
+	Separation float64 // sound-minus-faulty posterior gap
+}
+
+// ParallelPathAblation runs the introductory example with and without
+// parallel-path evidence. Without f3⇒ the remaining cycle evidence is
+// weaker: the faulty mapping's posterior rises and the separation from the
+// sound mappings shrinks — quantifying what §3.3 adds over pure cycle
+// analysis.
+func ParallelPathAblation() ([]ParallelPathPoint, error) {
+	run := func(disable bool, arm string) (ParallelPathPoint, error) {
+		n := paper.IntroNetwork()
+		rep, err := n.Discover(core.DiscoverConfig{
+			Attrs:                []schema.Attribute{paper.Creator},
+			MaxLen:               6,
+			Delta:                paper.Delta,
+			DisableParallelPaths: disable,
+		})
+		if err != nil {
+			return ParallelPathPoint{}, err
+		}
+		res, err := n.RunDetection(core.DetectOptions{MaxRounds: 300, Tolerance: 1e-9})
+		if err != nil {
+			return ParallelPathPoint{}, err
+		}
+		bad := res.Posterior("m24", paper.Creator, 0.5)
+		good := res.Posterior("m23", paper.Creator, 0.5)
+		return ParallelPathPoint{
+			Arm:        arm,
+			Evidence:   rep.Positive + rep.Negative,
+			Posterior:  bad,
+			Separation: good - bad,
+		}, nil
+	}
+	with, err := run(false, "cycles+parallel")
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(true, "cycles only")
+	if err != nil {
+		return nil, err
+	}
+	return []ParallelPathPoint{with, without}, nil
+}
+
+// PriorEpoch is one epoch of the §4.4 prior-learning experiment.
+type PriorEpoch struct {
+	Epoch     int
+	PriorGood float64 // m23's prior entering the epoch
+	PriorBad  float64 // m24's prior entering the epoch
+	PostGood  float64
+	PostBad   float64
+}
+
+// PriorLearning runs repeated detect-then-commit epochs on the introductory
+// network: the EM update (§4.4) accumulates posterior evidence into the
+// priors, which drift monotonically apart — the sound mapping's prior
+// rises, the faulty one's sinks — so later detections start from a more
+// informed state.
+func PriorLearning(epochs int) ([]PriorEpoch, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("experiments: epochs %d too small", epochs)
+	}
+	n := paper.IntroNetwork()
+	if _, err := n.DiscoverStructural([]schema.Attribute{paper.Creator}, 6, paper.Delta); err != nil {
+		return nil, err
+	}
+	p2, ok := n.Peer("p2")
+	if !ok {
+		return nil, fmt.Errorf("experiments: p2 missing")
+	}
+	var out []PriorEpoch
+	for e := 1; e <= epochs; e++ {
+		ep := PriorEpoch{
+			Epoch:     e,
+			PriorGood: p2.PriorFor("m23", paper.Creator, 0.5),
+			PriorBad:  p2.PriorFor("m24", paper.Creator, 0.5),
+		}
+		res, err := n.RunDetection(core.DetectOptions{MaxRounds: 300, Tolerance: 1e-9})
+		if err != nil {
+			return nil, err
+		}
+		ep.PostGood = res.Posterior("m23", paper.Creator, 0.5)
+		ep.PostBad = res.Posterior("m24", paper.Creator, 0.5)
+		n.CommitPriors(res, 0.5)
+		out = append(out, ep)
+	}
+	return out, nil
+}
+
+// ScheduleComparison quantifies the three schedules' costs on the intro
+// network: periodic (dedicated messages), lazy (piggybacked only) and
+// asynchronous (goroutine bus).
+type SchedulePoint struct {
+	Schedule  string
+	Messages  int // dedicated remote messages (0 for lazy)
+	Carried   int // piggybacked messages (lazy only)
+	Converged bool
+	BadPost   float64
+}
+
+// CompareSchedules runs all three schedules of §4.3 on the introductory
+// example and reports their communication profile and final belief about
+// the faulty mapping.
+func CompareSchedules() ([]SchedulePoint, error) {
+	var out []SchedulePoint
+
+	{
+		n := paper.IntroNetwork()
+		if _, err := n.DiscoverStructural([]schema.Attribute{paper.Creator}, 6, paper.Delta); err != nil {
+			return nil, err
+		}
+		res, err := n.RunDetection(core.DetectOptions{MaxRounds: 300, Tolerance: 1e-8})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SchedulePoint{
+			Schedule: "periodic", Messages: res.RemoteMessages,
+			Converged: res.Converged, BadPost: res.Posterior("m24", paper.Creator, -1),
+		})
+	}
+	{
+		n := paper.IntroNetwork()
+		if _, err := n.DiscoverStructural([]schema.Attribute{paper.Creator}, 6, paper.Delta); err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(3))
+		peers := n.Peers()
+		workload := make([]core.LazyQuery, 4000)
+		for i := range workload {
+			p := peers[rng.Intn(len(peers))]
+			workload[i] = core.LazyQuery{
+				Origin: p.ID(),
+				Query:  query.MustNew(p.Schema(), query.Op{Kind: query.Project, Attr: paper.Creator}),
+			}
+		}
+		res, err := n.RunLazy(workload, core.LazyOptions{Tolerance: 1e-8})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SchedulePoint{
+			Schedule: "lazy", Messages: 0, Carried: res.Piggybacked,
+			Converged: res.Converged,
+			BadPost:   core.AttrPosterior(res.Posteriors, "m24", paper.Creator, -1),
+		})
+	}
+	{
+		n := paper.IntroNetwork()
+		if _, err := n.DiscoverStructural([]schema.Attribute{paper.Creator}, 6, paper.Delta); err != nil {
+			return nil, err
+		}
+		res, err := n.RunDetectionAsync(core.AsyncOptions{Ticks: 100})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SchedulePoint{
+			Schedule: "async", Messages: res.RemoteMessages,
+			Converged: res.Converged, BadPost: res.Posterior("m24", paper.Creator, -1),
+		})
+	}
+	return out, nil
+}
+
+// Churn measures the maintenance trade-off of §7: a detection result ages as
+// the network evolves. After the faulty mapping is replaced by a corrected
+// one, routing on the stale posteriors keeps avoiding the (now fine) link,
+// while re-discovering restores it. Returned as human-readable findings.
+type ChurnResult struct {
+	StalePosterior   float64 // old belief about the replaced mapping's slot
+	RefreshPositive  int     // positive evidence after rediscovery
+	RefreshPosterior float64 // fresh belief about the corrected mapping
+}
+
+// Churn replaces the faulty m24 with a corrected mapping and contrasts the
+// stale belief with the re-discovered one.
+func Churn() (ChurnResult, error) {
+	n := paper.IntroNetwork()
+	if _, err := n.DiscoverStructural([]schema.Attribute{paper.Creator}, 6, paper.Delta); err != nil {
+		return ChurnResult{}, err
+	}
+	res, err := n.RunDetection(core.DetectOptions{MaxRounds: 300, Tolerance: 1e-9})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	out := ChurnResult{StalePosterior: res.Posterior("m24", paper.Creator, -1)}
+
+	// The owner fixes the mapping.
+	n.RemoveMapping("m24")
+	p2, _ := n.Peer("p2")
+	pairs := core.IdentityPairs(p2.Schema())
+	if _, err := n.AddMapping("m24", "p2", "p4", pairs); err != nil {
+		return ChurnResult{}, err
+	}
+	rep, err := n.DiscoverStructural([]schema.Attribute{paper.Creator}, 6, paper.Delta)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	res2, err := n.RunDetection(core.DetectOptions{MaxRounds: 300, Tolerance: 1e-9})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	out.RefreshPositive = rep.Positive
+	out.RefreshPosterior = res2.Posterior("m24", paper.Creator, -1)
+	return out, nil
+}

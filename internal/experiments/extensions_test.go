@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestScaleDetectsOnGeneratedNetworks(t *testing.T) {
+	pts, err := Scale([]int{30, 60}, 0.15, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Faulty == 0 {
+			t.Fatalf("no faulty mappings injected at size %d", p.Peers)
+		}
+		if p.Covered == 0 || p.Evidence == 0 {
+			t.Errorf("size %d: no coverage (%+v)", p.Peers, p)
+		}
+		// Detection must beat the corruption base rate substantially.
+		base := float64(p.Faulty) / float64(p.Mappings)
+		if p.Precision < 2*base {
+			t.Errorf("size %d: precision %.2f not above 2× base rate %.2f", p.Peers, p.Precision, base)
+		}
+		if p.Recall < 0.5 {
+			t.Errorf("size %d: recall %.2f of covered faulty mappings, want ≥ 0.5", p.Peers, p.Recall)
+		}
+	}
+	// Larger networks carry more evidence.
+	if pts[1].Evidence <= pts[0].Evidence {
+		t.Errorf("evidence did not grow with size: %d vs %d", pts[0].Evidence, pts[1].Evidence)
+	}
+	if _, err := Scale([]int{10}, 1.5, 4, 1); err == nil {
+		t.Error("bad corrupt fraction: want error")
+	}
+}
+
+func TestGranularityAblation(t *testing.T) {
+	pts, err := GranularityAblation(40, 0.15, 4, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Granularity != "fine" || pts[1].Granularity != "coarse" {
+		t.Fatalf("points = %+v", pts)
+	}
+	fine, coarse := pts[0], pts[1]
+	// Coarse granularity has strictly fewer variables (one per mapping).
+	if coarse.Variables >= fine.Variables {
+		t.Errorf("coarse variables %d not below fine %d", coarse.Variables, fine.Variables)
+	}
+	// With whole-mapping corruption the multi-attribute coarse comparison
+	// carries the same information as the per-attribute instances: the
+	// decisions must match at a quarter of the state.
+	if coarse.Recall < fine.Recall-1e-9 {
+		t.Errorf("coarse recall %.2f below fine %.2f on whole-mapping corruption", coarse.Recall, fine.Recall)
+	}
+	if coarse.Precision < fine.Precision-1e-9 {
+		t.Errorf("coarse precision %.2f below fine %.2f on whole-mapping corruption", coarse.Precision, fine.Precision)
+	}
+	if _, err := GranularityAblation(20, 0.1, 0, 4, 1); err == nil {
+		t.Error("bad analysisAttrs: want error")
+	}
+}
+
+func TestParallelPathAblation(t *testing.T) {
+	pts, err := ParallelPathAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %+v", pts)
+	}
+	with, without := pts[0], pts[1]
+	if with.Evidence <= without.Evidence {
+		t.Errorf("parallel paths added no evidence: %d vs %d", with.Evidence, without.Evidence)
+	}
+	// The extra negative evidence (f3⇒) pushes the faulty mapping lower
+	// and widens the separation.
+	if with.Posterior >= without.Posterior {
+		t.Errorf("faulty posterior with pairs %.3f not below cycles-only %.3f",
+			with.Posterior, without.Posterior)
+	}
+	if with.Separation <= without.Separation {
+		t.Errorf("separation with pairs %.3f not above cycles-only %.3f",
+			with.Separation, without.Separation)
+	}
+}
+
+func TestPriorLearningDriftsApart(t *testing.T) {
+	eps, err := PriorLearning(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 5 {
+		t.Fatalf("epochs = %d", len(eps))
+	}
+	// Priors start uninformed and drift monotonically apart.
+	if eps[0].PriorGood != 0.5 || eps[0].PriorBad != 0.5 {
+		t.Errorf("first epoch priors = %.2f/%.2f, want 0.5/0.5", eps[0].PriorGood, eps[0].PriorBad)
+	}
+	for i := 1; i < len(eps); i++ {
+		if eps[i].PriorGood < eps[i-1].PriorGood-1e-12 {
+			t.Errorf("epoch %d: sound prior fell: %.4f -> %.4f", i+1, eps[i-1].PriorGood, eps[i].PriorGood)
+		}
+		if eps[i].PriorBad > eps[i-1].PriorBad+1e-12 {
+			t.Errorf("epoch %d: faulty prior rose: %.4f -> %.4f", i+1, eps[i-1].PriorBad, eps[i].PriorBad)
+		}
+	}
+	last := eps[len(eps)-1]
+	if !(last.PriorGood > 0.52 && last.PriorBad < 0.42) {
+		t.Errorf("priors after 5 epochs: %.3f / %.3f, want clear separation", last.PriorGood, last.PriorBad)
+	}
+	if _, err := PriorLearning(0); err == nil {
+		t.Error("epochs=0: want error")
+	}
+}
+
+func TestCompareSchedules(t *testing.T) {
+	pts, err := CompareSchedules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %+v", pts)
+	}
+	byName := map[string]SchedulePoint{}
+	for _, p := range pts {
+		byName[p.Schedule] = p
+	}
+	if byName["lazy"].Messages != 0 {
+		t.Errorf("lazy schedule sent %d dedicated messages, want 0", byName["lazy"].Messages)
+	}
+	if byName["lazy"].Carried == 0 {
+		t.Error("lazy schedule carried nothing")
+	}
+	if byName["periodic"].Messages == 0 || byName["async"].Messages == 0 {
+		t.Error("periodic/async sent no messages")
+	}
+	for name, p := range byName {
+		if !p.Converged {
+			t.Errorf("%s did not converge", name)
+		}
+		if p.BadPost >= 0.5 {
+			t.Errorf("%s failed to detect the faulty mapping: %.3f", name, p.BadPost)
+		}
+	}
+}
+
+func TestChurnRefreshRestoresMapping(t *testing.T) {
+	res, err := Churn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StalePosterior >= 0.5 {
+		t.Errorf("stale posterior %.3f, want the old faulty belief < 0.5", res.StalePosterior)
+	}
+	if res.RefreshPositive == 0 {
+		t.Error("no positive evidence after the fix")
+	}
+	if res.RefreshPosterior <= 0.5 {
+		t.Errorf("refreshed posterior %.3f, want > 0.5 after the mapping was fixed", res.RefreshPosterior)
+	}
+}

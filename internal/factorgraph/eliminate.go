@@ -1,0 +1,260 @@
+package factorgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements exact inference by variable elimination — the
+// junction-tree-style algorithm the paper lists as under analysis for
+// larger networks (§7, citing Paskin & Guestrin's robust distributed
+// inference architecture). Brute-force enumeration (Exact) is capped at 24
+// variables; elimination is exponential only in the induced width of the
+// elimination order, so the overlapping short cycles of a realistic PDMS —
+// many variables, small factors — stay tractable.
+
+// maxEliminationWidth bounds the size of any intermediate factor (number of
+// variables) produced during elimination.
+const maxEliminationWidth = 22
+
+// tempFactor is a dense table over a sorted set of variable indices.
+type tempFactor struct {
+	vars  []int // sorted ascending
+	table []float64
+}
+
+func newTempFromFactor(f Factor) tempFactor {
+	vs := f.Vars()
+	idx := make([]int, len(vs))
+	for i, v := range vs {
+		idx[i] = v.idx
+	}
+	// Sort variables and remember the permutation from factor order.
+	perm := make([]int, len(idx))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return idx[perm[a]] < idx[perm[b]] })
+	sorted := make([]int, len(idx))
+	for i, p := range perm {
+		sorted[i] = idx[p]
+	}
+	out := tempFactor{vars: sorted, table: make([]float64, 1<<len(idx))}
+	states := make([]State, len(idx))
+	for bits := 0; bits < 1<<len(idx); bits++ {
+		// bits indexes the *sorted* variables; rebuild factor-order states.
+		for i, p := range perm {
+			states[p] = State(bits >> i & 1)
+		}
+		out.table[bits] = f.Value(states)
+	}
+	return out
+}
+
+// multiply returns the product factor over the union of variables.
+func multiply(a, b tempFactor) (tempFactor, error) {
+	union := mergeSorted(a.vars, b.vars)
+	if len(union) > maxEliminationWidth {
+		return tempFactor{}, fmt.Errorf("factorgraph: elimination width %d exceeds %d", len(union), maxEliminationWidth)
+	}
+	posA := positions(union, a.vars)
+	posB := positions(union, b.vars)
+	out := tempFactor{vars: union, table: make([]float64, 1<<len(union))}
+	for bits := range out.table {
+		out.table[bits] = a.table[project(bits, posA)] * b.table[project(bits, posB)]
+	}
+	return out, nil
+}
+
+// sumOut marginalizes variable v out of f.
+func sumOut(f tempFactor, v int) tempFactor {
+	pos := -1
+	for i, x := range f.vars {
+		if x == v {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return f
+	}
+	rest := make([]int, 0, len(f.vars)-1)
+	rest = append(rest, f.vars[:pos]...)
+	rest = append(rest, f.vars[pos+1:]...)
+	out := tempFactor{vars: rest, table: make([]float64, 1<<len(rest))}
+	for bits := range out.table {
+		lo := insertBit(bits, pos, 0)
+		hi := insertBit(bits, pos, 1)
+		out.table[bits] = f.table[lo] + f.table[hi]
+	}
+	return out
+}
+
+// mergeSorted merges two sorted unique int slices.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// positions maps each element of sub to its index within super.
+func positions(super, sub []int) []int {
+	out := make([]int, len(sub))
+	j := 0
+	for i, v := range sub {
+		for super[j] != v {
+			j++
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// project extracts the bits of `bits` at the given positions.
+func project(bits int, pos []int) int {
+	out := 0
+	for i, p := range pos {
+		out |= (bits >> p & 1) << i
+	}
+	return out
+}
+
+// insertBit inserts bit b at position pos into bits.
+func insertBit(bits, pos, b int) int {
+	low := bits & ((1 << pos) - 1)
+	high := bits >> pos
+	return low | b<<pos | high<<(pos+1)
+}
+
+// ExactEliminate computes the exact marginal P(v = Correct) for every
+// variable by repeated variable elimination with a min-degree ordering. It
+// handles graphs far beyond Exact's 24-variable enumeration limit as long
+// as the induced width stays at or below maxEliminationWidth; otherwise it
+// returns an error. Isolated variables report 0.5.
+func (g *Graph) ExactEliminate() (map[string]float64, error) {
+	base := make([]tempFactor, 0, len(g.factors))
+	for _, f := range g.factors {
+		if len(f.Vars()) > maxEliminationWidth {
+			return nil, fmt.Errorf("factorgraph: factor over %d vars exceeds elimination width", len(f.Vars()))
+		}
+		base = append(base, newTempFromFactor(f))
+	}
+	out := make(map[string]float64, len(g.vars))
+	for _, target := range g.vars {
+		p, err := g.eliminateFor(target.idx, base)
+		if err != nil {
+			return nil, fmt.Errorf("factorgraph: eliminating for %q: %w", target.Name, err)
+		}
+		out[target.Name] = p
+	}
+	return out, nil
+}
+
+// eliminateFor runs one variable-elimination pass keeping target last.
+func (g *Graph) eliminateFor(target int, base []tempFactor) (float64, error) {
+	factors := append([]tempFactor(nil), base...)
+	// Eliminate every other variable in min-degree order (recomputed
+	// greedily: the variable currently appearing with the fewest distinct
+	// neighbours goes first).
+	remaining := make(map[int]bool, len(g.vars))
+	for _, v := range g.vars {
+		if v.idx != target {
+			remaining[v.idx] = true
+		}
+	}
+	for len(remaining) > 0 {
+		v := pickMinDegree(remaining, factors)
+		// Multiply all factors mentioning v, sum v out.
+		var bucket []tempFactor
+		rest := factors[:0]
+		for _, f := range factors {
+			if containsVar(f.vars, v) {
+				bucket = append(bucket, f)
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		factors = rest
+		if len(bucket) > 0 {
+			prod := bucket[0]
+			var err error
+			for _, f := range bucket[1:] {
+				prod, err = multiply(prod, f)
+				if err != nil {
+					return 0, err
+				}
+			}
+			factors = append(factors, sumOut(prod, v))
+		}
+		delete(remaining, v)
+	}
+	// Multiply whatever remains (all over {target} or constants).
+	result := tempFactor{vars: nil, table: []float64{1}}
+	var err error
+	for _, f := range factors {
+		result, err = multiply(result, f)
+		if err != nil {
+			return 0, err
+		}
+	}
+	switch len(result.vars) {
+	case 0:
+		return 0.5, nil // target appears in no factor
+	case 1:
+		total := result.table[0] + result.table[1]
+		if total <= 0 {
+			return 0, fmt.Errorf("zero total mass")
+		}
+		return result.table[0] / total, nil
+	default:
+		return 0, fmt.Errorf("elimination left %d variables", len(result.vars))
+	}
+}
+
+// pickMinDegree selects the remaining variable whose elimination touches
+// the fewest other remaining variables (ties broken by index for
+// determinism).
+func pickMinDegree(remaining map[int]bool, factors []tempFactor) int {
+	best, bestDeg := -1, 1<<30
+	for v := range remaining {
+		neigh := make(map[int]bool)
+		for _, f := range factors {
+			if !containsVar(f.vars, v) {
+				continue
+			}
+			for _, u := range f.vars {
+				if u != v {
+					neigh[u] = true
+				}
+			}
+		}
+		deg := len(neigh)
+		if deg < bestDeg || (deg == bestDeg && v < best) {
+			best, bestDeg = v, deg
+		}
+	}
+	return best
+}
+
+func containsVar(vars []int, v int) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

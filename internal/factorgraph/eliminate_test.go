@@ -1,0 +1,179 @@
+package factorgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEliminateMatchesExactProperty: variable elimination must agree with
+// brute-force enumeration on random loopy graphs.
+func TestEliminateMatchesExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		g := New()
+		vars := make([]*Var, n)
+		for i := range vars {
+			vars[i] = g.MustAddVar(fmt.Sprintf("v%d", i))
+			g.MustAddFactor(Prior{V: vars[i], P: 0.05 + 0.9*rng.Float64()})
+		}
+		for k := 0; k < 2+rng.Intn(3); k++ {
+			size := 2 + rng.Intn(n-1)
+			idx := rng.Perm(n)[:size]
+			sub := make([]*Var, size)
+			for i, j := range idx {
+				sub[i] = vars[j]
+			}
+			vals := make([]float64, size+1)
+			for i := range vals {
+				vals[i] = rng.Float64()
+			}
+			vals[0] += 0.05
+			c, err := NewCounting(sub, vals)
+			if err != nil {
+				return false
+			}
+			g.MustAddFactor(c)
+		}
+		exact, err := g.Exact()
+		if err != nil {
+			return false
+		}
+		elim, err := g.ExactEliminate()
+		if err != nil {
+			t.Logf("seed %d: eliminate failed: %v", seed, err)
+			return false
+		}
+		for name, want := range exact {
+			if math.Abs(elim[name]-want) > 1e-9 {
+				t.Logf("seed %d: %s eliminate %.12f vs exact %.12f", seed, name, elim[name], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ladderGraph builds a chain of overlapping 3-variable negative/positive
+// cycles over n variables — many variables, small factors, low treewidth:
+// the realistic PDMS regime where enumeration is impossible but
+// elimination is cheap.
+func ladderGraph(n int) *Graph {
+	g := New()
+	vars := make([]*Var, n)
+	for i := range vars {
+		vars[i] = g.MustAddVar(fmt.Sprintf("m%d", i))
+		g.MustAddFactor(Prior{V: vars[i], P: 0.6})
+	}
+	for i := 0; i+2 < n; i += 2 {
+		vals := []float64{1, 0, 0.1, 0.1}
+		if i%4 == 2 {
+			vals = []float64{0, 1, 0.9, 0.9}
+		}
+		c, err := NewCounting([]*Var{vars[i], vars[i+1], vars[i+2]}, vals)
+		if err != nil {
+			panic(err)
+		}
+		g.MustAddFactor(c)
+	}
+	return g
+}
+
+// TestEliminateBeyondEnumeration: 40 variables is far past Exact's limit;
+// elimination handles it and agrees closely with loopy BP on this
+// low-treewidth graph.
+func TestEliminateBeyondEnumeration(t *testing.T) {
+	g := ladderGraph(40)
+	if _, err := g.Exact(); err == nil {
+		t.Fatal("Exact should refuse 40 variables")
+	}
+	elim, err := g.ExactEliminate()
+	if err != nil {
+		t.Fatalf("ExactEliminate: %v", err)
+	}
+	res, err := g.Run(Options{MaxIterations: 200, Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for name, want := range elim {
+		if want < -1e-12 || want > 1+1e-12 {
+			t.Fatalf("marginal out of range: %s = %v", name, want)
+		}
+		if d := math.Abs(res.Posteriors[name] - want); d > worst {
+			worst = d
+		}
+	}
+	// Loopy BP approximates the exact marginals within the usual few
+	// percent on this graph.
+	if worst > 0.08 {
+		t.Errorf("loopy vs eliminate worst gap %.4f, want < 0.08", worst)
+	}
+}
+
+func TestEliminateIsolatedVariable(t *testing.T) {
+	g := New()
+	g.MustAddVar("lonely")
+	out, err := g.ExactEliminate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out["lonely"]-0.5) > 1e-12 {
+		t.Errorf("isolated marginal = %v, want 0.5", out["lonely"])
+	}
+}
+
+func TestEliminateRejectsHugeFactor(t *testing.T) {
+	g := New()
+	vars := make([]*Var, maxEliminationWidth+1)
+	vals := make([]float64, len(vars)+1)
+	for i := range vars {
+		vars[i] = g.MustAddVar(fmt.Sprintf("v%d", i))
+	}
+	for i := range vals {
+		vals[i] = 1
+	}
+	c, err := NewCounting(vars, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddFactor(c)
+	if _, err := g.ExactEliminate(); err == nil {
+		t.Error("oversized factor: want error")
+	}
+}
+
+func TestEliminateZeroMass(t *testing.T) {
+	g := New()
+	v := g.MustAddVar("m")
+	c, err := NewCounting([]*Var{v}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddFactor(c)
+	if _, err := g.ExactEliminate(); err == nil {
+		t.Error("zero-mass model: want error")
+	}
+}
+
+func TestTempFactorHelpers(t *testing.T) {
+	if got := mergeSorted([]int{1, 3, 5}, []int{2, 3, 6}); fmt.Sprint(got) != "[1 2 3 5 6]" {
+		t.Errorf("mergeSorted = %v", got)
+	}
+	// 0b1011 has bits 0,1,3 set; projecting positions {0,2,3} reads 1,0,1.
+	if got := project(0b1011, []int{0, 2, 3}); got != 0b101 {
+		t.Errorf("project = %b", got)
+	}
+	if got := insertBit(0b101, 1, 1); got != 0b1011 {
+		t.Errorf("insertBit = %b", got)
+	}
+	if got := insertBit(0b101, 0, 0); got != 0b1010 {
+		t.Errorf("insertBit at 0 = %b", got)
+	}
+}

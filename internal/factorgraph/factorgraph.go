@@ -1,0 +1,565 @@
+// Package factorgraph implements binary factor graphs and the iterative
+// sum-product (loopy belief propagation) algorithm of §3.1 of the paper.
+//
+// Variables are binary: a mapping is either Correct or Incorrect. Factors
+// are potential functions over subsets of variables. The engine runs the
+// synchronous message-passing schedule — every edge of the factor graph
+// carries one message in each direction per iteration, all variables having
+// virtually received unit messages before the first iteration (§4.3) — and
+// reports per-variable marginals.
+//
+// Two factor families cover the paper's needs:
+//
+//   - Prior: the unary prior-belief factor on a mapping (§4.4).
+//   - Counting: a factor whose value depends only on the *number* of
+//     Incorrect variables among its arguments. The paper's feedback
+//     conditionals P(f|m0..mn-1) — 1 if all correct, 0 if exactly one
+//     incorrect, Δ if two or more — are counting factors, which lets
+//     messages be computed in O(n²) by dynamic programming over counts
+//     instead of enumerating 2^n assignments.
+//
+// A Tabular factor (explicit 2^n table) is provided for tests and for exact
+// equivalence checks, and Exact computes marginals by full enumeration — the
+// global-inference baseline of Fig 9.
+package factorgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// State is the value of a binary mapping-correctness variable.
+type State int
+
+const (
+	// Correct means the mapping preserves the attribute's semantics.
+	Correct State = 0
+	// Incorrect means the mapping relates the attribute to a semantically
+	// irrelevant attribute.
+	Incorrect State = 1
+)
+
+// Msg is an unnormalized message or belief over the two states, indexed by
+// State.
+type Msg [2]float64
+
+// Unit is the unit message (the multiplicative identity), which every peer
+// virtually receives from everyone before the first iteration (§4.3).
+func Unit() Msg { return Msg{1, 1} }
+
+// Mul returns the component-wise product of two messages.
+func (m Msg) Mul(o Msg) Msg { return Msg{m[0] * o[0], m[1] * o[1]} }
+
+// Normalized returns the message scaled to sum to 1. A zero message is
+// returned unchanged (it signals an inconsistent model).
+func (m Msg) Normalized() Msg {
+	s := m[0] + m[1]
+	if s <= 0 {
+		return m
+	}
+	return Msg{m[0] / s, m[1] / s}
+}
+
+// P returns the normalized probability of the Correct state.
+func (m Msg) P() float64 {
+	n := m.Normalized()
+	return n[0]
+}
+
+// Var is a binary variable node. Create variables through Graph.AddVar.
+type Var struct {
+	Name string
+	idx  int
+}
+
+// Factor is a potential function over an ordered list of variables.
+type Factor interface {
+	// Vars returns the factor's arguments. The order defines the positions
+	// used by Value and Message.
+	Vars() []*Var
+	// Value evaluates the potential on a full assignment to the factor's
+	// variables (aligned with Vars()).
+	Value(states []State) float64
+	// Message computes the factor→variable message to the variable at
+	// position target, given the incoming variable→factor messages
+	// (aligned with Vars(); the entry at target is ignored).
+	Message(target int, incoming []Msg) Msg
+}
+
+// Prior is the unary prior-belief factor of §4.4: P(m = correct) = P.
+type Prior struct {
+	V *Var
+	P float64
+}
+
+// Vars implements Factor.
+func (p Prior) Vars() []*Var { return []*Var{p.V} }
+
+// Value implements Factor.
+func (p Prior) Value(states []State) float64 {
+	if states[0] == Correct {
+		return p.P
+	}
+	return 1 - p.P
+}
+
+// Message implements Factor.
+func (p Prior) Message(target int, _ []Msg) Msg {
+	return Msg{p.P, 1 - p.P}
+}
+
+// Counting is a factor whose value depends only on the number of Incorrect
+// variables among its arguments: Value = Vals[#incorrect]. Vals must have
+// length len(vars)+1.
+type Counting struct {
+	vars []*Var
+	// Vals[k] is the potential when exactly k arguments are Incorrect.
+	Vals []float64
+}
+
+// NewCounting builds a counting factor. It returns an error if vals does not
+// have exactly len(vars)+1 entries or vars is empty.
+func NewCounting(vars []*Var, vals []float64) (*Counting, error) {
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("factorgraph: counting factor needs at least one variable")
+	}
+	if len(vals) != len(vars)+1 {
+		return nil, fmt.Errorf("factorgraph: counting factor over %d vars needs %d values, got %d",
+			len(vars), len(vars)+1, len(vals))
+	}
+	for _, v := range vals {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("factorgraph: counting factor value %v out of range", v)
+		}
+	}
+	c := &Counting{vars: append([]*Var(nil), vars...), Vals: append([]float64(nil), vals...)}
+	return c, nil
+}
+
+// Vars implements Factor.
+func (c *Counting) Vars() []*Var { return c.vars }
+
+// Value implements Factor.
+func (c *Counting) Value(states []State) float64 {
+	k := 0
+	for _, s := range states {
+		if s == Incorrect {
+			k++
+		}
+	}
+	return c.Vals[k]
+}
+
+// Message implements Factor. It computes, by dynamic programming, the
+// distribution over the number of Incorrect variables among the non-target
+// arguments under the incoming messages, then weights it by Vals. O(n²).
+func (c *Counting) Message(target int, incoming []Msg) Msg {
+	n := len(c.vars)
+	// dist[k] = Σ over assignments of the other vars with k Incorrect of
+	// the product of their incoming message entries.
+	dist := make([]float64, 1, n)
+	dist[0] = 1
+	for j := 0; j < n; j++ {
+		if j == target {
+			continue
+		}
+		in := incoming[j]
+		next := make([]float64, len(dist)+1)
+		for k, d := range dist {
+			next[k] += d * in[Correct]
+			next[k+1] += d * in[Incorrect]
+		}
+		dist = next
+	}
+	var out Msg
+	for k, d := range dist {
+		out[Correct] += d * c.Vals[k]
+		out[Incorrect] += d * c.Vals[k+1]
+	}
+	return out
+}
+
+// Tabular is an explicit potential table over n variables: Table has 2^n
+// entries, indexed by Σ state(i) << i.
+type Tabular struct {
+	vars  []*Var
+	Table []float64
+}
+
+// NewTabular builds a tabular factor, validating the table size.
+func NewTabular(vars []*Var, table []float64) (*Tabular, error) {
+	if len(vars) == 0 || len(vars) > 20 {
+		return nil, fmt.Errorf("factorgraph: tabular factor must have 1..20 vars, got %d", len(vars))
+	}
+	if len(table) != 1<<len(vars) {
+		return nil, fmt.Errorf("factorgraph: tabular factor over %d vars needs %d entries, got %d",
+			len(vars), 1<<len(vars), len(table))
+	}
+	return &Tabular{vars: append([]*Var(nil), vars...), Table: append([]float64(nil), table...)}, nil
+}
+
+// Vars implements Factor.
+func (t *Tabular) Vars() []*Var { return t.vars }
+
+func (t *Tabular) index(states []State) int {
+	idx := 0
+	for i, s := range states {
+		if s == Incorrect {
+			idx |= 1 << i
+		}
+	}
+	return idx
+}
+
+// Value implements Factor.
+func (t *Tabular) Value(states []State) float64 { return t.Table[t.index(states)] }
+
+// Message implements Factor by brute-force summation over the other
+// variables (O(2^n); use Counting for the paper's symmetric factors).
+func (t *Tabular) Message(target int, incoming []Msg) Msg {
+	n := len(t.vars)
+	var out Msg
+	states := make([]State, n)
+	var rec func(i int, w float64)
+	rec = func(i int, w float64) {
+		if w == 0 {
+			return
+		}
+		if i == n {
+			out[states[target]] += w * t.Table[t.index(states)]
+			return
+		}
+		if i == target {
+			// Leave both target states to be accumulated separately.
+			states[i] = Correct
+			rec(i+1, w)
+			states[i] = Incorrect
+			rec(i+1, w)
+			return
+		}
+		states[i] = Correct
+		rec(i+1, w*incoming[i][Correct])
+		states[i] = Incorrect
+		rec(i+1, w*incoming[i][Incorrect])
+	}
+	rec(0, 1)
+	return out
+}
+
+// Graph is a factor graph under construction and the home of the engine.
+type Graph struct {
+	vars    []*Var
+	byName  map[string]*Var
+	factors []Factor
+	// adjacency: for each var index, the (factor index, position) pairs.
+	varFactors map[int][]adj
+}
+
+type adj struct {
+	factor int
+	pos    int
+}
+
+// New creates an empty factor graph.
+func New() *Graph {
+	return &Graph{
+		byName:     make(map[string]*Var),
+		varFactors: make(map[int][]adj),
+	}
+}
+
+// AddVar adds a named binary variable. Names must be unique.
+func (g *Graph) AddVar(name string) (*Var, error) {
+	if name == "" {
+		return nil, fmt.Errorf("factorgraph: empty variable name")
+	}
+	if _, dup := g.byName[name]; dup {
+		return nil, fmt.Errorf("factorgraph: duplicate variable %q", name)
+	}
+	v := &Var{Name: name, idx: len(g.vars)}
+	g.vars = append(g.vars, v)
+	g.byName[name] = v
+	return v, nil
+}
+
+// MustAddVar is like AddVar but panics on error.
+func (g *Graph) MustAddVar(name string) *Var {
+	v, err := g.AddVar(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Var returns the variable with the given name.
+func (g *Graph) Var(name string) (*Var, bool) {
+	v, ok := g.byName[name]
+	return v, ok
+}
+
+// Vars returns all variables in insertion order (copy).
+func (g *Graph) Vars() []*Var {
+	return append([]*Var(nil), g.vars...)
+}
+
+// NumFactors returns the number of factors.
+func (g *Graph) NumFactors() int { return len(g.factors) }
+
+// AddFactor attaches a factor. All of the factor's variables must belong to
+// this graph.
+func (g *Graph) AddFactor(f Factor) error {
+	for _, v := range f.Vars() {
+		if v == nil || v.idx >= len(g.vars) || g.vars[v.idx] != v {
+			return fmt.Errorf("factorgraph: factor references a variable not in this graph")
+		}
+	}
+	fi := len(g.factors)
+	g.factors = append(g.factors, f)
+	for pos, v := range f.Vars() {
+		g.varFactors[v.idx] = append(g.varFactors[v.idx], adj{factor: fi, pos: pos})
+	}
+	return nil
+}
+
+// MustAddFactor is like AddFactor but panics on error.
+func (g *Graph) MustAddFactor(f Factor) {
+	if err := g.AddFactor(f); err != nil {
+		panic(err)
+	}
+}
+
+// Options configures a Run.
+type Options struct {
+	// MaxIterations bounds the number of synchronous iterations. Default 50.
+	MaxIterations int
+	// Tolerance is the convergence threshold on the maximum absolute change
+	// of any posterior between iterations. Default 1e-6.
+	Tolerance float64
+	// Damping in [0,1) mixes each new message with the previous one:
+	// m ← (1−d)·new + d·old. 0 (no damping) matches the paper.
+	Damping float64
+	// PSend, if in (0,1), delivers each variable→factor message update with
+	// this probability, keeping the stale message otherwise — the lost
+	// remote messages of Fig 11. 0 or 1 means reliable delivery.
+	PSend float64
+	// Rng drives message loss. Required when PSend is in (0,1).
+	Rng *rand.Rand
+	// StableIterations is the number of consecutive iterations the
+	// tolerance must hold before declaring convergence. Defaults to 1, or
+	// to 5 under message loss (a lossy iteration can leave posteriors
+	// unchanged simply because most messages were dropped).
+	StableIterations int
+	// Trace, if non-nil, receives the normalized posteriors after every
+	// iteration (the convergence curves of Fig 7). The map is reused across
+	// calls; copy it to retain.
+	Trace func(iteration int, posteriors map[string]float64)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 50
+	}
+	if o.MaxIterations < 0 {
+		return o, fmt.Errorf("factorgraph: negative MaxIterations")
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+	if o.Damping < 0 || o.Damping >= 1 {
+		return o, fmt.Errorf("factorgraph: damping %v out of [0,1)", o.Damping)
+	}
+	if o.PSend < 0 || o.PSend > 1 {
+		return o, fmt.Errorf("factorgraph: PSend %v out of [0,1]", o.PSend)
+	}
+	if o.PSend > 0 && o.PSend < 1 && o.Rng == nil {
+		return o, fmt.Errorf("factorgraph: PSend in (0,1) requires Rng")
+	}
+	if o.StableIterations < 0 {
+		return o, fmt.Errorf("factorgraph: negative StableIterations")
+	}
+	if o.StableIterations == 0 {
+		if o.PSend > 0 && o.PSend < 1 {
+			o.StableIterations = 5
+		} else {
+			o.StableIterations = 1
+		}
+	}
+	return o, nil
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Posteriors maps variable name to P(variable = Correct).
+	Posteriors map[string]float64
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Converged reports whether the tolerance was reached before
+	// MaxIterations.
+	Converged bool
+}
+
+// Run executes synchronous loopy belief propagation and returns the
+// marginals. On tree factor graphs the result is exact after at most two
+// iterations (§4.3); on loopy graphs it is the usual approximation.
+func (g *Graph) Run(opts Options) (Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	// factorToVar[f][pos] and varToFactor[f][pos] live on the factor side,
+	// indexed identically.
+	factorToVar := make([][]Msg, len(g.factors))
+	varToFactor := make([][]Msg, len(g.factors))
+	for fi, f := range g.factors {
+		n := len(f.Vars())
+		factorToVar[fi] = make([]Msg, n)
+		varToFactor[fi] = make([]Msg, n)
+		for i := 0; i < n; i++ {
+			if n == 1 {
+				// Unary factors (priors) emit a constant message; starting
+				// from it rather than the unit saves an iteration and
+				// matches the embedded scheme, where each peer knows its
+				// own priors from the outset (§4.3, §4.4).
+				factorToVar[fi][i] = f.Message(i, varToFactor[fi]).Normalized()
+			} else {
+				factorToVar[fi][i] = Unit()
+			}
+			varToFactor[fi][i] = Unit()
+		}
+	}
+
+	posterior := func(vi int) Msg {
+		b := Unit()
+		for _, a := range g.varFactors[vi] {
+			b = b.Mul(factorToVar[a.factor][a.pos])
+		}
+		return b.Normalized()
+	}
+
+	prev := make([]float64, len(g.vars))
+	for vi := range g.vars {
+		prev[vi] = posterior(vi)[Correct]
+	}
+
+	traceBuf := make(map[string]float64, len(g.vars))
+	res := Result{}
+	stable := 0
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		// Variable → factor.
+		for fi, f := range g.factors {
+			for pos, v := range f.Vars() {
+				out := Unit()
+				for _, a := range g.varFactors[v.idx] {
+					if a.factor == fi && a.pos == pos {
+						continue
+					}
+					out = out.Mul(factorToVar[a.factor][a.pos])
+				}
+				out = out.Normalized()
+				if opts.PSend > 0 && opts.PSend < 1 && opts.Rng.Float64() >= opts.PSend {
+					continue // message lost; stale value remains
+				}
+				varToFactor[fi][pos] = out
+			}
+		}
+		// Factor → variable.
+		for fi, f := range g.factors {
+			for pos := range f.Vars() {
+				out := f.Message(pos, varToFactor[fi]).Normalized()
+				if opts.Damping > 0 {
+					old := factorToVar[fi][pos]
+					out = Msg{
+						(1-opts.Damping)*out[0] + opts.Damping*old[0],
+						(1-opts.Damping)*out[1] + opts.Damping*old[1],
+					}
+				}
+				factorToVar[fi][pos] = out
+			}
+		}
+		res.Iterations = iter
+
+		maxDelta := 0.0
+		for vi := range g.vars {
+			p := posterior(vi)[Correct]
+			if d := math.Abs(p - prev[vi]); d > maxDelta {
+				maxDelta = d
+			}
+			prev[vi] = p
+		}
+		if opts.Trace != nil {
+			for vi, v := range g.vars {
+				traceBuf[v.Name] = prev[vi]
+			}
+			opts.Trace(iter, traceBuf)
+		}
+		if maxDelta < opts.Tolerance {
+			stable++
+			if stable >= opts.StableIterations {
+				res.Converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+
+	res.Posteriors = make(map[string]float64, len(g.vars))
+	for vi, v := range g.vars {
+		res.Posteriors[v.Name] = prev[vi]
+	}
+	return res, nil
+}
+
+// Exact computes the exact marginals P(v = Correct) by enumerating all
+// assignments — the global inference baseline of Fig 9. It returns an error
+// for graphs with more than maxExactVars variables.
+const maxExactVars = 24
+
+// Exact computes exact marginals by full enumeration of the joint.
+func (g *Graph) Exact() (map[string]float64, error) {
+	n := len(g.vars)
+	if n > maxExactVars {
+		return nil, fmt.Errorf("factorgraph: exact inference limited to %d vars, have %d", maxExactVars, n)
+	}
+	correctMass := make([]float64, n)
+	var total float64
+	states := make([]State, n)
+	factorStates := make([][]State, len(g.factors))
+	for fi, f := range g.factors {
+		factorStates[fi] = make([]State, len(f.Vars()))
+	}
+	for bits := 0; bits < 1<<n; bits++ {
+		for i := 0; i < n; i++ {
+			states[i] = State((bits >> i) & 1)
+		}
+		w := 1.0
+		for fi, f := range g.factors {
+			fs := factorStates[fi]
+			for i, v := range f.Vars() {
+				fs[i] = states[v.idx]
+			}
+			w *= f.Value(fs)
+			if w == 0 {
+				break
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		total += w
+		for i := 0; i < n; i++ {
+			if states[i] == Correct {
+				correctMass[i] += w
+			}
+		}
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("factorgraph: model is inconsistent (zero total mass)")
+	}
+	out := make(map[string]float64, n)
+	for i, v := range g.vars {
+		out[v.Name] = correctMass[i] / total
+	}
+	return out, nil
+}

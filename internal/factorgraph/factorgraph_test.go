@@ -1,0 +1,579 @@
+package factorgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMsgBasics(t *testing.T) {
+	u := Unit()
+	if u != (Msg{1, 1}) {
+		t.Errorf("Unit = %v", u)
+	}
+	m := Msg{2, 6}.Normalized()
+	if !almost(m[0], 0.25, eps) || !almost(m[1], 0.75, eps) {
+		t.Errorf("Normalized = %v", m)
+	}
+	if p := (Msg{3, 1}).P(); !almost(p, 0.75, eps) {
+		t.Errorf("P = %v", p)
+	}
+	z := Msg{0, 0}
+	if z.Normalized() != z {
+		t.Error("zero message should normalize to itself")
+	}
+	if got := (Msg{2, 3}).Mul(Msg{5, 7}); got != (Msg{10, 21}) {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestAddVarErrors(t *testing.T) {
+	g := New()
+	if _, err := g.AddVar(""); err == nil {
+		t.Error("empty name: want error")
+	}
+	if _, err := g.AddVar("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddVar("m"); err == nil {
+		t.Error("duplicate name: want error")
+	}
+	if v, ok := g.Var("m"); !ok || v.Name != "m" {
+		t.Error("Var lookup failed")
+	}
+	if _, ok := g.Var("zz"); ok {
+		t.Error("Var(zz) should be absent")
+	}
+}
+
+func TestAddFactorValidatesVars(t *testing.T) {
+	g1 := New()
+	g2 := New()
+	v1 := g1.MustAddVar("a")
+	v2 := g2.MustAddVar("b")
+	if err := g1.AddFactor(Prior{V: v2, P: 0.5}); err == nil {
+		t.Error("foreign variable: want error")
+	}
+	if err := g1.AddFactor(Prior{V: v1, P: 0.5}); err != nil {
+		t.Errorf("AddFactor: %v", err)
+	}
+	if g1.NumFactors() != 1 {
+		t.Errorf("NumFactors = %d", g1.NumFactors())
+	}
+}
+
+func TestPriorFactor(t *testing.T) {
+	g := New()
+	v := g.MustAddVar("m")
+	p := Prior{V: v, P: 0.8}
+	if got := p.Value([]State{Correct}); !almost(got, 0.8, eps) {
+		t.Errorf("Value(Correct) = %v", got)
+	}
+	if got := p.Value([]State{Incorrect}); !almost(got, 0.2, eps) {
+		t.Errorf("Value(Incorrect) = %v", got)
+	}
+	if msg := p.Message(0, nil); !almost(msg[0], 0.8, eps) || !almost(msg[1], 0.2, eps) {
+		t.Errorf("Message = %v", msg)
+	}
+}
+
+func TestPriorOnlyRun(t *testing.T) {
+	g := New()
+	v := g.MustAddVar("m")
+	g.MustAddFactor(Prior{V: v, P: 0.7})
+	res, err := g.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("prior-only graph should converge")
+	}
+	if !almost(res.Posteriors["m"], 0.7, 1e-9) {
+		t.Errorf("posterior = %v, want 0.7", res.Posteriors["m"])
+	}
+}
+
+func TestIsolatedVariable(t *testing.T) {
+	g := New()
+	g.MustAddVar("lonely")
+	res, err := g.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Posteriors["lonely"], 0.5, eps) {
+		t.Errorf("isolated posterior = %v, want 0.5", res.Posteriors["lonely"])
+	}
+}
+
+func TestNewCountingValidation(t *testing.T) {
+	g := New()
+	v := g.MustAddVar("a")
+	if _, err := NewCounting(nil, []float64{1}); err == nil {
+		t.Error("no vars: want error")
+	}
+	if _, err := NewCounting([]*Var{v}, []float64{1}); err == nil {
+		t.Error("wrong vals length: want error")
+	}
+	if _, err := NewCounting([]*Var{v}, []float64{1, -1}); err == nil {
+		t.Error("negative value: want error")
+	}
+	if _, err := NewCounting([]*Var{v}, []float64{1, math.NaN()}); err == nil {
+		t.Error("NaN value: want error")
+	}
+	c, err := NewCounting([]*Var{v}, []float64{1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Value([]State{Incorrect}); !almost(got, 0.5, eps) {
+		t.Errorf("Value = %v", got)
+	}
+}
+
+func TestNewTabularValidation(t *testing.T) {
+	g := New()
+	v := g.MustAddVar("a")
+	if _, err := NewTabular(nil, nil); err == nil {
+		t.Error("no vars: want error")
+	}
+	if _, err := NewTabular([]*Var{v}, []float64{1}); err == nil {
+		t.Error("wrong table size: want error")
+	}
+	tab, err := NewTabular([]*Var{v}, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Value([]State{Incorrect}); !almost(got, 0.7, eps) {
+		t.Errorf("Value = %v", got)
+	}
+}
+
+// countingAsTable expands a Counting factor into the equivalent Tabular.
+func countingAsTable(c *Counting) *Tabular {
+	n := len(c.Vars())
+	table := make([]float64, 1<<n)
+	for bits := range table {
+		k := 0
+		for i := 0; i < n; i++ {
+			if bits>>i&1 == 1 {
+				k++
+			}
+		}
+		table[bits] = c.Vals[k]
+	}
+	t, err := NewTabular(c.Vars(), table)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TestCountingMatchesTabularProperty: the O(n²) counting message must equal
+// the brute-force tabular message for random values and random incoming
+// messages.
+func TestCountingMatchesTabularProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		g := New()
+		vars := make([]*Var, n)
+		for i := range vars {
+			vars[i] = g.MustAddVar(string(rune('a' + i)))
+		}
+		vals := make([]float64, n+1)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		c, err := NewCounting(vars, vals)
+		if err != nil {
+			return false
+		}
+		tab := countingAsTable(c)
+		incoming := make([]Msg, n)
+		for i := range incoming {
+			incoming[i] = Msg{rng.Float64(), rng.Float64()}
+		}
+		for target := 0; target < n; target++ {
+			mc := c.Message(target, incoming).Normalized()
+			mt := tab.Message(target, incoming).Normalized()
+			if !almost(mc[0], mt[0], 1e-9) || !almost(mc[1], mt[1], 1e-9) {
+				return false
+			}
+		}
+		// Value must agree everywhere too.
+		states := make([]State, n)
+		for bits := 0; bits < 1<<n; bits++ {
+			for i := range states {
+				states[i] = State(bits >> i & 1)
+			}
+			if !almost(c.Value(states), tab.Value(states), 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// treeGraph builds a small tree: prior on each of 3 vars + one counting
+// factor connecting them (a single feedback cycle = tree factor graph).
+func treeGraph(priors []float64, vals []float64) *Graph {
+	g := New()
+	vars := make([]*Var, len(priors))
+	for i, p := range priors {
+		vars[i] = g.MustAddVar(string(rune('a' + i)))
+		g.MustAddFactor(Prior{V: vars[i], P: p})
+	}
+	c, err := NewCounting(vars, vals)
+	if err != nil {
+		panic(err)
+	}
+	g.MustAddFactor(c)
+	return g
+}
+
+// TestTreeExactInTwoIterations: on a tree factor graph, loopy BP equals
+// exact inference after two iterations (§4.3).
+func TestTreeExactInTwoIterations(t *testing.T) {
+	delta := 0.1
+	g := treeGraph([]float64{0.6, 0.7, 0.8}, []float64{1, 0, delta, delta})
+	res, err := g.Run(Options{MaxIterations: 2, Tolerance: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range exact {
+		if got := res.Posteriors[name]; !almost(got, want, 1e-9) {
+			t.Errorf("posterior[%s] = %v, want exact %v", name, got, want)
+		}
+	}
+}
+
+// TestTreeExactProperty: random priors and counting values on a tree.
+func TestTreeExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		priors := make([]float64, n)
+		for i := range priors {
+			priors[i] = 0.05 + 0.9*rng.Float64()
+		}
+		vals := make([]float64, n+1)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		// Guard against all-zero tables (inconsistent model).
+		vals[0] += 0.1
+		g := treeGraph(priors, vals)
+		res, err := g.Run(Options{MaxIterations: 4, Tolerance: 1e-15})
+		if err != nil {
+			return false
+		}
+		exact, err := g.Exact()
+		if err != nil {
+			return false
+		}
+		for name, want := range exact {
+			if !almost(res.Posteriors[name], want, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// loopyExampleGraph builds the paper's example factor graph (Fig 4): five
+// mappings, three cycle feedbacks f1(+): m12,m23,m34,m41; f2(−): m12,m24,m41;
+// f3(−): m23,m34,m24.
+func loopyExampleGraph(prior, delta float64) *Graph {
+	g := New()
+	names := []string{"m12", "m23", "m34", "m41", "m24"}
+	vs := make(map[string]*Var, len(names))
+	for _, n := range names {
+		vs[n] = g.MustAddVar(n)
+		g.MustAddFactor(Prior{V: vs[n], P: prior})
+	}
+	pos := func(n int) []float64 {
+		vals := make([]float64, n+1)
+		vals[0] = 1
+		for k := 2; k <= n; k++ {
+			vals[k] = delta
+		}
+		return vals
+	}
+	neg := func(n int) []float64 {
+		vals := make([]float64, n+1)
+		vals[1] = 1
+		for k := 2; k <= n; k++ {
+			vals[k] = 1 - delta
+		}
+		return vals
+	}
+	mk := func(vals []float64, names ...string) {
+		vars := make([]*Var, len(names))
+		for i, n := range names {
+			vars[i] = vs[n]
+		}
+		c, err := NewCounting(vars, vals)
+		if err != nil {
+			panic(err)
+		}
+		g.MustAddFactor(c)
+	}
+	mk(pos(4), "m12", "m23", "m34", "m41")
+	mk(neg(3), "m12", "m24", "m41")
+	mk(neg(3), "m23", "m34", "m24")
+	return g
+}
+
+func TestLoopyConvergesNearExact(t *testing.T) {
+	// Fig 9 setting: priors 0.8, Δ=0.1. The paper reports the error of the
+	// iterative scheme against global inference staying below 6%.
+	g := loopyExampleGraph(0.8, 0.1)
+	res, err := g.Run(Options{MaxIterations: 200, Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	exact, err := g.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for name, want := range exact {
+		sum += math.Abs(res.Posteriors[name] - want)
+	}
+	if mean := sum / float64(len(exact)); mean > 0.06 {
+		t.Errorf("mean |loopy - exact| = %.4f, want < 0.06 (Fig 9)", mean)
+	}
+	// The faulty mapping m24 must rank clearly below the sound ones.
+	if res.Posteriors["m24"] >= res.Posteriors["m23"] {
+		t.Errorf("m24 (%.3f) should be less likely correct than m23 (%.3f)",
+			res.Posteriors["m24"], res.Posteriors["m23"])
+	}
+}
+
+// TestIntroExampleNumbers reproduces §4.5: with uniform priors 0.5 and
+// Δ=0.1, the posteriors of p2's mappings converge to ≈0.59 (m23) and ≈0.3
+// (m24). Exact inference matches the paper's quoted values to two decimals;
+// the iterative scheme lands within a few hundredths.
+func TestIntroExampleNumbers(t *testing.T) {
+	g := loopyExampleGraph(0.5, 0.1)
+	exact, err := g.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(exact["m23"], 0.59, 0.005) {
+		t.Errorf("exact m23 = %.4f, paper quotes 0.59", exact["m23"])
+	}
+	if !almost(exact["m24"], 0.30, 0.01) {
+		t.Errorf("exact m24 = %.4f, paper quotes 0.3", exact["m24"])
+	}
+	res, err := g.Run(Options{MaxIterations: 200, Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Posteriors["m23"]-0.59) > 0.04 {
+		t.Errorf("loopy m23 = %.4f, want ≈0.59", res.Posteriors["m23"])
+	}
+	if math.Abs(res.Posteriors["m24"]-0.30) > 0.02 {
+		t.Errorf("loopy m24 = %.4f, want ≈0.3", res.Posteriors["m24"])
+	}
+}
+
+func TestTraceReportsEveryIteration(t *testing.T) {
+	g := loopyExampleGraph(0.7, 0.1)
+	var iters []int
+	var last map[string]float64
+	_, err := g.Run(Options{MaxIterations: 10, Tolerance: 1e-12, Trace: func(i int, p map[string]float64) {
+		iters = append(iters, i)
+		last = map[string]float64{"m24": p["m24"]}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) == 0 || iters[0] != 1 {
+		t.Fatalf("trace iterations = %v", iters)
+	}
+	for i := 1; i < len(iters); i++ {
+		if iters[i] != iters[i-1]+1 {
+			t.Fatalf("trace iterations not consecutive: %v", iters)
+		}
+	}
+	if last == nil || last["m24"] <= 0 || last["m24"] >= 1 {
+		t.Errorf("trace posterior out of range: %v", last)
+	}
+}
+
+func TestMessageLossStillConverges(t *testing.T) {
+	g := loopyExampleGraph(0.8, 0.1)
+	reliable, err := g.Run(Options{MaxIterations: 500, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := g.Run(Options{
+		MaxIterations: 500,
+		Tolerance:     1e-9,
+		PSend:         0.3,
+		Rng:           rand.New(rand.NewSource(11)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lossy.Converged {
+		t.Fatal("lossy run did not converge")
+	}
+	if lossy.Iterations <= reliable.Iterations {
+		t.Errorf("lossy converged in %d <= reliable %d iterations; loss should slow convergence",
+			lossy.Iterations, reliable.Iterations)
+	}
+	for name, want := range reliable.Posteriors {
+		if !almost(lossy.Posteriors[name], want, 1e-3) {
+			t.Errorf("lossy posterior[%s] = %v, reliable %v; loss must not change the fixed point",
+				name, lossy.Posteriors[name], want)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := New()
+	g.MustAddVar("a")
+	if _, err := g.Run(Options{Damping: 1.5}); err == nil {
+		t.Error("bad damping: want error")
+	}
+	if _, err := g.Run(Options{PSend: -0.1}); err == nil {
+		t.Error("bad PSend: want error")
+	}
+	if _, err := g.Run(Options{PSend: 0.5}); err == nil {
+		t.Error("PSend without Rng: want error")
+	}
+	if _, err := g.Run(Options{MaxIterations: -1}); err == nil {
+		t.Error("negative MaxIterations: want error")
+	}
+}
+
+func TestDampingReachesSameFixedPoint(t *testing.T) {
+	g := loopyExampleGraph(0.7, 0.1)
+	plain, err := g.Run(Options{MaxIterations: 300, Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	damped, err := g.Run(Options{MaxIterations: 300, Tolerance: 1e-10, Damping: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range plain.Posteriors {
+		if !almost(damped.Posteriors[name], want, 1e-4) {
+			t.Errorf("damped posterior[%s] = %v, plain %v", name, damped.Posteriors[name], want)
+		}
+	}
+}
+
+func TestExactErrors(t *testing.T) {
+	g := New()
+	for i := 0; i < maxExactVars+1; i++ {
+		g.MustAddVar(string(rune('a')) + string(rune('0'+i%10)) + string(rune('A'+i/10)))
+	}
+	if _, err := g.Exact(); err == nil {
+		t.Error("too many vars: want error")
+	}
+	// Inconsistent model: a zero factor everywhere.
+	g2 := New()
+	v := g2.MustAddVar("m")
+	c, err := NewCounting([]*Var{v}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.MustAddFactor(c)
+	if _, err := g2.Exact(); err == nil {
+		t.Error("zero-mass model: want error")
+	}
+}
+
+// TestHardEvidencePropagation: a negative 2-cycle with one mapping pinned
+// correct must drive the other to incorrect.
+func TestHardEvidencePropagation(t *testing.T) {
+	g := New()
+	a := g.MustAddVar("a")
+	b := g.MustAddVar("b")
+	g.MustAddFactor(Prior{V: a, P: 1.0}) // a known correct
+	g.MustAddFactor(Prior{V: b, P: 0.5})
+	// Negative feedback on {a,b}: value 0 if none incorrect, 1 if exactly
+	// one, 1−Δ if both.
+	c, err := NewCounting([]*Var{a, b}, []float64{0, 1, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddFactor(c)
+	res, err := g.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Posteriors["b"] > 1e-6 {
+		t.Errorf("b posterior = %v, want ~0 (a is pinned correct, feedback negative)", res.Posteriors["b"])
+	}
+	if !almost(res.Posteriors["a"], 1, 1e-9) {
+		t.Errorf("a posterior = %v, want 1", res.Posteriors["a"])
+	}
+}
+
+// TestPosteriorsAreProbabilities: posteriors always lie in [0,1] for random
+// loopy graphs.
+func TestPosteriorsAreProbabilitiesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		g := New()
+		vars := make([]*Var, n)
+		for i := range vars {
+			vars[i] = g.MustAddVar(string(rune('a' + i)))
+			g.MustAddFactor(Prior{V: vars[i], P: 0.05 + 0.9*rng.Float64()})
+		}
+		// Random counting factors over random subsets.
+		for k := 0; k < 3; k++ {
+			size := 2 + rng.Intn(n-1)
+			idx := rng.Perm(n)[:size]
+			sub := make([]*Var, size)
+			for i, j := range idx {
+				sub[i] = vars[j]
+			}
+			vals := make([]float64, size+1)
+			for i := range vals {
+				vals[i] = rng.Float64()
+			}
+			vals[0] += 0.05
+			c, err := NewCounting(sub, vals)
+			if err != nil {
+				return false
+			}
+			g.MustAddFactor(c)
+		}
+		res, err := g.Run(Options{MaxIterations: 30})
+		if err != nil {
+			return false
+		}
+		for _, p := range res.Posteriors {
+			if p < -1e-12 || p > 1+1e-12 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,398 @@
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/graph"
+	"repro/internal/schema"
+)
+
+// fig5Network builds the directed four-peer network of Fig 5 with real
+// schemas of eleven attributes each (so Δ = 1/10 as in §4.5). All mappings
+// are identity-like c<i>→c<i>, except m24 which maps c0 ("Creator") to c1
+// ("CreatedOn") — the faulty mapping of the introductory example.
+func fig5Network() (*graph.Graph, map[graph.EdgeID]*schema.Mapping) {
+	attrs := make([]schema.Attribute, 11)
+	for i := range attrs {
+		attrs[i] = schema.Attribute(fmt.Sprintf("c%d", i))
+	}
+	schemas := map[graph.PeerID]*schema.Schema{
+		"p1": schema.MustNew("S1", attrs...),
+		"p2": schema.MustNew("S2", attrs...),
+		"p3": schema.MustNew("S3", attrs...),
+		"p4": schema.MustNew("S4", attrs...),
+	}
+	g := graph.NewDirected()
+	mappings := make(map[graph.EdgeID]*schema.Mapping)
+	addIdentity := func(id graph.EdgeID, from, to graph.PeerID) {
+		g.MustAddEdge(id, from, to)
+		m := schema.MustNewMapping(string(id), schemas[from], schemas[to])
+		for _, a := range attrs {
+			m.MustAdd(a, a)
+		}
+		mappings[id] = m
+	}
+	addIdentity("m12", "p1", "p2")
+	addIdentity("m21", "p2", "p1")
+	addIdentity("m23", "p2", "p3")
+	addIdentity("m34", "p3", "p4")
+	addIdentity("m41", "p4", "p1")
+	// m24 is faulty for c0: it maps Creator onto CreatedOn.
+	g.MustAddEdge("m24", "p2", "p4")
+	bad := schema.MustNewMapping("m24", schemas["p2"], schemas["p4"])
+	bad.MustAdd("c0", "c1")
+	for _, a := range attrs[2:] {
+		bad.MustAdd(a, a)
+	}
+	bad.MustAdd("c1", "c2") // keep the mapping total but wrong on c0, c1
+	mappings["m24"] = bad
+	return g, mappings
+}
+
+func resolver(m map[graph.EdgeID]*schema.Mapping) Resolver {
+	return func(id graph.EdgeID) (*schema.Mapping, bool) {
+		mm, ok := m[id]
+		return mm, ok
+	}
+}
+
+func TestPolarityString(t *testing.T) {
+	if Positive.String() != "f+" || Negative.String() != "f-" || Neutral.String() != "f⊥" {
+		t.Error("polarity strings wrong")
+	}
+	if Polarity(42).String() == "" {
+		t.Error("unknown polarity should render")
+	}
+}
+
+func TestEvaluateCycle(t *testing.T) {
+	g, maps := fig5Network()
+	res := resolver(maps)
+	var good, bad graph.Cycle
+	for _, c := range g.Cycles(6) {
+		switch c.Signature() {
+		case "cyc:m12|m23|m34|m41":
+			good = c
+		case "cyc:m12|m24|m41":
+			bad = c
+		}
+	}
+	if good.Len() == 0 || bad.Len() == 0 {
+		t.Fatal("expected cycles not found")
+	}
+	ev, err := EvaluateCycle("c0", good, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Polarity != Positive {
+		t.Errorf("good cycle polarity = %v, want f+", ev.Polarity)
+	}
+	if len(ev.Mappings) != 4 {
+		t.Errorf("good cycle mappings = %v", ev.Mappings)
+	}
+	ev, err = EvaluateCycle("c0", bad, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Polarity != Negative {
+		t.Errorf("bad cycle polarity = %v, want f-", ev.Polarity)
+	}
+}
+
+func TestEvaluateCycleNeutral(t *testing.T) {
+	g, maps := fig5Network()
+	// Remove the c5 correspondence from m34: any cycle through m34 loses c5.
+	s3 := maps["m34"].Source()
+	s4 := maps["m34"].Target()
+	m34 := schema.MustNewMapping("m34", s3, s4)
+	for _, a := range s3.Attributes() {
+		if a != "c5" {
+			m34.MustAdd(a, a)
+		}
+	}
+	maps["m34"] = m34
+	res := resolver(maps)
+	for _, c := range g.Cycles(6) {
+		if c.Signature() != "cyc:m12|m23|m34|m41" {
+			continue
+		}
+		ev, err := EvaluateCycle("c5", c, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Polarity != Neutral {
+			t.Errorf("polarity = %v, want f⊥", ev.Polarity)
+		}
+		if ev.LostAt != "m34" {
+			t.Errorf("LostAt = %q, want m34", ev.LostAt)
+		}
+	}
+}
+
+func TestEvaluateCycleUnknownEdge(t *testing.T) {
+	g, _ := fig5Network()
+	empty := func(graph.EdgeID) (*schema.Mapping, bool) { return nil, false }
+	for _, c := range g.Cycles(3) {
+		if _, err := EvaluateCycle("c0", c, empty); err == nil {
+			t.Error("unresolvable edge: want error")
+		}
+		break
+	}
+	if _, err := EvaluateCycle("c0", graph.Cycle{}, resolver(nil)); err == nil {
+		t.Error("empty cycle: want error")
+	}
+}
+
+func TestEvaluateParallel(t *testing.T) {
+	g, maps := fig5Network()
+	res := resolver(maps)
+	found := 0
+	for _, p := range g.ParallelPaths(3) {
+		ev, err := EvaluateParallel("c0", p, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch p.Signature() {
+		case "par:p2>p4:m23|m34||m24": // f4: m24 ‖ m23→m34 — m24 faulty
+			found++
+			if ev.Polarity != Negative {
+				t.Errorf("%s polarity = %v, want f-", p, ev.Polarity)
+			}
+			if ev.Origin != "p2" {
+				t.Errorf("origin = %v, want p2", ev.Origin)
+			}
+		case "par:p2>p1:m21||m23|m34|m41": // f5: both paths sound
+			found++
+			if ev.Polarity != Positive {
+				t.Errorf("%s polarity = %v, want f+", p, ev.Polarity)
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d of 2 expected parallel pairs", found)
+	}
+	if _, err := EvaluateParallel("c0", graph.ParallelPair{}, res); err == nil {
+		t.Error("empty pair: want error")
+	}
+}
+
+func TestUndirectedCycleUsesInverse(t *testing.T) {
+	// Undirected triangle; traversal must invert backward edges.
+	s1 := schema.MustNew("S1", "a", "b")
+	s2 := schema.MustNew("S2", "a", "b")
+	s3 := schema.MustNew("S3", "a", "b")
+	g := graph.NewUndirected()
+	g.MustAddEdge("x", "p1", "p2")
+	g.MustAddEdge("y", "p2", "p3")
+	g.MustAddEdge("z", "p1", "p3") // declared p1→p3; cycle traverses it backwards
+	maps := map[graph.EdgeID]*schema.Mapping{
+		"x": schema.MustNewMapping("x", s1, s2).MustAdd("a", "a").MustAdd("b", "b"),
+		"y": schema.MustNewMapping("y", s2, s3).MustAdd("a", "a").MustAdd("b", "b"),
+		"z": schema.MustNewMapping("z", s1, s3).MustAdd("a", "a").MustAdd("b", "b"),
+	}
+	cycles := g.Cycles(3)
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	ev, err := EvaluateCycle("a", cycles[0], resolver(maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Polarity != Positive {
+		t.Errorf("polarity = %v, want f+ (identity cycle via inverse)", ev.Polarity)
+	}
+	// Make z non-invertible: backward traversal yields ⊥.
+	nz := schema.MustNewMapping("z", s1, s3).MustAdd("a", "a").MustAdd("b", "a")
+	maps["z"] = nz
+	ev, err = EvaluateCycle("a", cycles[0], resolver(maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Polarity != Neutral {
+		t.Errorf("polarity with non-invertible backward edge = %v, want f⊥", ev.Polarity)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if got := Delta(11); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Delta(11) = %v, want 0.1 (§4.5)", got)
+	}
+	if got := Delta(2); got != 1 {
+		t.Errorf("Delta(2) = %v, want 1", got)
+	}
+	if got := Delta(1); got != 1 {
+		t.Errorf("Delta(1) = %v, want 1", got)
+	}
+	if got := Delta(101); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("Delta(101) = %v, want 0.01", got)
+	}
+}
+
+func TestCountingVals(t *testing.T) {
+	pos := Evidence{Polarity: Positive}
+	vals, ok := pos.CountingVals(0.1, 4)
+	if !ok {
+		t.Fatal("positive evidence should yield factor")
+	}
+	want := []float64{1, 0, 0.1, 0.1, 0.1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("positive vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	neg := Evidence{Polarity: Negative}
+	vals, ok = neg.CountingVals(0.1, 3)
+	if !ok {
+		t.Fatal("negative evidence should yield factor")
+	}
+	want = []float64{0, 1, 0.9, 0.9}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("negative vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	neutral := Evidence{Polarity: Neutral}
+	if _, ok := neutral.CountingVals(0.1, 3); ok {
+		t.Error("neutral evidence should yield no factor")
+	}
+}
+
+func TestAnalyzeFig5(t *testing.T) {
+	g, maps := fig5Network()
+	a, err := Analyze("c0", g, resolver(maps), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Attr != "c0" {
+		t.Errorf("Attr = %v", a.Attr)
+	}
+	var pos, neg int
+	for _, ev := range a.Evidences {
+		switch ev.Polarity {
+		case Positive:
+			pos++
+		case Negative:
+			neg++
+		}
+	}
+	// Cycles: m12/m21 (f+), the 4-cycle (f+), the m24 3-cycle (f−).
+	// Pairs: f3 (m21‖m24→m41, f−), f4 (m24‖m23→m34, f−), f5 (m21‖m23→m34→m41, f+).
+	if pos != 3 || neg != 3 {
+		t.Errorf("polarity counts = %d+/%d-, want 3+/3-", pos, neg)
+	}
+	if len(a.Pinned) != 0 {
+		t.Errorf("pinned = %v, want none", a.Pinned)
+	}
+}
+
+func TestAnalyzeAndInferDetectsFaultyMapping(t *testing.T) {
+	g, maps := fig5Network()
+	a, err := Analyze("c0", g, resolver(maps), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := BuildFactorGraph(a, func(graph.EdgeID) float64 { return 0.5 }, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fg.Run(factorgraph.Options{MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Posteriors["m24"] >= 0.5 {
+		t.Errorf("faulty m24 posterior = %.3f, want < 0.5", res.Posteriors["m24"])
+	}
+	for _, good := range []string{"m12", "m23", "m34", "m41", "m21"} {
+		if res.Posteriors[good] <= res.Posteriors["m24"] {
+			t.Errorf("sound %s (%.3f) not above faulty m24 (%.3f)",
+				good, res.Posteriors[good], res.Posteriors["m24"])
+		}
+	}
+}
+
+func TestAnalyzePinsLostAttributes(t *testing.T) {
+	g, maps := fig5Network()
+	// Drop c0 entirely from m34.
+	s3, s4 := maps["m34"].Source(), maps["m34"].Target()
+	m34 := schema.MustNewMapping("m34", s3, s4)
+	for _, at := range s3.Attributes() {
+		if at != "c0" {
+			m34.MustAdd(at, at)
+		}
+	}
+	maps["m34"] = m34
+	a, err := Analyze("c0", g, resolver(maps), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Pinned["m34"] {
+		t.Errorf("m34 should be pinned, got %v", a.Pinned)
+	}
+	for _, ev := range a.Evidences {
+		for _, m := range ev.Mappings {
+			if m == "m34" {
+				t.Errorf("evidence %s still references pinned mapping m34", ev.ID)
+			}
+		}
+	}
+	// Factors referencing m34 must be skipped.
+	fg, err := BuildFactorGraph(a, func(graph.EdgeID) float64 { return 0.5 }, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fg.Var("m34"); ok {
+		t.Error("pinned mapping got a variable")
+	}
+}
+
+func TestBuildFactorGraphValidation(t *testing.T) {
+	a := Analysis{Attr: "c0", Pinned: map[graph.EdgeID]bool{}}
+	if _, err := BuildFactorGraph(a, func(graph.EdgeID) float64 { return 0.5 }, -0.1); err == nil {
+		t.Error("bad delta: want error")
+	}
+	// Empty analysis yields an empty but valid graph.
+	fg, err := BuildFactorGraph(a, func(graph.EdgeID) float64 { return 0.5 }, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.NumFactors() != 0 {
+		t.Errorf("empty analysis produced %d factors", fg.NumFactors())
+	}
+}
+
+func TestBuildFactorGraphUsesPriors(t *testing.T) {
+	g, maps := fig5Network()
+	a, err := Analyze("c0", g, resolver(maps), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := func(id graph.EdgeID) float64 {
+		if id == "m24" {
+			return 0.9 // expert vouches for the faulty mapping
+		}
+		return 0.5
+	}
+	fg, err := BuildFactorGraph(a, priors, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fg.Run(factorgraph.Options{MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fgU, err := BuildFactorGraph(a, func(graph.EdgeID) float64 { return 0.5 }, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU, err := fgU.Run(factorgraph.Options{MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Posteriors["m24"] <= resU.Posteriors["m24"] {
+		t.Errorf("higher prior should raise the posterior: %.3f vs %.3f",
+			res.Posteriors["m24"], resU.Posteriors["m24"])
+	}
+}

@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring builds a directed ring p0→p1→…→p(n-1)→p0 of n peers, the topology of
+// the cycle-length experiment (Fig 10). Edge i is named "m<i>".
+func Ring(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: ring needs at least 2 peers, got %d", n)
+	}
+	g := NewDirected()
+	for i := 0; i < n; i++ {
+		g.AddPeer(peerName(i))
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(EdgeID(fmt.Sprintf("m%d", i)), peerName(i), peerName((i+1)%n))
+	}
+	return g, nil
+}
+
+// Chain builds a directed chain p0→p1→…→p(n-1) of n peers.
+func Chain(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: chain needs at least 2 peers, got %d", n)
+	}
+	g := NewDirected()
+	for i := 0; i < n; i++ {
+		g.AddPeer(peerName(i))
+	}
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(EdgeID(fmt.Sprintf("m%d", i)), peerName(i), peerName(i+1))
+	}
+	return g, nil
+}
+
+func peerName(i int) PeerID { return PeerID(fmt.Sprintf("p%d", i)) }
+
+// ErdosRenyi builds a G(n, p) random graph: each ordered pair (directed) or
+// unordered pair (undirected) is connected independently with probability p.
+// Determinism comes from the caller-provided source.
+func ErdosRenyi(n int, p float64, directed bool, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: erdos-renyi needs at least 2 peers, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: erdos-renyi probability %v out of [0,1]", p)
+	}
+	var g *Graph
+	if directed {
+		g = NewDirected()
+	} else {
+		g = NewUndirected()
+	}
+	for i := 0; i < n; i++ {
+		g.AddPeer(peerName(i))
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		jStart := i + 1
+		if directed {
+			jStart = 0
+		}
+		for j := jStart; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if rng.Float64() < p {
+				g.MustAddEdge(EdgeID(fmt.Sprintf("m%d", next)), peerName(i), peerName(j))
+				next++
+			}
+		}
+	}
+	return g, nil
+}
+
+// BarabasiAlbert builds a scale-free network by preferential attachment:
+// starting from a small clique of m0 = attach peers, each new peer connects
+// to attach existing peers chosen proportionally to their degree. Semantic
+// overlay networks are argued to be scale-free with many loops (§3.2.1);
+// this generator produces the synthetic large-scale PDMS workloads.
+// The graph is undirected if directed is false; if directed, each attachment
+// edge is oriented from the new peer to the existing peer, which yields the
+// parallel-path-rich topologies of §3.3.
+func BarabasiAlbert(n, attach int, directed bool, rng *rand.Rand) (*Graph, error) {
+	if attach < 1 {
+		return nil, fmt.Errorf("graph: barabasi-albert attach must be >= 1, got %d", attach)
+	}
+	if n < attach+1 {
+		return nil, fmt.Errorf("graph: barabasi-albert needs n > attach (%d <= %d)", n, attach)
+	}
+	var g *Graph
+	if directed {
+		g = NewDirected()
+	} else {
+		g = NewUndirected()
+	}
+	// Degree-weighted urn: each endpoint occurrence is one entry.
+	var urn []PeerID
+	next := 0
+	addEdge := func(from, to PeerID) {
+		g.MustAddEdge(EdgeID(fmt.Sprintf("m%d", next)), from, to)
+		next++
+		urn = append(urn, from, to)
+	}
+	// Seed clique of attach+1 peers.
+	m0 := attach + 1
+	for i := 0; i < m0; i++ {
+		g.AddPeer(peerName(i))
+	}
+	for i := 0; i < m0; i++ {
+		for j := i + 1; j < m0; j++ {
+			addEdge(peerName(i), peerName(j))
+		}
+	}
+	for i := m0; i < n; i++ {
+		p := peerName(i)
+		g.AddPeer(p)
+		chosen := make(map[PeerID]bool)
+		for len(chosen) < attach {
+			t := urn[rng.Intn(len(urn))]
+			if t == p || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+		}
+		// Deterministic order of attachment edges.
+		targets := make([]PeerID, 0, attach)
+		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sortPeerIDs(targets)
+		for _, t := range targets {
+			addEdge(p, t)
+		}
+	}
+	return g, nil
+}
+
+func sortPeerIDs(ps []PeerID) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// WattsStrogatz builds a small-world overlay: a ring lattice of n peers
+// each connected to its k nearest neighbours (k even), with every edge
+// rewired to a random target with probability beta. For small beta the
+// graph keeps the lattice's high clustering while gaining short paths —
+// the regime matching the paper's observation on the SRS schema network
+// (clustering coefficient 0.54, §3.2.1).
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("graph: watts-strogatz k must be even and >= 2, got %d", k)
+	}
+	if n <= k {
+		return nil, fmt.Errorf("graph: watts-strogatz needs n > k (%d <= %d)", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: watts-strogatz beta %v out of [0,1]", beta)
+	}
+	g := NewUndirected()
+	for i := 0; i < n; i++ {
+		g.AddPeer(peerName(i))
+	}
+	type pair struct{ a, b int }
+	have := make(map[pair]bool)
+	norm := func(a, b int) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			a, b := i, (i+j)%n
+			if rng.Float64() < beta {
+				// Rewire the far endpoint to a uniform random peer,
+				// avoiding self-loops and duplicates.
+				for tries := 0; tries < 4*n; tries++ {
+					cand := rng.Intn(n)
+					if cand == a || have[norm(a, cand)] {
+						continue
+					}
+					b = cand
+					break
+				}
+			}
+			if have[norm(a, b)] || a == b {
+				continue
+			}
+			have[norm(a, b)] = true
+			g.MustAddEdge(EdgeID(fmt.Sprintf("m%d", next)), peerName(a), peerName(b))
+			next++
+		}
+	}
+	return g, nil
+}
+
+// ClusteringCoefficient returns the average local clustering coefficient,
+// treating the graph as simple and undirected (the statistic quoted for the
+// SRS schema network in §3.2.1 is 0.54). Peers with fewer than two
+// neighbours contribute 0.
+func (g *Graph) ClusteringCoefficient() float64 {
+	neigh := g.undirectedNeighbors()
+	if len(g.peers) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range g.peers {
+		ns := neigh[p]
+		k := len(ns)
+		if k < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if neighContains(neigh[ns[i]], ns[j]) {
+					links++
+				}
+			}
+		}
+		sum += 2 * float64(links) / float64(k*(k-1))
+	}
+	return sum / float64(len(g.peers))
+}
+
+func neighContains(ns []PeerID, p PeerID) bool {
+	for _, n := range ns {
+		if n == p {
+			return true
+		}
+	}
+	return false
+}
+
+// undirectedNeighbors builds the simple undirected adjacency (deduplicated).
+func (g *Graph) undirectedNeighbors() map[PeerID][]PeerID {
+	set := make(map[PeerID]map[PeerID]bool, len(g.peers))
+	for _, p := range g.peers {
+		set[p] = make(map[PeerID]bool)
+	}
+	for _, id := range g.edgeIDs {
+		e := g.edges[id]
+		set[e.From][e.To] = true
+		set[e.To][e.From] = true
+	}
+	out := make(map[PeerID][]PeerID, len(g.peers))
+	for p, m := range set {
+		ns := make([]PeerID, 0, len(m))
+		for n := range m {
+			ns = append(ns, n)
+		}
+		sortPeerIDs(ns)
+		out[p] = ns
+	}
+	return out
+}
+
+// DegreeDistribution returns a histogram degree → number of peers, counting
+// total (in+out) degree.
+func (g *Graph) DegreeDistribution() map[int]int {
+	deg := make(map[PeerID]int, len(g.peers))
+	for _, id := range g.edgeIDs {
+		e := g.edges[id]
+		deg[e.From]++
+		deg[e.To]++
+	}
+	hist := make(map[int]int)
+	for _, p := range g.peers {
+		hist[deg[p]]++
+	}
+	return hist
+}
+
+// AverageDegree returns the mean total degree.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.peers) == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.edgeIDs)) / float64(len(g.peers))
+}

@@ -1,0 +1,479 @@
+// Package graph models the topology of a PDMS: a multigraph whose vertices
+// are peers and whose edges are pairwise schema mappings. It provides the
+// structural analyses the paper relies on — enumeration of mapping cycles
+// (§3.2.1) and of parallel mapping paths (§3.3) up to a bounded length — as
+// well as the random topology generators and statistics used to argue that
+// semantic overlay networks are scale-free and highly clustered.
+//
+// The package is purely structural: it knows edge identities and directions,
+// never mapping contents. The feedback layer combines the cycles found here
+// with the schema layer to produce probabilistic evidence.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PeerID identifies a peer (a database) in the PDMS.
+type PeerID string
+
+// EdgeID identifies a mapping edge. Edge IDs double as the names of the
+// binary correctness variables in the factor graph.
+type EdgeID string
+
+// Edge is a mapping edge from one peer to another. In an undirected graph
+// the From/To orientation is the declaration order; traversal may use the
+// edge in either direction.
+type Edge struct {
+	ID   EdgeID
+	From PeerID
+	To   PeerID
+}
+
+// Graph is a PDMS topology. The zero value is unusable; create graphs with
+// NewDirected or NewUndirected.
+type Graph struct {
+	directed bool
+	peers    []PeerID
+	peerSet  map[PeerID]bool
+	edges    map[EdgeID]Edge
+	edgeIDs  []EdgeID
+	out      map[PeerID][]EdgeID // edges leaving the peer (or incident, if undirected)
+	in       map[PeerID][]EdgeID // edges entering the peer (directed only)
+}
+
+// NewDirected creates an empty directed PDMS graph (§3.3).
+func NewDirected() *Graph { return newGraph(true) }
+
+// NewUndirected creates an empty undirected PDMS graph (§3.2).
+func NewUndirected() *Graph { return newGraph(false) }
+
+func newGraph(directed bool) *Graph {
+	return &Graph{
+		directed: directed,
+		peerSet:  make(map[PeerID]bool),
+		edges:    make(map[EdgeID]Edge),
+		out:      make(map[PeerID][]EdgeID),
+		in:       make(map[PeerID][]EdgeID),
+	}
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// AddPeer adds a peer. Adding an existing peer is a no-op.
+func (g *Graph) AddPeer(p PeerID) {
+	if g.peerSet[p] {
+		return
+	}
+	g.peerSet[p] = true
+	g.peers = append(g.peers, p)
+}
+
+// HasPeer reports whether p is in the graph.
+func (g *Graph) HasPeer(p PeerID) bool { return g.peerSet[p] }
+
+// AddEdge adds a mapping edge. Both endpoints are added implicitly. It
+// returns an error on duplicate edge IDs or self-loops (a mapping from a
+// schema to itself carries no integration information).
+func (g *Graph) AddEdge(id EdgeID, from, to PeerID) error {
+	if id == "" {
+		return fmt.Errorf("graph: empty edge id")
+	}
+	if from == to {
+		return fmt.Errorf("graph: edge %q is a self-loop on %q", id, from)
+	}
+	if _, dup := g.edges[id]; dup {
+		return fmt.Errorf("graph: duplicate edge id %q", id)
+	}
+	g.AddPeer(from)
+	g.AddPeer(to)
+	e := Edge{ID: id, From: from, To: to}
+	g.edges[id] = e
+	g.edgeIDs = append(g.edgeIDs, id)
+	g.out[from] = append(g.out[from], id)
+	if g.directed {
+		g.in[to] = append(g.in[to], id)
+	} else {
+		g.out[to] = append(g.out[to], id)
+	}
+	return nil
+}
+
+// MustAddEdge is like AddEdge but panics on error.
+func (g *Graph) MustAddEdge(id EdgeID, from, to PeerID) {
+	if err := g.AddEdge(id, from, to); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes a mapping edge, e.g. when a peer drops a mapping
+// (network churn, §4.4). Removing an unknown edge is a no-op.
+func (g *Graph) RemoveEdge(id EdgeID) {
+	e, ok := g.edges[id]
+	if !ok {
+		return
+	}
+	delete(g.edges, id)
+	g.edgeIDs = removeID(g.edgeIDs, id)
+	g.out[e.From] = removeID(g.out[e.From], id)
+	if g.directed {
+		g.in[e.To] = removeID(g.in[e.To], id)
+	} else {
+		g.out[e.To] = removeID(g.out[e.To], id)
+	}
+}
+
+func removeID(ids []EdgeID, id EdgeID) []EdgeID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) (Edge, bool) {
+	e, ok := g.edges[id]
+	return e, ok
+}
+
+// Peers returns all peers in insertion order (copy).
+func (g *Graph) Peers() []PeerID {
+	out := make([]PeerID, len(g.peers))
+	copy(out, g.peers)
+	return out
+}
+
+// Edges returns all edges in insertion order (copy).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edgeIDs))
+	for _, id := range g.edgeIDs {
+		out = append(out, g.edges[id])
+	}
+	return out
+}
+
+// NumPeers returns the number of peers.
+func (g *Graph) NumPeers() int { return len(g.peers) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edgeIDs) }
+
+// Outgoing returns the IDs of edges usable from peer p: out-edges in a
+// directed graph, incident edges in an undirected graph (copy).
+func (g *Graph) Outgoing(p PeerID) []EdgeID {
+	src := g.out[p]
+	out := make([]EdgeID, len(src))
+	copy(out, src)
+	return out
+}
+
+// Step is one hop of a walk: an edge and the direction it is traversed in.
+// Forward means From→To. In directed graphs Forward is always true.
+type Step struct {
+	Edge    EdgeID
+	Forward bool
+}
+
+// From returns the peer the step leaves, given the graph.
+func (s Step) From(g *Graph) PeerID {
+	e := g.edges[s.Edge]
+	if s.Forward {
+		return e.From
+	}
+	return e.To
+}
+
+// To returns the peer the step arrives at, given the graph.
+func (s Step) To(g *Graph) PeerID {
+	e := g.edges[s.Edge]
+	if s.Forward {
+		return e.To
+	}
+	return e.From
+}
+
+// Cycle is a simple closed walk: no repeated edges, no repeated peers other
+// than the start. Steps[0].From(g) == Steps[len-1].To(g).
+type Cycle struct {
+	Steps []Step
+}
+
+// Edges returns the cycle's edge IDs in traversal order.
+func (c Cycle) Edges() []EdgeID {
+	out := make([]EdgeID, len(c.Steps))
+	for i, s := range c.Steps {
+		out[i] = s.Edge
+	}
+	return out
+}
+
+// Len returns the number of mappings in the cycle.
+func (c Cycle) Len() int { return len(c.Steps) }
+
+// Signature returns a canonical string identifying the cycle independently
+// of rotation and (for undirected graphs) orientation: the sorted edge IDs.
+// For simple cycles the edge set determines the cycle.
+func (c Cycle) Signature() string {
+	ids := make([]string, len(c.Steps))
+	for i, s := range c.Steps {
+		ids[i] = string(s.Edge)
+	}
+	sort.Strings(ids)
+	return "cyc:" + strings.Join(ids, "|")
+}
+
+// String renders the cycle as "m12→m23→m31".
+func (c Cycle) String() string {
+	parts := make([]string, len(c.Steps))
+	for i, s := range c.Steps {
+		arrow := "→"
+		if !s.Forward {
+			arrow = "←"
+		}
+		parts[i] = arrow + string(s.Edge)
+	}
+	return strings.Join(parts, "")
+}
+
+// Cycles enumerates all simple cycles with at most maxLen edges (and at
+// least 2). Each cycle is reported exactly once, regardless of rotation or
+// orientation. Peers and edges are visited in a deterministic order, so the
+// result is stable across runs.
+func (g *Graph) Cycles(maxLen int) []Cycle {
+	if maxLen < 2 {
+		return nil
+	}
+	order := g.sortedPeers()
+	rank := make(map[PeerID]int, len(order))
+	for i, p := range order {
+		rank[p] = i
+	}
+	seen := make(map[string]bool)
+	var out []Cycle
+	for _, start := range order {
+		g.cycleDFS(start, start, rank, nil, map[PeerID]bool{start: true}, map[EdgeID]bool{}, maxLen, seen, &out)
+	}
+	return out
+}
+
+// cycleDFS extends a walk from cur, only visiting peers of rank >= start's
+// rank so each cycle is discovered from its minimum-rank peer only.
+func (g *Graph) cycleDFS(start, cur PeerID, rank map[PeerID]int, walk []Step, onPath map[PeerID]bool, usedEdges map[EdgeID]bool, maxLen int, seen map[string]bool, out *[]Cycle) {
+	if len(walk) >= maxLen {
+		return
+	}
+	for _, s := range g.stepsFrom(cur) {
+		if usedEdges[s.Edge] {
+			continue
+		}
+		next := s.To(g)
+		if rank[next] < rank[start] {
+			continue
+		}
+		if next == start {
+			if len(walk)+1 < 2 {
+				continue
+			}
+			c := Cycle{Steps: append(append([]Step(nil), walk...), s)}
+			if sig := c.Signature(); !seen[sig] {
+				seen[sig] = true
+				*out = append(*out, c)
+			}
+			continue
+		}
+		if onPath[next] {
+			continue
+		}
+		onPath[next] = true
+		usedEdges[s.Edge] = true
+		g.cycleDFS(start, next, rank, append(walk, s), onPath, usedEdges, maxLen, seen, out)
+		delete(onPath, next)
+		delete(usedEdges, s.Edge)
+	}
+}
+
+// stepsFrom lists the steps available from peer p in deterministic order.
+func (g *Graph) stepsFrom(p PeerID) []Step {
+	var steps []Step
+	for _, id := range g.out[p] {
+		e := g.edges[id]
+		if e.From == p {
+			steps = append(steps, Step{Edge: id, Forward: true})
+		} else {
+			// undirected edge incident via To
+			steps = append(steps, Step{Edge: id, Forward: false})
+		}
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].Edge < steps[j].Edge })
+	return steps
+}
+
+func (g *Graph) sortedPeers() []PeerID {
+	out := make([]PeerID, len(g.peers))
+	copy(out, g.peers)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ParallelPair is a pair of distinct directed mapping paths sharing the same
+// source and destination peer, internally vertex-disjoint (§3.3). Comparing
+// a query forwarded through both paths yields feedback on the union of their
+// mappings.
+type ParallelPair struct {
+	Source, Dest PeerID
+	A, B         []Step
+}
+
+// Edges returns the union of the two paths' edge IDs, A first then B.
+func (p ParallelPair) Edges() []EdgeID {
+	out := make([]EdgeID, 0, len(p.A)+len(p.B))
+	for _, s := range p.A {
+		out = append(out, s.Edge)
+	}
+	for _, s := range p.B {
+		out = append(out, s.Edge)
+	}
+	return out
+}
+
+// Signature returns a canonical identifier independent of the A/B order.
+func (p ParallelPair) Signature() string {
+	sideSig := func(steps []Step) string {
+		ids := make([]string, len(steps))
+		for i, s := range steps {
+			ids[i] = string(s.Edge)
+		}
+		return strings.Join(ids, "|") // order matters within a path
+	}
+	a, b := sideSig(p.A), sideSig(p.B)
+	if a > b {
+		a, b = b, a
+	}
+	return "par:" + string(p.Source) + ">" + string(p.Dest) + ":" + a + "||" + b
+}
+
+// String renders the pair as "p2⇒p4: m24 ‖ m23→m34".
+func (p ParallelPair) String() string {
+	side := func(steps []Step) string {
+		ids := make([]string, len(steps))
+		for i, s := range steps {
+			ids[i] = string(s.Edge)
+		}
+		return strings.Join(ids, "→")
+	}
+	return fmt.Sprintf("%s⇒%s: %s ‖ %s", p.Source, p.Dest, side(p.A), side(p.B))
+}
+
+// ParallelPaths enumerates pairs of distinct simple directed paths with the
+// same endpoints, each of at most maxLen edges, sharing no edges and no
+// internal peers. Pairs where both paths have length 1 but identical edges
+// are excluded by construction; pairs consisting of two parallel single
+// edges (a multi-edge) are legitimate parallel paths and are reported.
+// Only meaningful on directed graphs; on undirected graphs it returns nil
+// (an undirected parallel pair is already a cycle and is reported by Cycles).
+func (g *Graph) ParallelPaths(maxLen int) []ParallelPair {
+	if !g.directed || maxLen < 1 {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []ParallelPair
+	for _, src := range g.sortedPeers() {
+		paths := g.simplePathsFrom(src, maxLen)
+		// Group by destination.
+		byDest := make(map[PeerID][][]Step)
+		for _, p := range paths {
+			d := p[len(p)-1].To(g)
+			byDest[d] = append(byDest[d], p)
+		}
+		dests := make([]PeerID, 0, len(byDest))
+		for d := range byDest {
+			dests = append(dests, d)
+		}
+		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+		for _, d := range dests {
+			group := byDest[d]
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					if !disjointPaths(g, group[i], group[j]) {
+						continue
+					}
+					pair := ParallelPair{Source: src, Dest: d, A: group[i], B: group[j]}
+					if sig := pair.Signature(); !seen[sig] {
+						seen[sig] = true
+						out = append(out, pair)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// simplePathsFrom enumerates simple directed paths of 1..maxLen edges
+// starting at src, in deterministic order.
+func (g *Graph) simplePathsFrom(src PeerID, maxLen int) [][]Step {
+	var out [][]Step
+	var walk []Step
+	onPath := map[PeerID]bool{src: true}
+	var dfs func(cur PeerID)
+	dfs = func(cur PeerID) {
+		if len(walk) >= maxLen {
+			return
+		}
+		for _, s := range g.stepsFrom(cur) {
+			next := s.To(g)
+			if onPath[next] {
+				continue
+			}
+			walk = append(walk, s)
+			out = append(out, append([]Step(nil), walk...))
+			onPath[next] = true
+			dfs(next)
+			delete(onPath, next)
+			walk = walk[:len(walk)-1]
+		}
+	}
+	dfs(src)
+	return out
+}
+
+// disjointPaths reports whether two paths share no edges and no internal
+// peers (endpoints excepted).
+func disjointPaths(g *Graph, a, b []Step) bool {
+	edges := make(map[EdgeID]bool, len(a))
+	internal := make(map[PeerID]bool)
+	for i, s := range a {
+		edges[s.Edge] = true
+		if i < len(a)-1 {
+			internal[s.To(g)] = true
+		}
+	}
+	for i, s := range b {
+		if edges[s.Edge] {
+			return false
+		}
+		if i < len(b)-1 && internal[s.To(g)] {
+			return false
+		}
+	}
+	return true
+}
+
+// CyclesThrough returns the cycles of length <= maxLen that use edge id.
+func (g *Graph) CyclesThrough(id EdgeID, maxLen int) []Cycle {
+	var out []Cycle
+	for _, c := range g.Cycles(maxLen) {
+		for _, s := range c.Steps {
+			if s.Edge == id {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package netio loads and saves PDMS descriptions as JSON, the interchange
+// format of the pdmsdetect command-line tool. A description lists peers
+// (each with a schema), mappings (attribute correspondence tables) and
+// optional explicit priors:
+//
+//	{
+//	  "directed": true,
+//	  "peers": [
+//	    {"id": "p1", "schema": "S1", "attributes": ["Creator", "Title"]}
+//	  ],
+//	  "mappings": [
+//	    {"id": "m12", "from": "p1", "to": "p2",
+//	     "pairs": {"Creator": "Creator", "Title": "Title"}}
+//	  ],
+//	  "priors": [
+//	    {"mapping": "m12", "attribute": "Creator", "prior": 0.9}
+//	  ]
+//	}
+package netio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schema"
+)
+
+// PeerSpec describes one peer.
+type PeerSpec struct {
+	ID         string   `json:"id"`
+	Schema     string   `json:"schema"`
+	Attributes []string `json:"attributes"`
+}
+
+// MappingSpec describes one directed mapping.
+type MappingSpec struct {
+	ID    string            `json:"id"`
+	From  string            `json:"from"`
+	To    string            `json:"to"`
+	Pairs map[string]string `json:"pairs"`
+}
+
+// PriorSpec carries explicit prior knowledge (§4.4).
+type PriorSpec struct {
+	Mapping   string  `json:"mapping"`
+	Attribute string  `json:"attribute"`
+	Prior     float64 `json:"prior"`
+}
+
+// NetworkSpec is the root document.
+type NetworkSpec struct {
+	Directed bool          `json:"directed"`
+	Peers    []PeerSpec    `json:"peers"`
+	Mappings []MappingSpec `json:"mappings"`
+	Priors   []PriorSpec   `json:"priors,omitempty"`
+}
+
+// Load reads a NetworkSpec document and builds the network.
+func Load(r io.Reader) (*core.Network, error) {
+	var spec NetworkSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("netio: decode: %w", err)
+	}
+	return Build(spec)
+}
+
+// Build assembles a network from a parsed spec.
+func Build(spec NetworkSpec) (*core.Network, error) {
+	if len(spec.Peers) == 0 {
+		return nil, fmt.Errorf("netio: no peers")
+	}
+	n := core.NewNetwork(spec.Directed)
+	for _, p := range spec.Peers {
+		attrs := make([]schema.Attribute, len(p.Attributes))
+		for i, a := range p.Attributes {
+			attrs[i] = schema.Attribute(a)
+		}
+		name := p.Schema
+		if name == "" {
+			name = p.ID
+		}
+		s, err := schema.New(name, attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("netio: peer %q: %w", p.ID, err)
+		}
+		if _, err := n.AddPeer(graph.PeerID(p.ID), s); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range spec.Mappings {
+		pairs := make(map[schema.Attribute]schema.Attribute, len(m.Pairs))
+		for from, to := range m.Pairs {
+			pairs[schema.Attribute(from)] = schema.Attribute(to)
+		}
+		if _, err := n.AddMapping(graph.EdgeID(m.ID), graph.PeerID(m.From), graph.PeerID(m.To), pairs); err != nil {
+			return nil, err
+		}
+	}
+	for _, pr := range spec.Priors {
+		if pr.Prior < 0 || pr.Prior > 1 {
+			return nil, fmt.Errorf("netio: prior %v for %q out of [0,1]", pr.Prior, pr.Mapping)
+		}
+		owner, ok := n.Owner(graph.EdgeID(pr.Mapping))
+		if !ok {
+			return nil, fmt.Errorf("netio: prior references unknown mapping %q", pr.Mapping)
+		}
+		owner.SetPrior(graph.EdgeID(pr.Mapping), schema.Attribute(pr.Attribute), pr.Prior)
+	}
+	return n, nil
+}
+
+// Spec extracts the JSON description of a network (priors are not
+// round-tripped; they live inside the peers).
+func Spec(n *core.Network) NetworkSpec {
+	spec := NetworkSpec{Directed: n.Directed()}
+	for _, p := range n.Peers() {
+		attrs := p.Schema().Attributes()
+		ps := PeerSpec{ID: string(p.ID()), Schema: p.Schema().Name()}
+		for _, a := range attrs {
+			ps.Attributes = append(ps.Attributes, string(a))
+		}
+		spec.Peers = append(spec.Peers, ps)
+	}
+	for _, e := range n.Topology().Edges() {
+		m, ok := n.Mapping(e.ID)
+		if !ok {
+			continue
+		}
+		ms := MappingSpec{
+			ID:    string(e.ID),
+			From:  string(e.From),
+			To:    string(e.To),
+			Pairs: make(map[string]string, m.Len()),
+		}
+		for _, a := range m.Mapped() {
+			to, _ := m.Map(a)
+			ms.Pairs[string(a)] = string(to)
+		}
+		spec.Mappings = append(spec.Mappings, ms)
+	}
+	sort.Slice(spec.Mappings, func(i, j int) bool { return spec.Mappings[i].ID < spec.Mappings[j].ID })
+	return spec
+}
+
+// Save writes the network as indented JSON.
+func Save(w io.Writer, n *core.Network) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Spec(n)); err != nil {
+		return fmt.Errorf("netio: encode: %w", err)
+	}
+	return nil
+}

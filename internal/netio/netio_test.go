@@ -1,0 +1,132 @@
+package netio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/paper"
+	"repro/internal/schema"
+)
+
+const sample = `{
+  "directed": true,
+  "peers": [
+    {"id": "p1", "schema": "S1", "attributes": ["a", "b"]},
+    {"id": "p2", "schema": "S2", "attributes": ["a", "b"]}
+  ],
+  "mappings": [
+    {"id": "m12", "from": "p1", "to": "p2", "pairs": {"a": "a", "b": "b"}}
+  ],
+  "priors": [
+    {"mapping": "m12", "attribute": "a", "prior": 0.9}
+  ]
+}`
+
+func TestLoad(t *testing.T) {
+	n, err := Load(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !n.Directed() || n.NumPeers() != 2 || n.Topology().NumEdges() != 1 {
+		t.Error("network shape wrong")
+	}
+	m, ok := n.Mapping("m12")
+	if !ok {
+		t.Fatal("m12 missing")
+	}
+	if got, _ := m.Map("a"); got != "a" {
+		t.Errorf("pair a→%q", got)
+	}
+	p1, _ := n.Peer("p1")
+	if got := p1.PriorFor("m12", "a", 0.5); got != 0.9 {
+		t.Errorf("prior = %v, want 0.9", got)
+	}
+	if got := p1.PriorFor("m12", "b", 0.5); got != 0.5 {
+		t.Errorf("unset prior = %v", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		`{`,                       // malformed
+		`{"peers": []}`,           // no peers
+		`{"peers": [{"id": ""}]}`, // empty schema name handled by schema pkg? id empty
+		`{"peers": [{"id": "p", "attributes": ["a", "a"]}]}`,                // dup attr
+		`{"unknown_field": 1, "peers": [{"id": "p", "attributes": ["a"]}]}`, // unknown field
+		`{"peers": [{"id": "p", "attributes": ["a"]}],
+		  "mappings": [{"id": "m", "from": "p", "to": "ghost", "pairs": {}}]}`, // unknown peer
+		`{"peers": [{"id": "p", "attributes": ["a"]}, {"id": "q", "attributes": ["a"]}],
+		  "mappings": [{"id": "m", "from": "p", "to": "q", "pairs": {"zz": "a"}}]}`, // unknown attr
+		`{"peers": [{"id": "p", "attributes": ["a"]}, {"id": "q", "attributes": ["a"]}],
+		  "mappings": [{"id": "m", "from": "p", "to": "q", "pairs": {"a": "a"}}],
+		  "priors": [{"mapping": "ghost", "attribute": "a", "prior": 0.5}]}`, // unknown mapping prior
+		`{"peers": [{"id": "p", "attributes": ["a"]}, {"id": "q", "attributes": ["a"]}],
+		  "mappings": [{"id": "m", "from": "p", "to": "q", "pairs": {"a": "a"}}],
+		  "priors": [{"mapping": "m", "attribute": "a", "prior": 7}]}`, // bad prior
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := paper.IntroNetwork()
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.NumPeers() != orig.NumPeers() || back.Topology().NumEdges() != orig.Topology().NumEdges() {
+		t.Fatal("round trip changed shape")
+	}
+	// Every correspondence survives.
+	for _, e := range orig.Topology().Edges() {
+		om, _ := orig.Mapping(e.ID)
+		bm, ok := back.Mapping(e.ID)
+		if !ok {
+			t.Fatalf("mapping %s lost", e.ID)
+		}
+		for _, a := range om.Mapped() {
+			want, _ := om.Map(a)
+			got, ok := bm.Map(a)
+			if !ok || got != want {
+				t.Errorf("mapping %s: %s→%s became %s", e.ID, a, want, got)
+			}
+		}
+	}
+	// The loaded network detects the same faulty mapping.
+	if _, err := back.DiscoverStructural([]schema.Attribute{paper.Creator}, 6, paper.Delta); err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.RunDetection(core.DetectOptions{MaxRounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Posterior("m24", paper.Creator, 0.5); p >= 0.5 {
+		t.Errorf("round-tripped network lost detectability: %v", p)
+	}
+}
+
+func TestSpecDefaultsSchemaName(t *testing.T) {
+	n, err := Load(strings.NewReader(`{
+	  "peers": [{"id": "p1", "attributes": ["a"]}, {"id": "p2", "attributes": ["a"]}],
+	  "mappings": [{"id": "m", "from": "p1", "to": "p2", "pairs": {"a": "a"}}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := n.Peer("p1")
+	if p1.Schema().Name() != "p1" {
+		t.Errorf("schema name = %q, want peer id fallback", p1.Schema().Name())
+	}
+	if n.Directed() {
+		t.Error("directed should default to false")
+	}
+}

@@ -1,0 +1,243 @@
+// Package network provides the message transport substrate a PDMS runs on.
+//
+// Two implementations are provided:
+//
+//   - Simulator: a deterministic, single-threaded, stepped message bus with
+//     seeded message loss. All experiments use it — it makes runs
+//     reproducible bit-for-bit and lets Fig 11's "probability of sending a
+//     message" be controlled exactly.
+//
+//   - Bus: a goroutine-per-peer asynchronous runtime built on channels,
+//     demonstrating that the embedded message passing scheme needs no
+//     synchronization (§4.3.2); it is exercised under the race detector in
+//     tests.
+//
+// Payloads are opaque to the transport.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Envelope is one message in flight.
+type Envelope struct {
+	From, To graph.PeerID
+	Payload  any
+}
+
+// Handler consumes a delivered envelope. Handlers may send further messages.
+type Handler func(Envelope)
+
+// Stats counts transport activity.
+type Stats struct {
+	Sent      int // messages handed to the transport
+	Delivered int // messages delivered to a handler
+	Dropped   int // messages lost (1 − PSend)
+}
+
+// Simulator is a deterministic stepped transport. Messages sent during a
+// step are delivered in the next step, mirroring one synchronous round of
+// the periodic schedule (§4.3.1) per step. The zero value is unusable; use
+// NewSimulator.
+type Simulator struct {
+	handlers map[graph.PeerID]Handler
+	queue    []Envelope
+	psend    float64
+	rng      *rand.Rand
+	stats    Stats
+}
+
+// NewSimulator creates a simulator delivering each message with probability
+// psend (1 = reliable). rng may be nil when psend is 1.
+func NewSimulator(psend float64, rng *rand.Rand) (*Simulator, error) {
+	if psend <= 0 || psend > 1 {
+		return nil, fmt.Errorf("network: psend %v out of (0,1]", psend)
+	}
+	if psend < 1 && rng == nil {
+		return nil, fmt.Errorf("network: psend < 1 requires an rng")
+	}
+	return &Simulator{
+		handlers: make(map[graph.PeerID]Handler),
+		psend:    psend,
+		rng:      rng,
+	}, nil
+}
+
+// Register installs the handler for a peer. Re-registering replaces it.
+func (s *Simulator) Register(p graph.PeerID, h Handler) {
+	s.handlers[p] = h
+}
+
+// Send enqueues an envelope for delivery at the next Step. Loss is applied
+// at send time.
+func (s *Simulator) Send(e Envelope) {
+	s.stats.Sent++
+	if s.psend < 1 && s.rng.Float64() >= s.psend {
+		s.stats.Dropped++
+		return
+	}
+	s.queue = append(s.queue, e)
+}
+
+// Step delivers every currently queued message and returns the number
+// delivered. Messages sent by handlers during the step are queued for the
+// next one. Envelopes addressed to unregistered peers are dropped.
+func (s *Simulator) Step() int {
+	batch := s.queue
+	s.queue = nil
+	n := 0
+	for _, e := range batch {
+		h, ok := s.handlers[e.To]
+		if !ok {
+			s.stats.Dropped++
+			continue
+		}
+		s.stats.Delivered++
+		n++
+		h(e)
+	}
+	return n
+}
+
+// Pending returns the number of queued messages.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Drain steps until the queue is empty or maxSteps is reached, returning the
+// number of steps taken.
+func (s *Simulator) Drain(maxSteps int) int {
+	steps := 0
+	for steps < maxSteps && len(s.queue) > 0 {
+		s.Step()
+		steps++
+	}
+	return steps
+}
+
+// Stats returns a copy of the transport counters.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *Simulator) ResetStats() { s.stats = Stats{} }
+
+// Bus is an asynchronous goroutine-per-peer transport. Each registered peer
+// gets a dedicated dispatch goroutine consuming its unbounded inbox in
+// order. Sends never block.
+type Bus struct {
+	mu     sync.Mutex
+	peers  map[graph.PeerID]*busPeer
+	closed bool
+	wg     sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+type busPeer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Envelope
+	closed  bool
+	handler Handler
+}
+
+// NewBus creates an asynchronous transport.
+func NewBus() *Bus {
+	return &Bus{peers: make(map[graph.PeerID]*busPeer)}
+}
+
+// Register installs the handler for a peer and starts its dispatch
+// goroutine. It returns an error after Close or on duplicate registration.
+func (b *Bus) Register(p graph.PeerID, h Handler) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("network: bus closed")
+	}
+	if _, dup := b.peers[p]; dup {
+		return fmt.Errorf("network: peer %q already registered", p)
+	}
+	bp := &busPeer{handler: h}
+	bp.cond = sync.NewCond(&bp.mu)
+	b.peers[p] = bp
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			bp.mu.Lock()
+			for len(bp.queue) == 0 && !bp.closed {
+				bp.cond.Wait()
+			}
+			if len(bp.queue) == 0 && bp.closed {
+				bp.mu.Unlock()
+				return
+			}
+			e := bp.queue[0]
+			bp.queue = bp.queue[1:]
+			bp.mu.Unlock()
+			bp.handler(e)
+			b.statsMu.Lock()
+			b.stats.Delivered++
+			b.statsMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// Send delivers asynchronously without blocking. Messages to unknown peers
+// or sent after Close are dropped.
+func (b *Bus) Send(e Envelope) {
+	b.mu.Lock()
+	bp, ok := b.peers[e.To]
+	closed := b.closed
+	b.mu.Unlock()
+	b.statsMu.Lock()
+	b.stats.Sent++
+	if !ok || closed {
+		b.stats.Dropped++
+		b.statsMu.Unlock()
+		return
+	}
+	b.statsMu.Unlock()
+	bp.mu.Lock()
+	if bp.closed {
+		bp.mu.Unlock()
+		b.statsMu.Lock()
+		b.stats.Dropped++
+		b.statsMu.Unlock()
+		return
+	}
+	bp.queue = append(bp.queue, e)
+	bp.cond.Signal()
+	bp.mu.Unlock()
+}
+
+// Close stops accepting sends, lets inboxes drain, and waits for the
+// dispatch goroutines to exit. Safe to call more than once.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	peers := b.peers
+	b.mu.Unlock()
+	for _, bp := range peers {
+		bp.mu.Lock()
+		bp.closed = true
+		bp.cond.Broadcast()
+		bp.mu.Unlock()
+	}
+	b.wg.Wait()
+}
+
+// Stats returns a copy of the transport counters.
+func (b *Bus) Stats() Stats {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return b.stats
+}

@@ -1,0 +1,233 @@
+// Package ontology provides the real-world-schema substrate of §5.2.
+//
+// The paper evaluates on six bibliographic ontologies from the EON Ontology
+// Alignment Contest (the reference ontology 101, its French translation 221,
+// the M.I.T. and UMBC BibTeX ontologies, and two more from INRIA and
+// Karlsruhe), each of about thirty concepts, connected by mappings produced
+// with automatic alignment techniques. Those OWL files are not shipped here;
+// instead this package generates six bibliographic ontologies that mirror
+// the contest set: one reference vocabulary of thirty-three concepts and
+// five variants derived by the naming conventions the contest ontologies
+// actually differ by — French translation, camel-casing, abbreviation,
+// hasX-style property prefixes, and synonym substitution. Every concept
+// carries the hidden reference identifier it descends from, giving the
+// ground truth against which alignment precision is scored (DESIGN.md §3
+// documents the substitution).
+package ontology
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Concept is one class or property of an ontology. Ref is the hidden
+// reference identifier (its index in the reference vocabulary): two concepts
+// are semantically equivalent exactly when their Refs agree. The aligner
+// never sees Ref; the evaluator uses it as ground truth.
+type Concept struct {
+	Name string
+	Ref  int
+}
+
+// Ontology is a named set of concepts.
+type Ontology struct {
+	Name     string
+	Concepts []Concept
+}
+
+// Schema derives the peer schema whose attributes are the concept names.
+func (o *Ontology) Schema() (*schema.Schema, error) {
+	attrs := make([]schema.Attribute, len(o.Concepts))
+	for i, c := range o.Concepts {
+		attrs[i] = schema.Attribute(c.Name)
+	}
+	return schema.New(o.Name, attrs...)
+}
+
+// ByName returns the concept with the given name.
+func (o *Ontology) ByName(name string) (Concept, bool) {
+	for _, c := range o.Concepts {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Concept{}, false
+}
+
+// RefOf returns the reference ID of a named concept, or -1.
+func (o *Ontology) RefOf(name string) int {
+	if c, ok := o.ByName(name); ok {
+		return c.Ref
+	}
+	return -1
+}
+
+// referenceVocabulary is the base bibliographic vocabulary (33 concepts,
+// the size the paper quotes for the contest ontologies).
+var referenceVocabulary = []string{
+	"Article", "Book", "InProceedings", "TechReport", "PhdThesis",
+	"Proceedings", "Misc", "author", "editor", "title", "journal",
+	"volume", "number", "pages", "year", "publisher", "institution",
+	"school", "booktitle", "chapter", "edition", "month", "note",
+	"series", "address", "abstract", "keywords", "isbn", "url",
+	"organization", "howpublished", "annote", "crossref",
+}
+
+// Reference builds the reference ontology (the contest's 101).
+func Reference() *Ontology {
+	o := &Ontology{Name: "ref101"}
+	for i, n := range referenceVocabulary {
+		o.Concepts = append(o.Concepts, Concept{Name: n, Ref: i})
+	}
+	return o
+}
+
+// french mirrors the contest's 221 (the reference translated to French).
+// It deliberately contains the classic false friends that plague real
+// French/English bibliographic alignment: "editeur" is the French word for
+// *publisher* (not editor), and "journal" is the French word for a
+// newspaper, used here for the *note* field of a diary-style entry. String
+// matchers confidently align these to the wrong reference concepts — the
+// kind of erroneous mapping the paper's scheme must catch.
+var french = map[string]string{
+	"Article": "ArticleFr", "Book": "Livre", "InProceedings": "DansActes",
+	"TechReport": "RapportTechnique", "PhdThesis": "TheseDoctorat",
+	"Proceedings": "Actes", "Misc": "Divers", "author": "auteur",
+	"editor": "redacteurChef", "title": "titre",
+	"journal":   "revue",
+	"publisher": "editeur", // false friend: matches reference "editor"
+	"volume":    "tome", "number": "numero", "pages": "pagesFr",
+	"year": "annee", "institution": "etablissement",
+	"school": "ecole", "booktitle": "titreLivre", "chapter": "chapitre",
+	"edition": "editionFr", "month": "mois",
+	"note":   "journalNote", // partial false friend of "journal"
+	"series": "collection", "address": "adresse", "abstract": "resume",
+	"keywords": "motsCles", "isbn": "isbnFr", "url": "urlFr",
+	"organization": "organisation", "howpublished": "modePublication",
+	"annote": "annotation", "crossref": "renvoi",
+}
+
+// synonyms used by the Karlsruhe-style variant. Several entries are
+// semantic traps: the synonym chosen for one concept is (nearly) the
+// reference name of a *different* concept, the "false friend" pattern that
+// produces genuinely wrong alignments.
+var synonyms = map[string]string{
+	"author": "creator", "title": "name", "year": "date",
+	"publisher": "producer", "pages": "extent", "keywords": "subject",
+	"abstract": "summary", "journal": "periodical", "note": "comment",
+	"address": "location", "editor": "redactor", "school": "university",
+	// Traps: these names collide with other reference concepts.
+	"institution": "organization", // vs reference "organization"
+	"number":      "volumeNo",     // vs reference "volume"
+	"chapter":     "section",
+	"booktitle":   "titleOfBook", // vs reference "title"
+	"month":       "yearMonth",   // vs reference "year"
+}
+
+// abbreviate implements the UMBC-style short names: first character plus
+// interior consonants, at most five characters. Aggressive truncation makes
+// near-concepts collide (editor→edtr vs edition→edtn), exactly the
+// ambiguity automatic matchers stumble over.
+func abbreviate(s string) string {
+	if len(s) <= 4 {
+		return s
+	}
+	out := []rune{rune(s[0])}
+	for _, r := range s[1:] {
+		switch r {
+		case 'a', 'e', 'i', 'o', 'u':
+			continue
+		}
+		out = append(out, r)
+		if len(out) >= 5 {
+			break
+		}
+	}
+	return string(out)
+}
+
+// Variant names the five contest-style derivations.
+type Variant string
+
+// The six ontologies of the §5.2 experiment.
+const (
+	VariantReference Variant = "ref101"   // the reference itself
+	VariantFrench    Variant = "fr221"    // French translation (221)
+	VariantMIT       Variant = "mitBib"   // camelCased BibTeX (M.I.T.)
+	VariantUMBC      Variant = "umbcBib"  // abbreviated BibTeX (UMBC)
+	VariantINRIA     Variant = "inriaBib" // hasX-style properties (INRIA)
+	VariantKarlsruhe Variant = "kaBib"    // synonym-heavy (Karlsruhe)
+)
+
+// Variants returns all six variants in canonical order.
+func Variants() []Variant {
+	return []Variant{VariantReference, VariantFrench, VariantMIT,
+		VariantUMBC, VariantINRIA, VariantKarlsruhe}
+}
+
+// Generate builds the ontology for a variant. Results are deterministic.
+func Generate(v Variant) (*Ontology, error) {
+	ref := Reference()
+	switch v {
+	case VariantReference:
+		return ref, nil
+	case VariantFrench:
+		return derive("fr221", ref, func(n string) string {
+			if f, ok := french[n]; ok {
+				return f
+			}
+			return n + "_fr"
+		}), nil
+	case VariantMIT:
+		return derive("mitBib", ref, func(n string) string {
+			return "bib" + strings.ToUpper(n[:1]) + n[1:]
+		}), nil
+	case VariantUMBC:
+		return derive("umbcBib", ref, abbreviate), nil
+	case VariantINRIA:
+		return derive("inriaBib", ref, func(n string) string {
+			if n[0] >= 'A' && n[0] <= 'Z' {
+				return n + "Entry" // classes get an Entry suffix
+			}
+			return "has" + strings.ToUpper(n[:1]) + n[1:]
+		}), nil
+	case VariantKarlsruhe:
+		return derive("kaBib", ref, func(n string) string {
+			if s, ok := synonyms[n]; ok {
+				return s
+			}
+			return n + "_ka"
+		}), nil
+	default:
+		return nil, fmt.Errorf("ontology: unknown variant %q", v)
+	}
+}
+
+func derive(name string, ref *Ontology, rename func(string) string) *Ontology {
+	o := &Ontology{Name: name}
+	seen := make(map[string]bool)
+	for _, c := range ref.Concepts {
+		n := rename(c.Name)
+		for seen[n] {
+			n += "x"
+		}
+		seen[n] = true
+		o.Concepts = append(o.Concepts, Concept{Name: n, Ref: c.Ref})
+	}
+	return o
+}
+
+// Suite generates all six ontologies of the experiment.
+func Suite() ([]*Ontology, error) {
+	var out []*Ontology
+	for _, v := range Variants() {
+		o, err := Generate(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package ontology
+
+import "testing"
+
+func TestReference(t *testing.T) {
+	ref := Reference()
+	if len(ref.Concepts) != 33 {
+		t.Errorf("reference has %d concepts, want 33 (≈30 per §5.2)", len(ref.Concepts))
+	}
+	for i, c := range ref.Concepts {
+		if c.Ref != i {
+			t.Errorf("concept %d has Ref %d", i, c.Ref)
+		}
+	}
+	if ref.RefOf("author") < 0 {
+		t.Error("author concept missing")
+	}
+	if ref.RefOf("nope") != -1 {
+		t.Error("unknown concept should give -1")
+	}
+}
+
+func TestGenerateVariants(t *testing.T) {
+	ref := Reference()
+	for _, v := range Variants() {
+		o, err := Generate(v)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", v, err)
+		}
+		if len(o.Concepts) != len(ref.Concepts) {
+			t.Errorf("%s has %d concepts, want %d", v, len(o.Concepts), len(ref.Concepts))
+		}
+		// Every concept keeps its reference lineage.
+		seen := make(map[string]bool)
+		for _, c := range o.Concepts {
+			if c.Ref < 0 || c.Ref >= len(ref.Concepts) {
+				t.Errorf("%s concept %q has bad Ref %d", v, c.Name, c.Ref)
+			}
+			if seen[c.Name] {
+				t.Errorf("%s has duplicate concept name %q", v, c.Name)
+			}
+			seen[c.Name] = true
+		}
+		// Schemas must derive cleanly.
+		s, err := o.Schema()
+		if err != nil {
+			t.Fatalf("%s Schema: %v", v, err)
+		}
+		if s.Len() != len(o.Concepts) {
+			t.Errorf("%s schema has %d attributes", v, s.Len())
+		}
+	}
+	if _, err := Generate(Variant("bogus")); err == nil {
+		t.Error("unknown variant: want error")
+	}
+}
+
+func TestVariantsDivergeFromReference(t *testing.T) {
+	ref := Reference()
+	for _, v := range Variants()[1:] {
+		o, _ := Generate(v)
+		same := 0
+		for i, c := range o.Concepts {
+			if c.Name == ref.Concepts[i].Name {
+				same++
+			}
+		}
+		if same > len(ref.Concepts)/3 {
+			t.Errorf("%s shares %d names with the reference; too easy to align", v, same)
+		}
+	}
+}
+
+func TestFalseFriendTraps(t *testing.T) {
+	// French "editeur" descends from publisher, not editor.
+	fr, _ := Generate(VariantFrench)
+	if got := fr.RefOf("editeur"); got != Reference().RefOf("publisher") {
+		t.Errorf("editeur Ref = %d, want publisher's", got)
+	}
+	// Karlsruhe "organization" descends from institution.
+	ka, _ := Generate(VariantKarlsruhe)
+	if got := ka.RefOf("organization"); got != Reference().RefOf("institution") {
+		t.Errorf("kaBib organization Ref = %d, want institution's", got)
+	}
+}
+
+func TestAbbreviate(t *testing.T) {
+	if got := abbreviate("abc"); got != "abc" {
+		t.Errorf("short name changed: %q", got)
+	}
+	if got := abbreviate("editor"); got != "edtr" {
+		t.Errorf("abbreviate(editor) = %q, want edtr", got)
+	}
+	if got := abbreviate("edition"); got != "edtn" {
+		t.Errorf("abbreviate(edition) = %q, want edtn", got)
+	}
+	if got := abbreviate("organization"); len(got) > 5 {
+		t.Errorf("abbreviation too long: %q", got)
+	}
+}
+
+func TestSuite(t *testing.T) {
+	onts, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onts) != 6 {
+		t.Fatalf("suite has %d ontologies, want 6 (§5.2)", len(onts))
+	}
+	names := make(map[string]bool)
+	for _, o := range onts {
+		if names[o.Name] {
+			t.Errorf("duplicate ontology name %q", o.Name)
+		}
+		names[o.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	ref := Reference()
+	c, ok := ref.ByName("title")
+	if !ok || c.Name != "title" {
+		t.Error("ByName(title) failed")
+	}
+	if _, ok := ref.ByName("zzz"); ok {
+		t.Error("ByName(zzz) should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(VariantUMBC)
+	b, _ := Generate(VariantUMBC)
+	for i := range a.Concepts {
+		if a.Concepts[i] != b.Concepts[i] {
+			t.Fatalf("nondeterministic generation at %d: %v vs %v", i, a.Concepts[i], b.Concepts[i])
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package paper builds the concrete PDMS instances used throughout the
+// paper's examples and evaluation: the four-peer art-database network of the
+// introduction (Figures 1, 4 and 5), the growing-cycle family of Figure 8,
+// and the simple positive rings of Figure 10. Centralizing them here keeps
+// tests, benchmarks, the CLI and the examples in exact agreement about the
+// setups being reproduced.
+package paper
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schema"
+)
+
+// Creator is the attribute the introductory example analyzes: the mapping
+// between p2 and p4 is faulty for it.
+const Creator = schema.Attribute("Creator")
+
+// CreatedOn is the attribute the faulty mapping erroneously maps Creator to.
+const CreatedOn = schema.Attribute("CreatedOn")
+
+// NumAttrs is the schema size of the introductory example: §4.5 approximates
+// Δ as 1/10, explained by schemas of eleven attributes.
+const NumAttrs = 11
+
+// Delta is the error-compensation probability of §4.5.
+const Delta = 0.1
+
+// Attrs returns the canonical attribute list shared by the example schemas:
+// Creator, CreatedOn and nine further art-collection attributes.
+func Attrs() []schema.Attribute {
+	return []schema.Attribute{
+		Creator, CreatedOn, "Title", "Subject", "Medium", "Museum",
+		"Location", "Style", "Period", "Provenance", "GUID",
+	}
+}
+
+// artSchema builds one of the four example schemas. All four share attribute
+// names, which keeps the correct mappings identities without loss of
+// generality (the inference layer never inspects names across schemas).
+func artSchema(name string) *schema.Schema {
+	return schema.MustNew(name, Attrs()...)
+}
+
+// identity returns the identity correspondence on the shared attributes.
+func identity() map[schema.Attribute]schema.Attribute {
+	out := make(map[schema.Attribute]schema.Attribute, NumAttrs)
+	for _, a := range Attrs() {
+		out[a] = a
+	}
+	return out
+}
+
+// faulty returns the erroneous correspondence of the introduction: Creator
+// and CreatedOn are swapped (the mapping "erroneously maps Creator in p2
+// onto CreatedOn in p4"), everything else is preserved. The swap keeps the
+// mapping invertible so undirected traversal stays well defined.
+func faulty() map[schema.Attribute]schema.Attribute {
+	out := identity()
+	out[Creator] = CreatedOn
+	out[CreatedOn] = Creator
+	return out
+}
+
+// IntroNetwork builds the directed network of Figure 1 / §4.5: four peers,
+// five mappings m12, m23, m34, m41 (correct) and m24 (faulty for Creator).
+// Probing it yields exactly the three feedbacks of §4.5:
+//
+//	f1+ : m12 → m23 → m34 → m41
+//	f2− : m12 → m24 → m41
+//	f3−⇒: m24 ‖ m23 → m34
+func IntroNetwork() *core.Network {
+	n := core.NewNetwork(true)
+	addArtPeers(n)
+	n.MustAddMapping("m12", "p1", "p2", identity())
+	n.MustAddMapping("m23", "p2", "p3", identity())
+	n.MustAddMapping("m34", "p3", "p4", identity())
+	n.MustAddMapping("m41", "p4", "p1", identity())
+	n.MustAddMapping("m24", "p2", "p4", faulty())
+	return n
+}
+
+// Fig4Network builds the undirected five-mapping network of Figure 4 (same
+// edges as the introduction, undirected semantics). Its three undirected
+// cycles carry the f1, f2, f3 feedback of the convergence experiment
+// (Fig 7).
+func Fig4Network() *core.Network {
+	n := core.NewNetwork(false)
+	addArtPeers(n)
+	n.MustAddMapping("m12", "p1", "p2", identity())
+	n.MustAddMapping("m23", "p2", "p3", identity())
+	n.MustAddMapping("m34", "p3", "p4", identity())
+	n.MustAddMapping("m41", "p4", "p1", identity())
+	n.MustAddMapping("m24", "p2", "p4", faulty())
+	return n
+}
+
+// Fig5Network builds the directed six-mapping network of Figure 5: the
+// introduction plus m21, which adds the parallel pairs f3⇒, f4⇒ and f5⇒.
+func Fig5Network() *core.Network {
+	n := IntroNetwork()
+	n.MustAddMapping("m21", "p2", "p1", identity())
+	return n
+}
+
+func addArtPeers(n *core.Network) {
+	for _, id := range []graph.PeerID{"p1", "p2", "p3", "p4"} {
+		n.MustAddPeer(id, artSchema("S"+string(id[1:])))
+	}
+}
+
+// FaultyMappings returns the ground truth of the example networks: the set
+// of (mapping, attribute) pairs that are semantically wrong.
+func FaultyMappings() map[graph.EdgeID][]schema.Attribute {
+	return map[graph.EdgeID][]schema.Attribute{
+		"m24": {Creator, CreatedOn},
+	}
+}
+
+// GrowingCycleNetwork builds the Figure 8 family: the introductory network
+// with extra additional peers spliced into the m12 edge (p1 → x1 → … →
+// x(extra) → p2), lengthening cycles f1 and f2 by extra mappings while
+// keeping the same feedback pattern. extra = 0 is the introductory network
+// itself.
+func GrowingCycleNetwork(extra int) (*core.Network, error) {
+	if extra < 0 {
+		return nil, fmt.Errorf("paper: negative extra peers")
+	}
+	n := core.NewNetwork(true)
+	addArtPeers(n)
+	prev := graph.PeerID("p1")
+	for i := 1; i <= extra; i++ {
+		x := graph.PeerID(fmt.Sprintf("x%d", i))
+		n.MustAddPeer(x, artSchema("X"+fmt.Sprint(i)))
+		n.MustAddMapping(graph.EdgeID(fmt.Sprintf("m1i%d", i)), prev, x, identity())
+		prev = x
+	}
+	n.MustAddMapping("m12", prev, "p2", identity())
+	n.MustAddMapping("m23", "p2", "p3", identity())
+	n.MustAddMapping("m34", "p3", "p4", identity())
+	n.MustAddMapping("m41", "p4", "p1", identity())
+	n.MustAddMapping("m24", "p2", "p4", faulty())
+	return n, nil
+}
+
+// RingNetwork builds a directed ring of size correct identity mappings over
+// schemas of numAttrs attributes — the simple positive cycle of the
+// cycle-length experiment (Fig 10). Every mapping is correct, so the single
+// cycle produces positive feedback for every attribute.
+func RingNetwork(size, numAttrs int) (*core.Network, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("paper: ring size %d too small", size)
+	}
+	if numAttrs < 1 {
+		return nil, fmt.Errorf("paper: numAttrs %d too small", numAttrs)
+	}
+	attrs := make([]schema.Attribute, numAttrs)
+	for i := range attrs {
+		attrs[i] = schema.Attribute(fmt.Sprintf("a%d", i))
+	}
+	pairs := make(map[schema.Attribute]schema.Attribute, numAttrs)
+	for _, a := range attrs {
+		pairs[a] = a
+	}
+	n := core.NewNetwork(true)
+	for i := 0; i < size; i++ {
+		n.MustAddPeer(graph.PeerID(fmt.Sprintf("p%d", i)), schema.MustNew(fmt.Sprintf("R%d", i), attrs...))
+	}
+	for i := 0; i < size; i++ {
+		from := graph.PeerID(fmt.Sprintf("p%d", i))
+		to := graph.PeerID(fmt.Sprintf("p%d", (i+1)%size))
+		n.MustAddMapping(graph.EdgeID(fmt.Sprintf("m%d", i)), from, to, pairs)
+	}
+	return n, nil
+}

@@ -1,0 +1,124 @@
+package paper
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestAttrs(t *testing.T) {
+	attrs := Attrs()
+	if len(attrs) != NumAttrs {
+		t.Fatalf("Attrs() has %d entries, want %d", len(attrs), NumAttrs)
+	}
+	if attrs[0] != Creator || attrs[1] != CreatedOn {
+		t.Error("Creator/CreatedOn must lead the attribute list")
+	}
+	seen := map[schema.Attribute]bool{}
+	for _, a := range attrs {
+		if seen[a] {
+			t.Errorf("duplicate attribute %q", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestIntroNetworkShape(t *testing.T) {
+	n := IntroNetwork()
+	if !n.Directed() || n.NumPeers() != 4 || n.Topology().NumEdges() != 5 {
+		t.Fatalf("intro network shape wrong: %d peers, %d edges", n.NumPeers(), n.Topology().NumEdges())
+	}
+	m24, ok := n.Mapping("m24")
+	if !ok {
+		t.Fatal("m24 missing")
+	}
+	if got, _ := m24.Map(Creator); got != CreatedOn {
+		t.Errorf("m24 maps Creator to %q, want CreatedOn", got)
+	}
+	if got, _ := m24.Map("Title"); got != "Title" {
+		t.Errorf("m24 should preserve Title, got %q", got)
+	}
+	// The faulty mapping must stay invertible for undirected traversal.
+	if _, err := m24.Inverse(); err != nil {
+		t.Errorf("m24 not invertible: %v", err)
+	}
+	m12, _ := n.Mapping("m12")
+	for _, a := range Attrs() {
+		if got, ok := m12.Map(a); !ok || got != a {
+			t.Errorf("m12 not identity on %q", a)
+		}
+	}
+}
+
+func TestFig4NetworkUndirected(t *testing.T) {
+	n := Fig4Network()
+	if n.Directed() {
+		t.Error("Fig 4 network must be undirected")
+	}
+	if n.Topology().NumEdges() != 5 {
+		t.Errorf("edges = %d, want 5", n.Topology().NumEdges())
+	}
+	if cycles := n.Topology().Cycles(5); len(cycles) != 3 {
+		t.Errorf("undirected cycles = %d, want 3 (f1, f2, f3)", len(cycles))
+	}
+}
+
+func TestFig5NetworkHasM21(t *testing.T) {
+	n := Fig5Network()
+	if n.Topology().NumEdges() != 6 {
+		t.Errorf("edges = %d, want 6", n.Topology().NumEdges())
+	}
+	if _, ok := n.Mapping("m21"); !ok {
+		t.Error("m21 missing")
+	}
+	if pairs := n.Topology().ParallelPaths(3); len(pairs) != 3 {
+		t.Errorf("parallel pairs = %d, want 3 (f3⇒, f4⇒, f5⇒)", len(pairs))
+	}
+}
+
+func TestGrowingCycleNetworkLengths(t *testing.T) {
+	for extra := 0; extra <= 4; extra++ {
+		n, err := GrowingCycleNetwork(extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		longest := 0
+		for _, c := range n.Topology().Cycles(4 + extra) {
+			if c.Len() > longest {
+				longest = c.Len()
+			}
+		}
+		if longest != 4+extra {
+			t.Errorf("extra=%d: longest cycle %d, want %d", extra, longest, 4+extra)
+		}
+	}
+}
+
+func TestFaultyMappingsGroundTruth(t *testing.T) {
+	ft := FaultyMappings()
+	attrs, ok := ft["m24"]
+	if !ok || len(attrs) != 2 {
+		t.Fatalf("ground truth = %v", ft)
+	}
+	n := IntroNetwork()
+	m24, _ := n.Mapping("m24")
+	for _, a := range attrs {
+		if got, ok := m24.Map(a); !ok || got == a {
+			t.Errorf("ground truth says %q is faulty but mapping preserves it", a)
+		}
+	}
+}
+
+func TestRingNetworkIdentity(t *testing.T) {
+	n, err := RingNetwork(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumPeers() != 4 || n.Topology().NumEdges() != 4 {
+		t.Fatalf("ring shape wrong")
+	}
+	m0, _ := n.Mapping("m0")
+	if got, ok := m0.Map("a0"); !ok || got != "a0" {
+		t.Error("ring mappings must be identities")
+	}
+}

@@ -1,0 +1,157 @@
+// Package query implements the generic query model of §2 of the paper:
+// queries are compositions of selection and projection operations over the
+// attributes of a local schema. The package knows how to rewrite a query
+// through a schema mapping (hop-by-hop query propagation) and how to compare
+// a query with its image after a chain of mappings (the transitive-closure
+// comparison that yields cycle feedback in §3.2.1).
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// OpKind distinguishes the two generic operation kinds of the paper's query
+// model.
+type OpKind int
+
+const (
+	// Project keeps only the named attribute (π_a).
+	Project OpKind = iota
+	// Select filters on a predicate over the named attribute (σ_{a LIKE v}).
+	Select
+)
+
+// String returns "π" or "σ" like the paper's notation.
+func (k OpKind) String() string {
+	switch k {
+	case Project:
+		return "π"
+	case Select:
+		return "σ"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is a single selection or projection operation on one attribute.
+// Selections carry a literal; the match semantics (LIKE-style substring)
+// are implemented by the storage substrate, not here.
+type Op struct {
+	Kind    OpKind
+	Attr    schema.Attribute
+	Literal string // only meaningful for Select
+}
+
+// String renders the operation in the paper's π/σ notation.
+func (o Op) String() string {
+	if o.Kind == Select {
+		return fmt.Sprintf("σ[%s LIKE %q]", o.Attr, o.Literal)
+	}
+	return fmt.Sprintf("π[%s]", o.Attr)
+}
+
+// Query is a sequence of operations posed against a schema. Queries are
+// immutable values: Rewrite returns a new Query.
+type Query struct {
+	SchemaName string
+	Ops        []Op
+}
+
+// New builds a query against the given schema, validating that every
+// operation's attribute is declared by the schema.
+func New(s *schema.Schema, ops ...Op) (Query, error) {
+	for _, op := range ops {
+		if !s.Has(op.Attr) {
+			return Query{}, fmt.Errorf("query: schema %q has no attribute %q", s.Name(), op.Attr)
+		}
+	}
+	q := Query{SchemaName: s.Name(), Ops: make([]Op, len(ops))}
+	copy(q.Ops, ops)
+	return q, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(s *schema.Schema, ops ...Op) Query {
+	q, err := New(s, ops...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Attributes returns the distinct attributes referenced by the query, in
+// first-appearance order. These are the attributes whose mapping-correctness
+// posteriors gate query forwarding (§2).
+func (q Query) Attributes() []schema.Attribute {
+	seen := make(map[schema.Attribute]bool, len(q.Ops))
+	var out []schema.Attribute
+	for _, op := range q.Ops {
+		if !seen[op.Attr] {
+			seen[op.Attr] = true
+			out = append(out, op.Attr)
+		}
+	}
+	return out
+}
+
+// Rewrite translates the query through mapping m, producing the query
+// expressed against m's target schema. Operations whose attribute has no
+// correspondence under m are dropped and reported in the second return
+// value (the ⊥ case of §3.2.1): the caller decides whether a partially
+// rewritable query should still be forwarded.
+func (q Query) Rewrite(m *schema.Mapping) (Query, []schema.Attribute) {
+	out := Query{SchemaName: m.Target().Name()}
+	var dropped []schema.Attribute
+	for _, op := range q.Ops {
+		dst, ok := m.Map(op.Attr)
+		if !ok {
+			dropped = append(dropped, op.Attr)
+			continue
+		}
+		out.Ops = append(out.Ops, Op{Kind: op.Kind, Attr: dst, Literal: op.Literal})
+	}
+	return out, dropped
+}
+
+// RewriteChain rewrites the query through each mapping in turn, mimicking
+// hop-by-hop propagation along a cycle or path. It returns the final query
+// and the attributes dropped at any hop.
+func (q Query) RewriteChain(chain ...*schema.Mapping) (Query, []schema.Attribute) {
+	cur := q
+	var dropped []schema.Attribute
+	for _, m := range chain {
+		var d []schema.Attribute
+		cur, d = cur.Rewrite(m)
+		dropped = append(dropped, d...)
+	}
+	return cur, dropped
+}
+
+// Equal reports whether two queries are operation-for-operation identical
+// (same kinds, attributes and literals, in order). Schema names are ignored:
+// the transitive-closure comparison of §3.2.1 compares a query with its
+// image after a full cycle, both expressed in the origin schema.
+func (q Query) Equal(other Query) bool {
+	if len(q.Ops) != len(other.Ops) {
+		return false
+	}
+	for i, op := range q.Ops {
+		o := other.Ops[i]
+		if op.Kind != o.Kind || op.Attr != o.Attr || op.Literal != o.Literal {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the query as "S1: π[a] σ[b LIKE \"x\"]".
+func (q Query) String() string {
+	parts := make([]string, len(q.Ops))
+	for i, op := range q.Ops {
+		parts[i] = op.String()
+	}
+	return q.SchemaName + ": " + strings.Join(parts, " ")
+}

@@ -1,0 +1,144 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func artSchemas() (*schema.Schema, *schema.Schema, *schema.Mapping) {
+	s1 := schema.MustNew("Photoshop", "Creator", "Subject", "GUID")
+	s2 := schema.MustNew("WinFS", "DisplayName", "Keyword", "GUID")
+	m := schema.MustNewMapping("m12", s1, s2).
+		MustAdd("Creator", "DisplayName").
+		MustAdd("GUID", "GUID")
+	return s1, s2, m
+}
+
+func TestNewValidatesAttributes(t *testing.T) {
+	s1, _, _ := artSchemas()
+	if _, err := New(s1, Op{Kind: Project, Attr: "Nope"}); err == nil {
+		t.Error("unknown attribute: want error")
+	}
+	q, err := New(s1, Op{Kind: Project, Attr: "Creator"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if q.SchemaName != "Photoshop" {
+		t.Errorf("SchemaName = %q", q.SchemaName)
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	s1, _, m := artSchemas()
+	q := MustNew(s1,
+		Op{Kind: Project, Attr: "Creator"},
+		Op{Kind: Select, Attr: "Subject", Literal: "river"},
+	)
+	got, dropped := q.Rewrite(m)
+	if got.SchemaName != "WinFS" {
+		t.Errorf("rewritten schema = %q, want WinFS", got.SchemaName)
+	}
+	if len(got.Ops) != 1 || got.Ops[0].Attr != "DisplayName" || got.Ops[0].Kind != Project {
+		t.Errorf("rewritten ops = %v", got.Ops)
+	}
+	if len(dropped) != 1 || dropped[0] != "Subject" {
+		t.Errorf("dropped = %v, want [Subject]", dropped)
+	}
+}
+
+func TestRewritePreservesLiteral(t *testing.T) {
+	s1, _, m := artSchemas()
+	q := MustNew(s1, Op{Kind: Select, Attr: "Creator", Literal: "Robi"})
+	got, _ := q.Rewrite(m)
+	if len(got.Ops) != 1 || got.Ops[0].Literal != "Robi" {
+		t.Errorf("literal lost in rewrite: %v", got.Ops)
+	}
+}
+
+func TestRewriteChainRoundTrip(t *testing.T) {
+	// A cycle of correct mappings must return the original query.
+	s1 := schema.MustNew("S1", "a", "b")
+	s2 := schema.MustNew("S2", "x", "y")
+	s3 := schema.MustNew("S3", "u", "v")
+	m12 := schema.MustNewMapping("m12", s1, s2).MustAdd("a", "x").MustAdd("b", "y")
+	m23 := schema.MustNewMapping("m23", s2, s3).MustAdd("x", "u").MustAdd("y", "v")
+	m31 := schema.MustNewMapping("m31", s3, s1).MustAdd("u", "a").MustAdd("v", "b")
+
+	q := MustNew(s1, Op{Kind: Project, Attr: "a"}, Op{Kind: Select, Attr: "b", Literal: "z"})
+	back, dropped := q.RewriteChain(m12, m23, m31)
+	if len(dropped) != 0 {
+		t.Fatalf("dropped = %v, want none", dropped)
+	}
+	if !q.Equal(back) {
+		t.Errorf("round trip mismatch: %v vs %v", q, back)
+	}
+}
+
+func TestRewriteChainDetectsError(t *testing.T) {
+	// An erroneous mapping swaps attributes; the round trip must differ.
+	s1 := schema.MustNew("S1", "a", "b")
+	s2 := schema.MustNew("S2", "x", "y")
+	m12 := schema.MustNewMapping("m12", s1, s2).MustAdd("a", "y").MustAdd("b", "x") // wrong
+	m21 := schema.MustNewMapping("m21", s2, s1).MustAdd("x", "a").MustAdd("y", "b")
+
+	q := MustNew(s1, Op{Kind: Project, Attr: "a"})
+	back, dropped := q.RewriteChain(m12, m21)
+	if len(dropped) != 0 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if q.Equal(back) {
+		t.Error("erroneous cycle produced identical query; want difference (negative feedback)")
+	}
+}
+
+func TestAttributesDeduplicated(t *testing.T) {
+	s1, _, _ := artSchemas()
+	q := MustNew(s1,
+		Op{Kind: Project, Attr: "Creator"},
+		Op{Kind: Select, Attr: "Creator", Literal: "x"},
+		Op{Kind: Select, Attr: "Subject", Literal: "y"},
+	)
+	attrs := q.Attributes()
+	if len(attrs) != 2 || attrs[0] != "Creator" || attrs[1] != "Subject" {
+		t.Errorf("Attributes = %v", attrs)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	s1, _, _ := artSchemas()
+	q1 := MustNew(s1, Op{Kind: Select, Attr: "Creator", Literal: "a"})
+	q2 := MustNew(s1, Op{Kind: Select, Attr: "Creator", Literal: "a"})
+	q3 := MustNew(s1, Op{Kind: Select, Attr: "Creator", Literal: "b"})
+	q4 := MustNew(s1, Op{Kind: Project, Attr: "Creator"})
+	if !q1.Equal(q2) {
+		t.Error("identical queries not Equal")
+	}
+	if q1.Equal(q3) {
+		t.Error("different literals considered Equal")
+	}
+	if q1.Equal(q4) {
+		t.Error("different kinds considered Equal")
+	}
+	if q1.Equal(Query{}) {
+		t.Error("different lengths considered Equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	s1, _, _ := artSchemas()
+	q := MustNew(s1, Op{Kind: Project, Attr: "Creator"}, Op{Kind: Select, Attr: "Subject", Literal: "river"})
+	str := q.String()
+	for _, want := range []string{"π", "σ", "Creator", "Subject", "river", "Photoshop"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+	if Project.String() != "π" || Select.String() != "σ" {
+		t.Error("OpKind.String wrong")
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown OpKind should still render")
+	}
+}

@@ -1,0 +1,342 @@
+package schema
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := New("S1", "a", "b", "c")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.Name() != "S1" {
+		t.Errorf("Name = %q, want S1", s.Name())
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	for _, a := range []Attribute{"a", "b", "c"} {
+		if !s.Has(a) {
+			t.Errorf("Has(%q) = false, want true", a)
+		}
+	}
+	if s.Has("d") {
+		t.Error("Has(d) = true, want false")
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := New(""); err == nil {
+		t.Error("empty name: want error")
+	}
+	if _, err := New("S", "a", ""); err == nil {
+		t.Error("empty attribute: want error")
+	}
+	if _, err := New("S", "a", "a"); err == nil {
+		t.Error("duplicate attribute: want error")
+	}
+}
+
+func TestSchemaAttributesIsCopy(t *testing.T) {
+	s := MustNew("S", "a", "b")
+	attrs := s.Attributes()
+	attrs[0] = "zzz"
+	if !s.Has("a") || s.Has("zzz") {
+		t.Error("mutating returned slice affected schema")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustNew("S", "x", "y")
+	got := s.String()
+	if !strings.Contains(got, "S") || !strings.Contains(got, "x") || !strings.Contains(got, "y") {
+		t.Errorf("String = %q, want it to mention schema and attributes", got)
+	}
+}
+
+func TestMappingAddAndMap(t *testing.T) {
+	s1 := MustNew("S1", "a", "b")
+	s2 := MustNew("S2", "x", "y")
+	m, err := NewMapping("m12", s1, s2)
+	if err != nil {
+		t.Fatalf("NewMapping: %v", err)
+	}
+	if err := m.Add("a", "x"); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	got, ok := m.Map("a")
+	if !ok || got != "x" {
+		t.Errorf("Map(a) = %q,%v, want x,true", got, ok)
+	}
+	if _, ok := m.Map("b"); ok {
+		t.Error("Map(b) should be undefined")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestMappingAddErrors(t *testing.T) {
+	s1 := MustNew("S1", "a")
+	s2 := MustNew("S2", "x")
+	m := MustNewMapping("m", s1, s2)
+	if err := m.Add("nope", "x"); err == nil {
+		t.Error("unknown source attribute: want error")
+	}
+	if err := m.Add("a", "nope"); err == nil {
+		t.Error("unknown target attribute: want error")
+	}
+	if err := m.Add("a", "x"); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := m.Add("a", "x"); err == nil {
+		t.Error("duplicate source attribute: want error")
+	}
+}
+
+func TestNewMappingErrors(t *testing.T) {
+	s := MustNew("S", "a")
+	if _, err := NewMapping("", s, s); err == nil {
+		t.Error("empty id: want error")
+	}
+	if _, err := NewMapping("m", nil, s); err == nil {
+		t.Error("nil source: want error")
+	}
+	if _, err := NewMapping("m", s, nil); err == nil {
+		t.Error("nil target: want error")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	s1 := MustNew("S1", "a", "b")
+	s2 := MustNew("S2", "x", "y")
+	s3 := MustNew("S3", "u", "v")
+	m12 := MustNewMapping("m12", s1, s2).MustAdd("a", "x").MustAdd("b", "y")
+	m23 := MustNewMapping("m23", s2, s3).MustAdd("x", "u")
+
+	c, err := m12.Compose(m23)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	if c.Source() != s1 || c.Target() != s3 {
+		t.Error("composite endpoints wrong")
+	}
+	if got, ok := c.Map("a"); !ok || got != "u" {
+		t.Errorf("composite Map(a) = %q,%v, want u,true", got, ok)
+	}
+	// b maps to y which m23 does not map: composite undefined on b.
+	if _, ok := c.Map("b"); ok {
+		t.Error("composite Map(b) should be undefined")
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	s1 := MustNew("S1", "a")
+	s2 := MustNew("S2", "x")
+	s3 := MustNew("S3", "u")
+	m12 := MustNewMapping("m12", s1, s2)
+	m31 := MustNewMapping("m31", s3, s1)
+	if _, err := m12.Compose(m31); err == nil {
+		t.Error("schema mismatch: want error")
+	}
+	if _, err := m12.Compose(nil); err == nil {
+		t.Error("nil mapping: want error")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	s1 := MustNew("S1", "a", "b")
+	s2 := MustNew("S2", "x", "y")
+	m := MustNewMapping("m", s1, s2).MustAdd("a", "x").MustAdd("b", "y")
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	if got, ok := inv.Map("x"); !ok || got != "a" {
+		t.Errorf("inverse Map(x) = %q,%v, want a,true", got, ok)
+	}
+	// Non-injective mapping is not invertible.
+	s3 := MustNew("S3", "p", "q")
+	s4 := MustNew("S4", "z")
+	bad := MustNewMapping("bad", s3, s4).MustAdd("p", "z").MustAdd("q", "z")
+	if _, err := bad.Inverse(); err == nil {
+		t.Error("non-injective inverse: want error")
+	}
+}
+
+func TestFollow(t *testing.T) {
+	s1 := MustNew("S1", "a")
+	s2 := MustNew("S2", "x")
+	s3 := MustNew("S3", "u")
+	m12 := MustNewMapping("m12", s1, s2).MustAdd("a", "x")
+	m23 := MustNewMapping("m23", s2, s3).MustAdd("x", "u")
+	m31 := MustNewMapping("m31", s3, s1).MustAdd("u", "a")
+
+	got, ok := Follow("a", m12, m23, m31)
+	if !ok || got != "a" {
+		t.Errorf("Follow cycle = %q,%v, want a,true (positive feedback)", got, ok)
+	}
+	// Break the chain: m23 undefined on some attribute.
+	m23b := MustNewMapping("m23b", s2, s3)
+	if _, ok := Follow("a", m12, m23b); ok {
+		t.Error("Follow through undefined correspondence should report ⊥")
+	}
+	// Empty chain is the identity.
+	if got, ok := Follow("a"); !ok || got != "a" {
+		t.Errorf("Follow with empty chain = %q,%v, want a,true", got, ok)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	s := MustNew("S", "a", "b", "c")
+	id := Identity("id", s)
+	for _, a := range s.Attributes() {
+		if got, ok := id.Map(a); !ok || got != a {
+			t.Errorf("Identity Map(%q) = %q,%v", a, got, ok)
+		}
+	}
+}
+
+func TestMappedSorted(t *testing.T) {
+	s1 := MustNew("S1", "c", "a", "b")
+	s2 := MustNew("S2", "x", "y", "z")
+	m := MustNewMapping("m", s1, s2).MustAdd("c", "x").MustAdd("a", "y").MustAdd("b", "z")
+	got := m.Mapped()
+	want := []Attribute{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Mapped len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Mapped[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// randomChain builds a chain of k mappings over schemas of n attributes,
+// each a random bijection, and returns the chain. Bijections compose to a
+// bijection, so Follow must always succeed on such chains.
+func randomChain(rng *rand.Rand, n, k int) []*Mapping {
+	mkSchema := func(idx int) *Schema {
+		attrs := make([]Attribute, n)
+		for i := range attrs {
+			attrs[i] = Attribute(string(rune('a'+i)) + "_" + string(rune('0'+idx%10)))
+		}
+		return MustNew("S"+string(rune('0'+idx%10)), attrs...)
+	}
+	schemas := make([]*Schema, k+1)
+	for i := range schemas {
+		schemas[i] = mkSchema(i)
+	}
+	chain := make([]*Mapping, k)
+	for i := 0; i < k; i++ {
+		m := MustNewMapping("m"+string(rune('0'+i%10)), schemas[i], schemas[i+1])
+		perm := rng.Perm(n)
+		src := schemas[i].Attributes()
+		dst := schemas[i+1].Attributes()
+		for j, p := range perm {
+			m.MustAdd(src[j], dst[p])
+		}
+		chain[i] = m
+	}
+	return chain
+}
+
+// TestComposeAssociativeProperty checks (m1∘m2)∘m3 == m1∘(m2∘m3) attribute
+// by attribute on random bijective chains.
+func TestComposeAssociativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		chain := randomChain(rng, n, 3)
+		ab, err := chain[0].Compose(chain[1])
+		if err != nil {
+			return false
+		}
+		abc1, err := ab.Compose(chain[2])
+		if err != nil {
+			return false
+		}
+		bc, err := chain[1].Compose(chain[2])
+		if err != nil {
+			return false
+		}
+		abc2, err := chain[0].Compose(bc)
+		if err != nil {
+			return false
+		}
+		for _, a := range chain[0].Source().Attributes() {
+			x1, ok1 := abc1.Map(a)
+			x2, ok2 := abc2.Map(a)
+			if ok1 != ok2 || x1 != x2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFollowMatchesCompose checks that following an attribute hop by hop
+// agrees with composing the chain first.
+func TestFollowMatchesCompose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		k := 2 + rng.Intn(4)
+		chain := randomChain(rng, n, k)
+		comp := chain[0]
+		var err error
+		for _, m := range chain[1:] {
+			comp, err = comp.Compose(m)
+			if err != nil {
+				return false
+			}
+		}
+		for _, a := range chain[0].Source().Attributes() {
+			viaFollow, ok1 := Follow(a, chain...)
+			viaCompose, ok2 := comp.Map(a)
+			if ok1 != ok2 || viaFollow != viaCompose {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInverseRoundTrip checks that m∘m⁻¹ is the identity on mapped
+// attributes for random bijections.
+func TestInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		chain := randomChain(rng, n, 1)
+		m := chain[0]
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		for _, a := range m.Source().Attributes() {
+			mid, ok := m.Map(a)
+			if !ok {
+				return false
+			}
+			back, ok := inv.Map(mid)
+			if !ok || back != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

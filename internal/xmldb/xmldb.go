@@ -1,0 +1,201 @@
+// Package xmldb is a minimal XML document store, the storage substrate
+// standing in for the XQuery databases of the paper's running example
+// (Figures 1 and 2). Each peer database stores a collection of documents
+// structured according to the peer's schema; queries are the select/project
+// operations of package query, with LIKE-style substring selection semantics
+// as in the paper's "WHERE $p/Creator LIKE \"%Robi%\"".
+//
+// Documents can be inserted as parsed records or as XML text: elements whose
+// local name matches a schema attribute contribute their character data as
+// values for that attribute (a deliberate simplification of XPath documented
+// in DESIGN.md — the inference layer of the paper only needs attribute-level
+// correspondences).
+package xmldb
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// Record is one document flattened to attribute → values. Attributes may be
+// multi-valued (repeated XML elements).
+type Record map[schema.Attribute][]string
+
+// Clone returns a deep copy of the record.
+func (r Record) Clone() Record {
+	out := make(Record, len(r))
+	for k, v := range r {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// Store is a collection of records conforming to a schema.
+type Store struct {
+	schema  *schema.Schema
+	records []Record
+}
+
+// NewStore creates an empty store for the given schema.
+func NewStore(s *schema.Schema) (*Store, error) {
+	if s == nil {
+		return nil, fmt.Errorf("xmldb: nil schema")
+	}
+	return &Store{schema: s}, nil
+}
+
+// Schema returns the store's schema.
+func (st *Store) Schema() *schema.Schema { return st.schema }
+
+// Len returns the number of records.
+func (st *Store) Len() int { return len(st.records) }
+
+// Insert adds a record after validating that every attribute belongs to the
+// store's schema.
+func (st *Store) Insert(r Record) error {
+	for a := range r {
+		if !st.schema.Has(a) {
+			return fmt.Errorf("xmldb: schema %q has no attribute %q", st.schema.Name(), a)
+		}
+	}
+	st.records = append(st.records, r.Clone())
+	return nil
+}
+
+// InsertXML parses an XML document and inserts the record formed by the
+// character data of every element whose local name is a schema attribute.
+// Elements not named after schema attributes contribute structure only.
+func (st *Store) InsertXML(doc string) error {
+	rec, err := ParseRecord(st.schema, doc)
+	if err != nil {
+		return err
+	}
+	st.records = append(st.records, rec)
+	return nil
+}
+
+// ParseRecord flattens an XML document against a schema: for every element
+// whose local name matches a schema attribute, the element's trimmed
+// character data (direct text, not descendants') is appended to that
+// attribute's values.
+func ParseRecord(s *schema.Schema, doc string) (Record, error) {
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	rec := make(Record)
+	var stack []string
+	var textStack [][]byte
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("xmldb: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			stack = append(stack, t.Name.Local)
+			textStack = append(textStack, nil)
+		case xml.CharData:
+			if len(textStack) > 0 {
+				textStack[len(textStack)-1] = append(textStack[len(textStack)-1], t...)
+			}
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldb: parse: unbalanced end element %q", t.Name.Local)
+			}
+			name := stack[len(stack)-1]
+			text := strings.TrimSpace(string(textStack[len(textStack)-1]))
+			stack = stack[:len(stack)-1]
+			textStack = textStack[:len(textStack)-1]
+			if a := schema.Attribute(name); s.Has(a) && text != "" {
+				rec[a] = append(rec[a], text)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmldb: parse: unclosed element %q", stack[len(stack)-1])
+	}
+	return rec, nil
+}
+
+// Execute evaluates a query against the store: records must satisfy every
+// Select operation (some value of the attribute contains the literal,
+// case-insensitively — LIKE "%lit%"); the result contains the Project
+// attributes only, or the full record if the query has no projections.
+// The query must be expressed against the store's schema.
+func (st *Store) Execute(q query.Query) ([]Record, error) {
+	if q.SchemaName != st.schema.Name() {
+		return nil, fmt.Errorf("xmldb: query against schema %q, store has %q", q.SchemaName, st.schema.Name())
+	}
+	var projections []schema.Attribute
+	for _, op := range q.Ops {
+		if !st.schema.Has(op.Attr) {
+			return nil, fmt.Errorf("xmldb: schema %q has no attribute %q", st.schema.Name(), op.Attr)
+		}
+		if op.Kind == query.Project {
+			projections = append(projections, op.Attr)
+		}
+	}
+	var out []Record
+	for _, rec := range st.records {
+		if !matches(rec, q) {
+			continue
+		}
+		if len(projections) == 0 {
+			out = append(out, rec.Clone())
+			continue
+		}
+		proj := make(Record, len(projections))
+		for _, a := range projections {
+			if vs, ok := rec[a]; ok {
+				proj[a] = append([]string(nil), vs...)
+			}
+		}
+		out = append(out, proj)
+	}
+	return out, nil
+}
+
+func matches(rec Record, q query.Query) bool {
+	for _, op := range q.Ops {
+		if op.Kind != query.Select {
+			continue
+		}
+		found := false
+		needle := strings.ToLower(op.Literal)
+		for _, v := range rec[op.Attr] {
+			if strings.Contains(strings.ToLower(v), needle) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Values collects the distinct values of attribute a across a result set,
+// sorted — convenient for asserting query answers in examples and tests.
+func Values(records []Record, a schema.Attribute) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range records {
+		for _, v := range r[a] {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

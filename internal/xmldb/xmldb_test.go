@@ -1,0 +1,205 @@
+package xmldb
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+func photoshopSchema() *schema.Schema {
+	return schema.MustNew("Photoshop", "GUID", "Creator", "Item")
+}
+
+// paperDoc is the Photoshop document of Figure 2.
+const paperDoc = `
+<Photoshop_Image>
+  <GUID>178A8CD8865</GUID>
+  <Creator>Robinson</Creator>
+  <Subject>
+    <Bag>
+      <Item>Tunbridge Wells</Item>
+      <Item>Royal Council</Item>
+    </Bag>
+  </Subject>
+</Photoshop_Image>`
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(nil); err == nil {
+		t.Error("nil schema: want error")
+	}
+}
+
+func TestInsertValidatesSchema(t *testing.T) {
+	st, err := NewStore(photoshopSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert(Record{"Nope": {"x"}}); err == nil {
+		t.Error("unknown attribute: want error")
+	}
+	if err := st.Insert(Record{"Creator": {"Robinson"}}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d, want 1", st.Len())
+	}
+}
+
+func TestInsertIsolation(t *testing.T) {
+	st, _ := NewStore(photoshopSchema())
+	rec := Record{"Creator": {"Robinson"}}
+	if err := st.Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec["Creator"][0] = "MUTATED"
+	got, err := st.Execute(query.MustNew(st.Schema(), query.Op{Kind: query.Project, Attr: "Creator"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Values(got, "Creator"); len(vs) != 1 || vs[0] != "Robinson" {
+		t.Errorf("store affected by caller mutation: %v", vs)
+	}
+}
+
+func TestParseRecordPaperDocument(t *testing.T) {
+	rec, err := ParseRecord(photoshopSchema(), paperDoc)
+	if err != nil {
+		t.Fatalf("ParseRecord: %v", err)
+	}
+	if got := rec["Creator"]; len(got) != 1 || got[0] != "Robinson" {
+		t.Errorf("Creator = %v", got)
+	}
+	if got := rec["GUID"]; len(got) != 1 || got[0] != "178A8CD8865" {
+		t.Errorf("GUID = %v", got)
+	}
+	if got := rec["Item"]; len(got) != 2 || got[0] != "Tunbridge Wells" || got[1] != "Royal Council" {
+		t.Errorf("Item = %v", got)
+	}
+	if _, ok := rec["Subject"]; ok {
+		t.Error("non-schema element captured")
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	s := photoshopSchema()
+	if _, err := ParseRecord(s, "<a><b></a>"); err == nil {
+		t.Error("mismatched tags: want error")
+	}
+	if _, err := ParseRecord(s, "<a>"); err == nil {
+		t.Error("unclosed element: want error")
+	}
+}
+
+func TestInsertXMLAndQuery(t *testing.T) {
+	st, _ := NewStore(photoshopSchema())
+	if err := st.InsertXML(paperDoc); err != nil {
+		t.Fatalf("InsertXML: %v", err)
+	}
+	if err := st.InsertXML(`<Photoshop_Image><GUID>2</GUID><Creator>Turner</Creator><Item>River Thames</Item></Photoshop_Image>`); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's q1: projection on Creator, selection Item LIKE %river%.
+	q := query.MustNew(st.Schema(),
+		query.Op{Kind: query.Project, Attr: "Creator"},
+		query.Op{Kind: query.Select, Attr: "Item", Literal: "river"},
+	)
+	got, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Values(got, "Creator"); len(vs) != 1 || vs[0] != "Turner" {
+		t.Errorf("Creator values = %v, want [Turner]", vs)
+	}
+}
+
+func TestExecuteLikeIsSubstringCaseInsensitive(t *testing.T) {
+	st, _ := NewStore(photoshopSchema())
+	_ = st.Insert(Record{"Creator": {"Henry Peach Robinson"}})
+	q := query.MustNew(st.Schema(), query.Op{Kind: query.Select, Attr: "Creator", Literal: "robi"})
+	got, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("LIKE %%robi%% matched %d records, want 1", len(got))
+	}
+}
+
+func TestExecuteNoProjectionReturnsFullRecord(t *testing.T) {
+	st, _ := NewStore(photoshopSchema())
+	_ = st.Insert(Record{"Creator": {"X"}, "GUID": {"1"}})
+	got, err := st.Execute(query.MustNew(st.Schema(), query.Op{Kind: query.Select, Attr: "GUID", Literal: "1"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("got = %v, want full record", got)
+	}
+}
+
+func TestExecuteSchemaMismatch(t *testing.T) {
+	st, _ := NewStore(photoshopSchema())
+	other := schema.MustNew("Other", "Creator")
+	q := query.MustNew(other, query.Op{Kind: query.Project, Attr: "Creator"})
+	if _, err := st.Execute(q); err == nil {
+		t.Error("schema mismatch: want error")
+	}
+	// Unknown attribute inside a matching schema name.
+	bogus := query.Query{SchemaName: "Photoshop", Ops: []query.Op{{Kind: query.Project, Attr: "ZZ"}}}
+	if _, err := st.Execute(bogus); err == nil {
+		t.Error("unknown attribute: want error")
+	}
+}
+
+func TestExecuteSelectRequiresAllPredicates(t *testing.T) {
+	st, _ := NewStore(photoshopSchema())
+	_ = st.Insert(Record{"Creator": {"A"}, "Item": {"river"}})
+	_ = st.Insert(Record{"Creator": {"B"}, "Item": {"mountain"}})
+	q := query.MustNew(st.Schema(),
+		query.Op{Kind: query.Select, Attr: "Item", Literal: "river"},
+		query.Op{Kind: query.Select, Attr: "Creator", Literal: "A"},
+	)
+	got, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("conjunctive selects matched %d, want 1", len(got))
+	}
+	// A record lacking the attribute entirely never matches.
+	q2 := query.MustNew(st.Schema(), query.Op{Kind: query.Select, Attr: "GUID", Literal: "x"})
+	got, err = st.Execute(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("missing attribute matched %d records, want 0", len(got))
+	}
+}
+
+func TestValuesSortedDistinct(t *testing.T) {
+	recs := []Record{
+		{"Creator": {"b", "a"}},
+		{"Creator": {"a", "c"}},
+	}
+	got := Values(recs, "Creator")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Values[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	r := Record{"Creator": {"x"}}
+	c := r.Clone()
+	c["Creator"][0] = "y"
+	if r["Creator"][0] != "x" {
+		t.Error("Clone shares backing array")
+	}
+}

@@ -1,0 +1,176 @@
+// Package pdms is a library for Peer Data Management Systems with
+// probabilistic detection of erroneous schema mappings, reproducing
+// Cudré-Mauroux, Aberer and Feher, "Probabilistic Message Passing in Peer
+// Data Management Systems" (ICDE 2006).
+//
+// A PDMS is a network of autonomous databases connected by pairwise schema
+// mappings; queries propagate hop by hop through the mappings. Because
+// mappings are created independently — often by automatic alignment tools —
+// some of them are wrong. This library detects the wrong ones with no
+// central coordination:
+//
+//  1. Build a Network of peers (each with a Schema) and declare the
+//     attribute-level Mappings between them.
+//  2. Gather evidence: DiscoverStructural enumerates mapping cycles and
+//     parallel paths and compares every attribute against its image under
+//     the transitive closure of the mappings (positive, negative or
+//     neutral feedback); DiscoverByProbes does the same with TTL-bounded
+//     probe floods over the simulated transport.
+//  3. RunDetection executes decentralized loopy belief propagation — every
+//     peer holds only its slice of the global factor graph and exchanges
+//     small remote messages — and yields P(mapping correct) per attribute.
+//     RunLazy piggybacks the same messages on query traffic instead, with
+//     zero dedicated communication.
+//  4. RouteQuery forwards queries only through mappings whose posteriors
+//     clear the per-attribute semantic threshold θ, eliminating the false
+//     positives erroneous mappings would produce.
+//
+// Quickstart:
+//
+//	s := pdms.MustNewSchema("S1", "Creator", "Title")
+//	net := pdms.NewNetwork(true)
+//	net.MustAddPeer("p1", s)
+//	// … add peers and mappings, then:
+//	net.DiscoverStructural([]pdms.Attribute{"Creator"}, 6, 0.1)
+//	res, _ := net.RunDetection(pdms.DetectOptions{})
+//	p := res.Posterior("m24", "Creator", 0.5)
+//
+// The examples/ directory contains runnable end-to-end scenarios, and
+// cmd/pdmsbench regenerates every figure of the paper's evaluation.
+package pdms
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/feedback"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/xmldb"
+)
+
+// Core model types.
+type (
+	// Network is a PDMS: peers, schemas, mappings and the inference state.
+	Network = core.Network
+	// Peer is one database and its slice of the global factor graph.
+	Peer = core.Peer
+	// PeerID identifies a peer.
+	PeerID = graph.PeerID
+	// MappingID identifies a pairwise schema mapping.
+	MappingID = graph.EdgeID
+	// Schema is a named set of attributes.
+	Schema = schema.Schema
+	// Attribute names a concept stored by a database.
+	Attribute = schema.Attribute
+	// Mapping is a directed attribute-level schema mapping.
+	Mapping = schema.Mapping
+)
+
+// Detection and routing types.
+type (
+	// DetectOptions configures the periodic message passing schedule.
+	DetectOptions = core.DetectOptions
+	// AsyncOptions configures the goroutine-per-peer asynchronous runtime.
+	AsyncOptions = core.AsyncOptions
+	// DiscoverConfig is the configurable form of evidence gathering:
+	// granularity (§4.1) and parallel-path ablation.
+	DiscoverConfig = core.DiscoverConfig
+	// Granularity selects per-attribute or per-mapping variables (§4.1).
+	Granularity = core.Granularity
+	// DetectResult carries posteriors and run statistics.
+	DetectResult = core.DetectResult
+	// DiscoveryReport summarizes an evidence-gathering pass.
+	DiscoveryReport = core.DiscoveryReport
+	// LazyOptions configures the lazy (piggybacking) schedule.
+	LazyOptions = core.LazyOptions
+	// LazyQuery is one unit of query workload for the lazy schedule.
+	LazyQuery = core.LazyQuery
+	// LazyResult reports a lazy run.
+	LazyResult = core.LazyResult
+	// RouteOptions configures θ-gated query forwarding.
+	RouteOptions = core.RouteOptions
+	// RouteResult is the outcome of a routed query.
+	RouteResult = core.RouteResult
+	// Visit records a routed query's arrival at one peer.
+	Visit = core.Visit
+)
+
+// Query and storage types.
+type (
+	// Query is a sequence of selection/projection operations.
+	Query = query.Query
+	// Op is one selection or projection.
+	Op = query.Op
+	// Store is an XML document store attachable to a peer.
+	Store = xmldb.Store
+	// Record is one stored document, flattened to attribute → values.
+	Record = xmldb.Record
+)
+
+// Evaluation types.
+type (
+	// Judgment scores one correspondence for precision curves.
+	Judgment = eval.Judgment
+	// PrecisionPoint is one point of a precision/recall curve.
+	PrecisionPoint = eval.PrecisionPoint
+)
+
+// Operation kinds for Op.Kind.
+const (
+	// Project keeps only the named attribute (π).
+	Project = query.Project
+	// Select filters on a LIKE predicate over the attribute (σ).
+	Select = query.Select
+)
+
+// Storage granularities for DiscoverConfig (§4.1).
+const (
+	// FineGrained keeps one correctness variable per (mapping, attribute).
+	FineGrained = core.FineGrained
+	// CoarseGrained keeps one correctness variable per mapping, fed by a
+	// multi-attribute comparison per structure.
+	CoarseGrained = core.CoarseGrained
+)
+
+// CoarseKey returns the attribute key under which coarse-grained posteriors
+// are reported.
+func CoarseKey() Attribute { return core.CoarseKey() }
+
+// NewNetwork creates an empty PDMS; directed selects directed mapping
+// semantics (parallel-path evidence requires directed networks).
+func NewNetwork(directed bool) *Network { return core.NewNetwork(directed) }
+
+// NewSchema creates a schema from attribute names.
+func NewSchema(name string, attrs ...Attribute) (*Schema, error) {
+	return schema.New(name, attrs...)
+}
+
+// MustNewSchema is like NewSchema but panics on error.
+func MustNewSchema(name string, attrs ...Attribute) *Schema {
+	return schema.MustNew(name, attrs...)
+}
+
+// NewQuery builds a validated query against a schema.
+func NewQuery(s *Schema, ops ...Op) (Query, error) { return query.New(s, ops...) }
+
+// MustNewQuery is like NewQuery but panics on error.
+func MustNewQuery(s *Schema, ops ...Op) Query { return query.MustNew(s, ops...) }
+
+// NewStore creates an empty document store for a schema.
+func NewStore(s *Schema) (*Store, error) { return xmldb.NewStore(s) }
+
+// IdentityPairs builds the identity correspondence map for a schema.
+func IdentityPairs(s *Schema) map[Attribute]Attribute { return core.IdentityPairs(s) }
+
+// Delta estimates Δ — the probability that two or more mapping errors
+// compensate along a cycle — from the schema size (§4.5 of the paper).
+func Delta(schemaSize int) float64 { return feedback.Delta(schemaSize) }
+
+// PrecisionCurve scores judgments against thresholds (the Fig 12 curve).
+func PrecisionCurve(items []Judgment, thetas []float64) []PrecisionPoint {
+	return eval.PrecisionCurve(items, thetas)
+}
+
+// Values collects the distinct values of an attribute across records.
+func Values(records []Record, a Attribute) []string { return xmldb.Values(records, a) }
