@@ -153,6 +153,44 @@ func BenchmarkTopologyStats(b *testing.B) {
 
 // --- Micro-benchmarks of the core machinery ---
 
+// BenchmarkEngineSweep measures the compiled BP kernel's steady-state
+// sweep through the public API on a 600-variable loopy graph (the
+// white-box variant with the naive-kernel comparison lives in
+// internal/factorgraph). The loop must report 0 allocs/op.
+func BenchmarkEngineSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := factorgraph.New()
+	vars := make([]*factorgraph.Var, 600)
+	for i := range vars {
+		vars[i] = g.MustAddVar(fmt.Sprintf("m%d", i))
+		g.MustAddFactor(factorgraph.Prior{V: vars[i], P: 0.05 + 0.9*rng.Float64()})
+	}
+	for k := 0; k < 1200; k++ {
+		idx := rng.Perm(len(vars))[:6]
+		sub := make([]*factorgraph.Var, len(idx))
+		for i, j := range idx {
+			sub[i] = vars[j]
+		}
+		vals := []float64{1, 0, 0.1, 0.1, 0.1, 0.1, 0.1}
+		c, err := factorgraph.NewCounting(sub, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.MustAddFactor(c)
+	}
+	e := factorgraph.NewEngine(g)
+	defer e.Close()
+	if err := e.Init(factorgraph.Options{Tolerance: 1e-300}); err != nil {
+		b.Fatal(err)
+	}
+	e.Sweep() // warm scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Sweep()
+	}
+}
+
 // BenchmarkCountingFactorMessage measures the O(n²) counting-factor message
 // on a 16-variable feedback factor.
 func BenchmarkCountingFactorMessage(b *testing.B) {

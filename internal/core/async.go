@@ -81,10 +81,11 @@ func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 					if d := math.Abs(after - before); d > delta {
 						delta = d
 					}
+					outs := vs.outgoingAll(prior)
 					for fi, f := range vs.factors {
-						out := vs.outgoing(fi, prior)
-						f.replica.remote[f.pos] = out
-						for _, dest := range f.replica.ev.otherOwners(f.pos, p.id) {
+						out := outs[fi]
+						f.replica.setRemote(f.pos, out)
+						for _, dest := range f.destinations(p.id) {
 							bus.Send(network.Envelope{
 								From:    p.id,
 								To:      dest,

@@ -224,6 +224,9 @@ type Peer struct {
 	vars   map[varKey]*varState
 	evs    map[string]*evReplica
 	pinned map[varKey]bool
+	// varKeys caches sortedVarKeys; every write to p.vars must clear it
+	// (installEvidence, resetInference).
+	varKeys []varKey
 
 	// Prior beliefs (§4.4): current prior per variable and the evidence
 	// samples it is the running mean of. Lazily allocated.

@@ -167,12 +167,13 @@ func (n *Network) sendRound(sim *network.Simulator, defPrior float64) int {
 		for _, key := range p.sortedVarKeys() {
 			vs := p.vars[key]
 			prior := p.PriorFor(key.Mapping, key.Attr, defPrior)
+			outs := vs.outgoingAll(prior)
 			for fi, f := range vs.factors {
-				out := vs.outgoing(fi, prior)
+				out := outs[fi]
 				// Local copy: my own replica records my message so my other
 				// variables in this factor see it.
-				f.replica.remote[f.pos] = out
-				for _, dest := range f.replica.ev.otherOwners(f.pos, p.id) {
+				f.replica.setRemote(f.pos, out)
+				for _, dest := range f.destinations(p.id) {
 					sim.Send(network.Envelope{
 						From:    p.id,
 						To:      dest,

@@ -395,6 +395,7 @@ func (n *Network) installEvidence(ev *evidenceRef) {
 		if !ok {
 			vs = newVarState(key)
 			p.vars[key] = vs
+			p.varKeys = nil
 		}
 		vs.addFactor(replicas[ev.Owners[i]], i)
 	}
@@ -419,5 +420,6 @@ func (n *Network) resetInference() {
 		p.vars = make(map[varKey]*varState)
 		p.evs = make(map[string]*evReplica)
 		p.pinned = make(map[varKey]bool)
+		p.varKeys = nil
 	}
 }

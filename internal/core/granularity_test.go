@@ -91,3 +91,43 @@ func TestDisableParallelPaths(t *testing.T) {
 		t.Errorf("cycles = %d, want 2", rep.Cycles)
 	}
 }
+
+// TestRediscoveryAfterRun: discovering again with a different granularity
+// (same variable count per peer, entirely different keys) and re-running
+// detection must work on the fresh variable set — a regression test for the
+// sorted-key cache returning stale keys after resetInference.
+func TestRediscoveryAfterRun(t *testing.T) {
+	n := paper.IntroNetwork()
+	if _, err := n.Discover(core.DiscoverConfig{
+		Attrs:  []schema.Attribute{paper.Creator},
+		MaxLen: 6,
+		Delta:  paper.Delta,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fine, err := n.RunDetection(core.DetectOptions{MaxRounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fine.Posterior("m24", paper.Creator, -1); got >= 0.5 {
+		t.Fatalf("fine m24 posterior = %.3f, want < 0.5", got)
+	}
+	if _, err := n.Discover(core.DiscoverConfig{
+		Attrs:       []schema.Attribute{paper.Creator},
+		MaxLen:      6,
+		Delta:       paper.Delta,
+		Granularity: core.CoarseGrained,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := n.RunDetection(core.DetectOptions{MaxRounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coarse.Posterior("m24", core.CoarseKey(), -1); got < 0 || got >= 0.5 {
+		t.Errorf("coarse m24 posterior = %.3f, want in [0, 0.5)", got)
+	}
+	if got := coarse.Posterior("m24", paper.Creator, -1); got != -1 {
+		t.Errorf("stale fine-grained key still reported after coarse rediscovery: %v", got)
+	}
+}

@@ -171,9 +171,10 @@ func (st *lazyState) produce(p *Peer, defPrior float64) float64 {
 		if d := math.Abs(after - before); d > maxDelta {
 			maxDelta = d
 		}
+		outs := vs.outgoingAll(prior)
 		for fi, f := range vs.factors {
-			out := vs.outgoing(fi, prior)
-			f.replica.remote[f.pos] = out
+			out := outs[fi]
+			f.replica.setRemote(f.pos, out)
 			st.seq++
 			st.relay[p.id][lazyKey{ev: f.replica.ev.ID, pos: f.pos}] = lazyEntry{msg: out, seq: st.seq}
 		}
@@ -258,7 +259,7 @@ func (st *lazyState) hop(from, to graph.PeerID, defPrior float64, res *LazyResul
 		// position (its own µ is maintained by produce).
 		if r, ok := dst.evs[key.ev]; ok {
 			if key.pos >= 0 && key.pos < len(r.ev.Owners) && r.ev.Owners[key.pos] != to {
-				r.remote[key.pos] = entry.msg
+				r.setRemote(key.pos, entry.msg)
 				applied = true
 			}
 		}

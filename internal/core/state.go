@@ -11,44 +11,53 @@ import (
 // evReplica is a peer-local replica of one feedback factor (§4.1): the
 // shared immutable description plus the most recent remote message received
 // for every position, unit by default (§4.3's virtual unit messages).
+//
+// The replica caches every outgoing factor→variable message: one shared
+// forward/backward pass (factorgraph.CountingMessages) recomputes all n of
+// them in O(n²) total the first time any position is read after a remote
+// message changed, instead of an O(n²) dynamic program per position per
+// read (O(n³) per factor per round). All remote updates must therefore go
+// through setRemote.
 type evReplica struct {
-	ev     *evidenceRef
-	remote []factorgraph.Msg
+	ev      *evidenceRef
+	remote  []factorgraph.Msg
+	msgs    []factorgraph.Msg // cached factor→variable messages, all positions
+	scratch []float64         // CountingMessages workspace
+	dirty   bool
 }
 
 func newEvReplica(ev *evidenceRef) *evReplica {
-	r := &evReplica{ev: ev, remote: make([]factorgraph.Msg, len(ev.Mappings))}
+	r := &evReplica{
+		ev:     ev,
+		remote: make([]factorgraph.Msg, len(ev.Mappings)),
+		msgs:   make([]factorgraph.Msg, len(ev.Mappings)),
+		dirty:  true,
+	}
 	for i := range r.remote {
 		r.remote[i] = factorgraph.Unit()
 	}
 	return r
 }
 
-// message computes the factor→variable message for position pos by the
-// counting-factor dynamic programming of §3.2.1 (O(n²) in the cycle
-// length), using the stored remote messages for the other positions.
+// setRemote stores the variable→factor message for one position and
+// invalidates the cached outgoing messages.
+func (r *evReplica) setRemote(pos int, m factorgraph.Msg) {
+	r.remote[pos] = m
+	r.dirty = true
+}
+
+// message returns the factor→variable message for position pos, the
+// counting-factor evaluation of §3.2.1, recomputing the whole batch only
+// when a remote message changed since the last read.
 func (r *evReplica) message(pos int) factorgraph.Msg {
-	n := len(r.ev.Mappings)
-	dist := make([]float64, 1, n)
-	dist[0] = 1
-	for j := 0; j < n; j++ {
-		if j == pos {
-			continue
+	if r.dirty {
+		r.scratch = factorgraph.CountingMessages(r.ev.Vals, r.remote, r.msgs, r.scratch)
+		for i := range r.msgs {
+			r.msgs[i] = r.msgs[i].Normalized()
 		}
-		in := r.remote[j]
-		next := make([]float64, len(dist)+1)
-		for k, d := range dist {
-			next[k] += d * in[factorgraph.Correct]
-			next[k+1] += d * in[factorgraph.Incorrect]
-		}
-		dist = next
+		r.dirty = false
 	}
-	var out factorgraph.Msg
-	for k, d := range dist {
-		out[factorgraph.Correct] += d * r.ev.Vals[k]
-		out[factorgraph.Incorrect] += d * r.ev.Vals[k+1]
-	}
-	return out.Normalized()
+	return r.msgs[pos]
 }
 
 // factorRef links a variable to a factor replica at its owner.
@@ -57,6 +66,21 @@ type factorRef struct {
 	pos     int // the variable's position within the factor
 	// toVar is the latest factor→variable message (µ_{fa→mi}, §4.3).
 	toVar factorgraph.Msg
+	// dests caches otherOwners(pos, owner) — the remote peers this
+	// position's µ must reach — computed on first send (the owner set of a
+	// factor is immutable once installed).
+	dests     []graph.PeerID
+	destsInit bool
+}
+
+// destinations returns the cached remote destinations of this position's
+// variable→factor message for the owning peer self.
+func (f *factorRef) destinations(self graph.PeerID) []graph.PeerID {
+	if !f.destsInit {
+		f.dests = f.replica.ev.otherOwners(f.pos, self)
+		f.destsInit = true
+	}
+	return f.dests
 }
 
 // varState is one binary correctness variable (mapping, attribute) owned by
@@ -64,6 +88,8 @@ type factorRef struct {
 type varState struct {
 	key     varKey
 	factors []*factorRef
+	// outBuf and sufBuf are reusable buffers for outgoingAll.
+	outBuf, sufBuf []factorgraph.Msg
 }
 
 func newVarState(key varKey) *varState {
@@ -93,6 +119,31 @@ func (vs *varState) outgoing(fi int, prior float64) factorgraph.Msg {
 	return out.Normalized()
 }
 
+// outgoingAll computes every variable→factor message of the variable in one
+// O(deg) pass using prefix/suffix leave-one-out products — the senders'
+// side of the compiled-kernel optimization — instead of the O(deg²) cost of
+// calling outgoing once per factor. The returned slice is reused across
+// calls; consume it before the next outgoingAll on the same variable.
+func (vs *varState) outgoingAll(prior float64) []factorgraph.Msg {
+	d := len(vs.factors)
+	if cap(vs.outBuf) < d {
+		vs.outBuf = make([]factorgraph.Msg, d)
+		vs.sufBuf = make([]factorgraph.Msg, d+1)
+	}
+	out := vs.outBuf[:d]
+	suf := vs.sufBuf[:d+1]
+	suf[d] = factorgraph.Unit()
+	for i := d - 1; i >= 0; i-- {
+		suf[i] = suf[i+1].Mul(vs.factors[i].toVar)
+	}
+	pre := factorgraph.Msg{prior, 1 - prior}
+	for i := 0; i < d; i++ {
+		out[i] = pre.Mul(suf[i+1]).Normalized()
+		pre = pre.Mul(vs.factors[i].toVar)
+	}
+	return out
+}
+
 // posterior is the current belief: prior times all factor→variable messages
 // (P(mi | {F}) of §4.3), normalized.
 func (vs *varState) posterior(prior float64) float64 {
@@ -120,7 +171,16 @@ type remoteMsg struct {
 }
 
 // sortedVarKeys returns the peer's variable keys in deterministic order.
+// The slice is cached — every round of every schedule iterates it — and
+// invalidated by whatever mutates p.vars (installEvidence,
+// resetInference). Callers must not mutate it. The length check is a
+// second line of defense for in-package tests that populate p.vars
+// directly; it cannot detect same-size key replacement, which is why the
+// mutators clear the cache explicitly.
 func (p *Peer) sortedVarKeys() []varKey {
+	if p.varKeys != nil && len(p.varKeys) == len(p.vars) {
+		return p.varKeys
+	}
 	keys := make([]varKey, 0, len(p.vars))
 	for k := range p.vars {
 		keys = append(keys, k)
@@ -131,6 +191,7 @@ func (p *Peer) sortedVarKeys() []varKey {
 		}
 		return keys[i].Attr < keys[j].Attr
 	})
+	p.varKeys = keys
 	return keys
 }
 
@@ -170,7 +231,7 @@ func (p *Peer) handleRemote(m remoteMsg) {
 	if m.Pos < 0 || m.Pos >= len(r.remote) {
 		return
 	}
-	r.remote[m.Pos] = m.Msg
+	r.setRemote(m.Pos, m.Msg)
 }
 
 // Pinned reports whether the peer has pinned (mapping, attr) to zero

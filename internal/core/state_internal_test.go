@@ -177,3 +177,68 @@ func mustSchema(t *testing.T) *schema.Schema {
 	t.Helper()
 	return schema.MustNew("S", "a", "b", "z")
 }
+
+// TestReplicaDirtyInvalidation pins the setRemote → message cache
+// contract with interleaved reads and writes: every write must invalidate
+// the batched message cache, and reads between writes must reflect the
+// remote state at read time.
+func TestReplicaDirtyInvalidation(t *testing.T) {
+	vals := []float64{1, 0, 0.1, 0.1}
+	ev := testEvidence(3, vals)
+	r := newEvReplica(ev)
+	g := factorgraph.New()
+	vars := []*factorgraph.Var{g.MustAddVar("a"), g.MustAddVar("b"), g.MustAddVar("c")}
+	c, err := factorgraph.NewCounting(vars, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incoming := []factorgraph.Msg{factorgraph.Unit(), factorgraph.Unit(), factorgraph.Unit()}
+	check := func(stage string) {
+		t.Helper()
+		for pos := 0; pos < 3; pos++ {
+			got := r.message(pos)
+			want := c.Message(pos, incoming).Normalized()
+			if math.Abs(got[0]-want[0]) > 1e-12 || math.Abs(got[1]-want[1]) > 1e-12 {
+				t.Fatalf("%s: message(%d) = %v, want %v", stage, pos, got, want)
+			}
+		}
+	}
+	check("initial unit state")
+	incoming[1] = factorgraph.Msg{0.2, 0.8}
+	r.setRemote(1, incoming[1])
+	check("after first setRemote")
+	incoming[0] = factorgraph.Msg{0.9, 0.1}
+	incoming[2] = factorgraph.Msg{0.4, 0.6}
+	r.setRemote(0, incoming[0])
+	r.setRemote(2, incoming[2])
+	check("after second round of setRemote")
+}
+
+// TestOutgoingAllMatchesOutgoing: the O(deg) prefix/suffix batch — the
+// only production path for variable→factor messages — must agree with the
+// retained per-factor reference for every factor index.
+func TestOutgoingAllMatchesOutgoing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vs := newVarState(varKey{Mapping: "m", Attr: "a"})
+		deg := 1 + rng.Intn(6)
+		for j := 0; j < deg; j++ {
+			ev := testEvidence(2, []float64{1, 0, 0.1})
+			r := newEvReplica(ev)
+			vs.addFactor(r, 0)
+			vs.factors[j].toVar = factorgraph.Msg{rng.Float64(), rng.Float64()}
+		}
+		prior := 0.05 + 0.9*rng.Float64()
+		outs := vs.outgoingAll(prior)
+		for fi := 0; fi < deg; fi++ {
+			want := vs.outgoing(fi, prior)
+			if math.Abs(outs[fi][0]-want[0]) > 1e-12 || math.Abs(outs[fi][1]-want[1]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestEngineScale(t *testing.T) {
+	pts, err := EngineScale([]int{60, 120}, 4, []int{1, 2}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.Factors != 3*p.Vars { // priors + 2n counting factors
+			t.Errorf("vars %d: factors = %d, want %d", p.Vars, p.Factors, 3*p.Vars)
+		}
+		if p.Edges != p.Vars+2*p.Vars*4 {
+			t.Errorf("vars %d: edges = %d", p.Vars, p.Edges)
+		}
+		if p.SweepMicros <= 0 || p.EdgesPerSec <= 0 {
+			t.Errorf("vars %d workers %d: non-positive timing %v %v",
+				p.Vars, p.Workers, p.SweepMicros, p.EdgesPerSec)
+		}
+	}
+}
+
+func TestEngineScaleValidatesArity(t *testing.T) {
+	if _, err := EngineScale([]int{10}, 0, []int{1}, 1, 1); err == nil {
+		t.Error("arity 0 should fail (counting factor needs at least one variable)")
+	}
+}

@@ -1,0 +1,465 @@
+package factorgraph
+
+import (
+	"math"
+	"sync"
+)
+
+// This file implements the compiled belief-propagation kernel. A Graph is
+// flattened once into a program — CSR-style index slices over a single flat
+// edge numbering — and an Engine runs the synchronous sum-product schedule
+// over preallocated flat message buffers:
+//
+//   - every (factor, position) slot is one edge; the edges of factor fi are
+//     the contiguous range foff[fi]..foff[fi+1], so a factor's incoming
+//     message slice needs no gathering at all;
+//   - the variable→factor sweep walks each variable's edge list once,
+//     forming the leave-one-out products with prefix/suffix arrays in
+//     O(deg) instead of the naive O(deg²) per variable;
+//   - the factor→variable sweep uses BatchFactor.AllMessages where
+//     available, so a Counting factor of arity n emits all n messages in
+//     O(n²) total instead of O(n³);
+//   - with Options.Parallel > 1 both sweeps are sharded across a persistent
+//     worker pool; the synchronous schedule is a natural barrier between
+//     the phases, and writes within a phase are disjoint (each edge's
+//     variable→factor slot is owned by exactly one variable, each
+//     factor→variable slot by exactly one factor).
+//
+// The steady-state iteration loop performs no allocation: all buffers are
+// sized at Init and reused across sweeps.
+
+// program is the immutable compiled form of a Graph: pure topology as flat
+// index slices. It holds no message state and no potential values, so it is
+// shared by every Engine over the same Graph and survives value mutations.
+type program struct {
+	factors []Factor
+	batch   []BatchFactor // batch[fi] non-nil iff factors[fi] implements BatchFactor
+	names   []string      // variable names by index
+	numVars int
+
+	// Factor-side CSR: edge ids foff[fi]..foff[fi+1] are factor fi's
+	// slots, slot order matching Factor.Vars(); evar[e] is the variable
+	// index on edge e.
+	foff []int32
+	evar []int32
+	// Variable-side CSR: vedges[voff[vi]:voff[vi+1]] lists the edge ids
+	// adjacent to variable vi, in factor insertion order.
+	voff   []int32
+	vedges []int32
+
+	maxArity int // widest factor
+	maxDeg   int // highest variable degree
+}
+
+// compile flattens the graph, caching the result until the structure
+// changes.
+func (g *Graph) compile() *program {
+	if g.prog != nil {
+		return g.prog
+	}
+	p := &program{
+		factors: g.factors,
+		batch:   make([]BatchFactor, len(g.factors)),
+		names:   make([]string, len(g.vars)),
+		numVars: len(g.vars),
+		foff:    make([]int32, len(g.factors)+1),
+		voff:    make([]int32, len(g.vars)+1),
+	}
+	for i, v := range g.vars {
+		p.names[i] = v.Name
+	}
+	edges := 0
+	for fi, f := range g.factors {
+		if bf, ok := f.(BatchFactor); ok {
+			p.batch[fi] = bf
+		}
+		n := len(f.Vars())
+		if n > p.maxArity {
+			p.maxArity = n
+		}
+		p.foff[fi] = int32(edges)
+		edges += n
+	}
+	p.foff[len(g.factors)] = int32(edges)
+	p.evar = make([]int32, edges)
+	deg := make([]int32, len(g.vars))
+	for fi, f := range g.factors {
+		base := p.foff[fi]
+		for pos, v := range f.Vars() {
+			p.evar[base+int32(pos)] = int32(v.idx)
+			deg[v.idx]++
+		}
+	}
+	for vi, d := range deg {
+		p.voff[vi+1] = p.voff[vi] + d
+		if int(d) > p.maxDeg {
+			p.maxDeg = int(d)
+		}
+	}
+	p.vedges = make([]int32, edges)
+	fill := make([]int32, len(g.vars))
+	copy(fill, p.voff[:len(g.vars)])
+	for e := range p.evar {
+		vi := p.evar[e]
+		p.vedges[fill[vi]] = int32(e)
+		fill[vi]++
+	}
+	g.prog = p
+	return p
+}
+
+// engineWorker is the per-goroutine scratch state of an Engine. Serial runs
+// use worker 0; parallel runs give each pool goroutine its own.
+type engineWorker struct {
+	pre, suf []Msg     // leave-one-out products, len maxDeg+1
+	out      []Msg     // factor message staging, len maxArity
+	scratch  []float64 // BatchFactor workspace
+}
+
+// sweep phases dispatched to pool workers.
+const (
+	phaseVar uint8 = iota
+	phaseFactor
+)
+
+type sweepTask struct {
+	phase  uint8
+	lo, hi int32
+}
+
+// pool is a persistent worker pool owned by one Engine. Workers live until
+// Close; dispatching a phase sends contiguous index ranges over a channel
+// and waits on the barrier, with no per-iteration allocation.
+type pool struct {
+	n     int
+	tasks chan sweepTask
+	wg    sync.WaitGroup
+}
+
+// Engine executes synchronous sum-product sweeps over one compiled graph.
+// It owns flat, preallocated message buffers, so a long-lived Engine can
+// Run (or Init+Sweep) the same graph many times without reallocating. An
+// Engine is not safe for concurrent use. Multiple engines may share one
+// graph's cached program, but the Graph itself is not synchronized: create
+// the first engine (which compiles the graph) before handing the graph to
+// other goroutines, and do not mutate the graph while engines run. Call
+// Close when done to release the worker pool of a parallel Init; Close on
+// a serial Engine is a no-op.
+type Engine struct {
+	g    *Graph
+	p    *program
+	opts Options
+
+	factorToVar []Msg // by edge id, normalized (damped) factor→variable messages
+	varToFactor []Msg // by edge id, normalized variable→factor messages
+	prev        []float64
+	keep        []bool // per-edge delivery decisions under message loss
+	lossy       bool
+
+	workers []engineWorker
+	pool    *pool
+
+	traceBuf map[string]float64
+}
+
+// NewEngine compiles the graph (cached on it) and returns an engine with
+// buffers sized for serial sweeps. Init (re)configures it for a run and
+// picks up any structural changes made to the graph since the last run;
+// mutating the graph between Init and Sweep is not supported.
+func NewEngine(g *Graph) *Engine {
+	e := &Engine{g: g}
+	e.rebind()
+	e.ensureWorkers(1)
+	return e
+}
+
+// rebind points the engine at the graph's current compiled program,
+// resizing every buffer when the structure changed since the engine last
+// ran (AddVar/AddFactor invalidate the graph's cache, so pointer equality
+// detects staleness).
+func (e *Engine) rebind() {
+	p := e.g.compile()
+	if p == e.p {
+		return
+	}
+	// Worker goroutines hold pointers into e.workers; stop them before
+	// replacing the scratch buffers. Init restarts the pool on demand.
+	e.stopPool()
+	e.p = p
+	e.factorToVar = make([]Msg, len(p.evar))
+	e.varToFactor = make([]Msg, len(p.evar))
+	e.prev = make([]float64, p.numVars)
+	e.keep = nil
+	e.traceBuf = nil // may hold names of removed/renamed runs' variables
+	n := len(e.workers)
+	e.workers = nil
+	e.ensureWorkers(n)
+}
+
+func (e *Engine) ensureWorkers(n int) {
+	for len(e.workers) < n {
+		e.workers = append(e.workers, engineWorker{
+			pre: make([]Msg, e.p.maxDeg+1),
+			suf: make([]Msg, e.p.maxDeg+1),
+			out: make([]Msg, e.p.maxArity),
+		})
+	}
+}
+
+// Init validates the options, resets all messages to the virtual-unit
+// start state (§4.3) — unary factors immediately emit their constant
+// message, matching the embedded scheme where each peer knows its own
+// priors from the outset (§4.4) — and prepares the worker pool when
+// Options.Parallel > 1.
+func (e *Engine) Init(opts Options) error {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return err
+	}
+	e.rebind()
+	e.opts = opts
+	e.lossy = opts.lossy()
+	if e.lossy && e.keep == nil {
+		e.keep = make([]bool, len(e.p.evar))
+	}
+
+	for i := range e.varToFactor {
+		e.varToFactor[i] = Unit()
+	}
+	for fi, f := range e.p.factors {
+		lo, hi := e.p.foff[fi], e.p.foff[fi+1]
+		if hi-lo == 1 {
+			e.factorToVar[lo] = f.Message(0, e.varToFactor[lo:hi]).Normalized()
+			continue
+		}
+		for ei := lo; ei < hi; ei++ {
+			e.factorToVar[ei] = Unit()
+		}
+	}
+	e.posteriorSweep() // seed prev with the prior-only posteriors
+
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if e.pool != nil && e.pool.n != workers {
+		e.stopPool()
+	}
+	if workers > 1 && e.pool == nil {
+		e.ensureWorkers(workers)
+		e.startPool(workers)
+	}
+	return nil
+}
+
+func (e *Engine) startPool(n int) {
+	pl := &pool{n: n, tasks: make(chan sweepTask, 2*n)}
+	e.pool = pl
+	for i := 0; i < n; i++ {
+		w := &e.workers[i]
+		go func() {
+			for t := range pl.tasks {
+				if t.phase == phaseVar {
+					e.varSweep(w, int(t.lo), int(t.hi))
+				} else {
+					e.factorSweep(w, int(t.lo), int(t.hi))
+				}
+				pl.wg.Done()
+			}
+		}()
+	}
+}
+
+func (e *Engine) stopPool() {
+	if e.pool != nil {
+		close(e.pool.tasks)
+		e.pool = nil
+	}
+}
+
+// Close releases the worker pool, if any. The engine remains usable; a
+// subsequent Init recreates the pool on demand.
+func (e *Engine) Close() { e.stopPool() }
+
+// runPhase executes one sweep phase over [0, total), sharded across the
+// pool when present. Ranges are cut 4× finer than the worker count so that
+// work clustered by insertion order (e.g. all the cheap unary priors
+// first, then the counting factors) still balances: idle workers steal the
+// remaining chunks from the channel.
+func (e *Engine) runPhase(phase uint8, total int) {
+	if e.pool == nil || total < 2*e.pool.n {
+		if phase == phaseVar {
+			e.varSweep(&e.workers[0], 0, total)
+		} else {
+			e.factorSweep(&e.workers[0], 0, total)
+		}
+		return
+	}
+	parts := 4 * e.pool.n
+	chunk := (total + parts - 1) / parts
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		e.pool.wg.Add(1)
+		e.pool.tasks <- sweepTask{phase: phase, lo: int32(lo), hi: int32(hi)}
+	}
+	e.pool.wg.Wait()
+}
+
+// varSweep computes the variable→factor messages of variables [lo, hi):
+// for each variable, the prefix/suffix products of its incoming
+// factor→variable messages yield every leave-one-out product in O(deg).
+func (e *Engine) varSweep(w *engineWorker, lo, hi int) {
+	p := e.p
+	for vi := lo; vi < hi; vi++ {
+		s, t := p.voff[vi], p.voff[vi+1]
+		d := int(t - s)
+		if d == 0 {
+			continue
+		}
+		edges := p.vedges[s:t]
+		suf := w.suf[:d+1]
+		suf[d] = Unit()
+		sc, si := 1.0, 1.0
+		for i := d - 1; i >= 1; i-- { // suf[0] is never read
+			m := e.factorToVar[edges[i]]
+			sc *= m[0]
+			si *= m[1]
+			suf[i] = Msg{sc, si}
+		}
+		pc, pi := 1.0, 1.0
+		for i := 0; i < d; i++ {
+			ei := edges[i]
+			if !e.lossy || e.keep[ei] {
+				sm := suf[i+1]
+				oc, oi := pc*sm[0], pi*sm[1]
+				if sum := oc + oi; sum > 0 {
+					oc /= sum
+					oi /= sum
+				}
+				e.varToFactor[ei] = Msg{oc, oi}
+			}
+			m := e.factorToVar[ei]
+			pc *= m[0]
+			pi *= m[1]
+		}
+	}
+}
+
+// factorSweep computes the factor→variable messages of factors [lo, hi),
+// with damping mixed in against the previous messages.
+func (e *Engine) factorSweep(w *engineWorker, lo, hi int) {
+	p := e.p
+	damping := e.opts.Damping
+	for fi := lo; fi < hi; fi++ {
+		s, t := p.foff[fi], p.foff[fi+1]
+		n := int(t - s)
+		incoming := e.varToFactor[s:t]
+		out := w.out[:n]
+		if bf := p.batch[fi]; bf != nil {
+			w.scratch = bf.AllMessages(incoming, out, w.scratch)
+		} else {
+			f := p.factors[fi]
+			for pos := 0; pos < n; pos++ {
+				out[pos] = f.Message(pos, incoming)
+			}
+		}
+		for pos := 0; pos < n; pos++ {
+			m := out[pos].Normalized()
+			if damping > 0 {
+				old := e.factorToVar[s+int32(pos)]
+				m = Msg{
+					(1-damping)*m[0] + damping*old[0],
+					(1-damping)*m[1] + damping*old[1],
+				}
+			}
+			e.factorToVar[s+int32(pos)] = m
+		}
+	}
+}
+
+// posteriorSweep refreshes prev with the current posteriors and returns the
+// largest absolute change.
+func (e *Engine) posteriorSweep() float64 {
+	p := e.p
+	maxDelta := 0.0
+	for vi := 0; vi < p.numVars; vi++ {
+		bc, bi := 1.0, 1.0
+		for _, ei := range p.vedges[p.voff[vi]:p.voff[vi+1]] {
+			m := e.factorToVar[ei]
+			bc *= m[0]
+			bi *= m[1]
+		}
+		post := bc
+		if sum := bc + bi; sum > 0 {
+			post = bc / sum
+		}
+		if d := math.Abs(post - e.prev[vi]); d > maxDelta {
+			maxDelta = d
+		}
+		e.prev[vi] = post
+	}
+	return maxDelta
+}
+
+// Sweep runs one synchronous iteration — every edge carries one message in
+// each direction — and returns the largest posterior change. It allocates
+// nothing once the engine's scratch buffers have warmed up (after the
+// first sweep).
+func (e *Engine) Sweep() float64 {
+	if e.lossy {
+		// Draw delivery decisions serially in edge order, so lossy runs are
+		// deterministic for a seeded Rng regardless of Parallel.
+		for ei := range e.keep {
+			e.keep[ei] = e.opts.Rng.Float64() < e.opts.PSend
+		}
+	}
+	e.runPhase(phaseVar, e.p.numVars)
+	e.runPhase(phaseFactor, len(e.p.factors))
+	return e.posteriorSweep()
+}
+
+// Posteriors writes the current posterior of every variable into dst
+// (allocated if nil) and returns it.
+func (e *Engine) Posteriors(dst map[string]float64) map[string]float64 {
+	if dst == nil {
+		dst = make(map[string]float64, e.p.numVars)
+	}
+	for vi, name := range e.p.names {
+		dst[name] = e.prev[vi]
+	}
+	return dst
+}
+
+// Run executes the full schedule with convergence detection, reusing the
+// engine's buffers across calls.
+func (e *Engine) Run(opts Options) (Result, error) {
+	if err := e.Init(opts); err != nil {
+		return Result{}, err
+	}
+	if e.opts.Trace != nil && e.traceBuf == nil {
+		e.traceBuf = make(map[string]float64, e.p.numVars)
+	}
+	res := Result{}
+	stable := 0
+	for iter := 1; iter <= e.opts.MaxIterations; iter++ {
+		maxDelta := e.Sweep()
+		res.Iterations = iter
+		if e.opts.Trace != nil {
+			e.opts.Trace(iter, e.Posteriors(e.traceBuf))
+		}
+		if maxDelta < e.opts.Tolerance {
+			stable++
+			if stable >= e.opts.StableIterations {
+				res.Converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+	res.Posteriors = e.Posteriors(nil)
+	return res, nil
+}

@@ -26,6 +26,7 @@ package factorgraph
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 )
 
@@ -87,6 +88,21 @@ type Factor interface {
 	Message(target int, incoming []Msg) Msg
 }
 
+// BatchFactor is implemented by factors that can produce all of their
+// outgoing messages in one pass, sharing work across targets. The compiled
+// engine (Engine) uses AllMessages when available, falling back to
+// per-target Message calls otherwise. All factors in this package implement
+// it: Counting amortizes its dynamic program from O(n³) to O(n²) per sweep.
+type BatchFactor interface {
+	Factor
+	// AllMessages writes the unnormalized factor→variable message for every
+	// position into out (len = arity), equivalent to calling Message for
+	// each target. scratch is reusable workspace owned by the caller; the
+	// method returns it, grown if needed, so steady-state use allocates
+	// nothing.
+	AllMessages(incoming []Msg, out []Msg, scratch []float64) []float64
+}
+
 // Prior is the unary prior-belief factor of §4.4: P(m = correct) = P.
 type Prior struct {
 	V *Var
@@ -107,6 +123,12 @@ func (p Prior) Value(states []State) float64 {
 // Message implements Factor.
 func (p Prior) Message(target int, _ []Msg) Msg {
 	return Msg{p.P, 1 - p.P}
+}
+
+// AllMessages implements BatchFactor.
+func (p Prior) AllMessages(_ []Msg, out []Msg, scratch []float64) []float64 {
+	out[0] = Msg{p.P, 1 - p.P}
+	return scratch
 }
 
 // Counting is a factor whose value depends only on the number of Incorrect
@@ -153,11 +175,14 @@ func (c *Counting) Value(states []State) float64 {
 
 // Message implements Factor. It computes, by dynamic programming, the
 // distribution over the number of Incorrect variables among the non-target
-// arguments under the incoming messages, then weights it by Vals. O(n²).
+// arguments under the incoming messages, then weights it by Vals. O(n²)
+// with a single buffer allocation; callers that need every target should
+// use AllMessages, which shares the dynamic program across all n targets
+// for the same O(n²) total.
 func (c *Counting) Message(target int, incoming []Msg) Msg {
 	n := len(c.vars)
 	// dist[k] = Σ over assignments of the other vars with k Incorrect of
-	// the product of their incoming message entries.
+	// the product of their incoming message entries, grown in place.
 	dist := make([]float64, 1, n)
 	dist[0] = 1
 	for j := 0; j < n; j++ {
@@ -165,12 +190,11 @@ func (c *Counting) Message(target int, incoming []Msg) Msg {
 			continue
 		}
 		in := incoming[j]
-		next := make([]float64, len(dist)+1)
-		for k, d := range dist {
-			next[k] += d * in[Correct]
-			next[k+1] += d * in[Incorrect]
+		dist = append(dist, dist[len(dist)-1]*in[Incorrect])
+		for k := len(dist) - 2; k >= 1; k-- {
+			dist[k] = dist[k]*in[Correct] + dist[k-1]*in[Incorrect]
 		}
-		dist = next
+		dist[0] *= in[Correct]
 	}
 	var out Msg
 	for k, d := range dist {
@@ -178,6 +202,76 @@ func (c *Counting) Message(target int, incoming []Msg) Msg {
 		out[Incorrect] += d * c.Vals[k+1]
 	}
 	return out
+}
+
+// AllMessages implements BatchFactor via CountingMessages.
+func (c *Counting) AllMessages(incoming []Msg, out []Msg, scratch []float64) []float64 {
+	return CountingMessages(c.Vals, incoming, out, scratch)
+}
+
+// CountingMessages computes, for a counting factor with potential values
+// vals (vals[k] = potential when k arguments are Incorrect, len(vals) =
+// n+1), every leave-one-out factor→variable message under the n incoming
+// variable→factor messages, writing the unnormalized result for each target
+// into out (len ≥ n). A per-target dynamic program costs O(n²) each, O(n³)
+// for all targets; this shared forward/backward pass yields all n messages
+// in O(n²) total:
+//
+//   - backward: β_t(k) = Σ over assignments of vars t+1..n−1 of the product
+//     of their incoming entries times vals[k + #Incorrect], computed for
+//     decreasing t by β_{t−1}(k) = in[t][C]·β_t(k) + in[t][I]·β_t(k+1);
+//   - forward: α_t(k) = P(k Incorrect among vars 0..t−1), folded in one
+//     in-place row;
+//   - combine: out[t][C] = Σ_k α_t(k)·β_t(k), out[t][I] = Σ_k α_t(k)·β_t(k+1).
+//
+// scratch is reusable workspace; the (possibly grown) slice is returned so
+// steady-state callers allocate nothing. The peer-local replicas of
+// internal/core and the compiled Engine both run on this kernel.
+func CountingMessages(vals []float64, incoming []Msg, out []Msg, scratch []float64) []float64 {
+	n := len(incoming)
+	if n == 0 {
+		return scratch
+	}
+	if n == 1 {
+		out[0] = Msg{vals[0], vals[1]}
+		return scratch
+	}
+	stride := n + 1
+	need := (n + 1) * stride
+	if cap(scratch) < need {
+		scratch = make([]float64, need)
+	}
+	scratch = scratch[:need]
+	beta := scratch[:n*stride]
+	alpha := scratch[n*stride:]
+
+	copy(beta[(n-1)*stride:n*stride], vals)
+	for t := n - 2; t >= 0; t-- {
+		next := beta[(t+1)*stride:]
+		cur := beta[t*stride:]
+		inC, inI := incoming[t+1][Correct], incoming[t+1][Incorrect]
+		for k := 0; k <= t+1; k++ {
+			cur[k] = inC*next[k] + inI*next[k+1]
+		}
+	}
+	alpha[0] = 1
+	for t := 0; t < n; t++ {
+		brow := beta[t*stride:]
+		var mc, mi float64
+		for k := 0; k <= t; k++ {
+			mc += alpha[k] * brow[k]
+			mi += alpha[k] * brow[k+1]
+		}
+		out[t] = Msg{mc, mi}
+		// Fold incoming[t] into α for the next target.
+		inC, inI := incoming[t][Correct], incoming[t][Incorrect]
+		alpha[t+1] = alpha[t] * inI
+		for k := t; k >= 1; k-- {
+			alpha[k] = alpha[k]*inC + alpha[k-1]*inI
+		}
+		alpha[0] *= inC
+	}
+	return scratch
 }
 
 // Tabular is an explicit potential table over n variables: Table has 2^n
@@ -216,35 +310,58 @@ func (t *Tabular) index(states []State) int {
 func (t *Tabular) Value(states []State) float64 { return t.Table[t.index(states)] }
 
 // Message implements Factor by brute-force summation over the other
-// variables (O(2^n); use Counting for the paper's symmetric factors).
+// variables (O(2^n); use Counting for the paper's symmetric factors). The
+// enumeration is iterative in Gray-code order: each step flips one
+// assignment bit and repairs only the suffix products above it, so the
+// amortized cost per table entry is O(1) and there is no recursion.
 func (t *Tabular) Message(target int, incoming []Msg) Msg {
+	suf := make([]float64, len(t.vars)+1)
+	return t.messageInto(target, incoming, suf)
+}
+
+// messageInto is Message with caller-supplied workspace (len(suf) = n+1).
+// suf[i] holds the product of the incoming entries selected by the current
+// assignment over positions i..n−1, with the target position contributing 1.
+func (t *Tabular) messageInto(target int, incoming []Msg, suf []float64) Msg {
 	n := len(t.vars)
 	var out Msg
-	states := make([]State, n)
-	var rec func(i int, w float64)
-	rec = func(i int, w float64) {
-		if w == 0 {
-			return
-		}
-		if i == n {
-			out[states[target]] += w * t.Table[t.index(states)]
-			return
-		}
+	code := 0 // current assignment, bit i = state of position i
+	suf[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		w := incoming[i][Correct]
 		if i == target {
-			// Leave both target states to be accumulated separately.
-			states[i] = Correct
-			rec(i+1, w)
-			states[i] = Incorrect
-			rec(i+1, w)
-			return
+			w = 1
 		}
-		states[i] = Correct
-		rec(i+1, w*incoming[i][Correct])
-		states[i] = Incorrect
-		rec(i+1, w*incoming[i][Incorrect])
+		suf[i] = w * suf[i+1]
 	}
-	rec(0, 1)
+	out[Correct] += suf[0] * t.Table[0]
+	for g := 1; g < 1<<n; g++ {
+		b := bits.TrailingZeros(uint(g)) // Gray code: flip bit b
+		code ^= 1 << b
+		for i := b; i >= 0; i-- {
+			w := 1.0
+			if i != target {
+				w = incoming[i][(code>>i)&1]
+			}
+			suf[i] = w * suf[i+1]
+		}
+		out[(code>>target)&1] += suf[0] * t.Table[code]
+	}
 	return out
+}
+
+// AllMessages implements BatchFactor, reusing one suffix-product workspace
+// across the n Gray-code sweeps.
+func (t *Tabular) AllMessages(incoming []Msg, out []Msg, scratch []float64) []float64 {
+	n := len(t.vars)
+	if cap(scratch) < n+1 {
+		scratch = make([]float64, n+1)
+	}
+	scratch = scratch[:n+1]
+	for target := 0; target < n; target++ {
+		out[target] = t.messageInto(target, incoming, scratch)
+	}
+	return scratch
 }
 
 // Graph is a factor graph under construction and the home of the engine.
@@ -252,21 +369,15 @@ type Graph struct {
 	vars    []*Var
 	byName  map[string]*Var
 	factors []Factor
-	// adjacency: for each var index, the (factor index, position) pairs.
-	varFactors map[int][]adj
-}
-
-type adj struct {
-	factor int
-	pos    int
+	// prog is the compiled flat form of the graph, built lazily by Run or
+	// NewEngine and invalidated whenever the structure changes. It caches
+	// only topology (index slices), never potential values.
+	prog *program
 }
 
 // New creates an empty factor graph.
 func New() *Graph {
-	return &Graph{
-		byName:     make(map[string]*Var),
-		varFactors: make(map[int][]adj),
-	}
+	return &Graph{byName: make(map[string]*Var)}
 }
 
 // AddVar adds a named binary variable. Names must be unique.
@@ -280,6 +391,7 @@ func (g *Graph) AddVar(name string) (*Var, error) {
 	v := &Var{Name: name, idx: len(g.vars)}
 	g.vars = append(g.vars, v)
 	g.byName[name] = v
+	g.prog = nil
 	return v, nil
 }
 
@@ -314,11 +426,8 @@ func (g *Graph) AddFactor(f Factor) error {
 			return fmt.Errorf("factorgraph: factor references a variable not in this graph")
 		}
 	}
-	fi := len(g.factors)
 	g.factors = append(g.factors, f)
-	for pos, v := range f.Vars() {
-		g.varFactors[v.idx] = append(g.varFactors[v.idx], adj{factor: fi, pos: pos})
-	}
+	g.prog = nil
 	return nil
 }
 
@@ -350,9 +459,20 @@ type Options struct {
 	// to 5 under message loss (a lossy iteration can leave posteriors
 	// unchanged simply because most messages were dropped).
 	StableIterations int
+	// Parallel is the number of worker goroutines sharding the two sweep
+	// phases of each iteration (variable→factor over variables,
+	// factor→variable over factors; the synchronous schedule is a natural
+	// barrier between them). 0 or 1 runs serially. Message-loss draws stay
+	// serialized and deterministic regardless of Parallel: loss decisions
+	// are drawn from Rng in edge order before each sweep.
+	Parallel int
 	// Trace, if non-nil, receives the normalized posteriors after every
-	// iteration (the convergence curves of Fig 7). The map is reused across
-	// calls; copy it to retain.
+	// iteration (the convergence curves of Fig 7).
+	//
+	// The same map is passed to every invocation and is overwritten in
+	// place between calls — retaining it across iterations without copying
+	// observes only the final iteration's values. Copy the map (or the
+	// entries you need) inside the callback to retain a snapshot.
 	Trace func(iteration int, posteriors map[string]float64)
 }
 
@@ -372,14 +492,19 @@ func (o Options) withDefaults() (Options, error) {
 	if o.PSend < 0 || o.PSend > 1 {
 		return o, fmt.Errorf("factorgraph: PSend %v out of [0,1]", o.PSend)
 	}
-	if o.PSend > 0 && o.PSend < 1 && o.Rng == nil {
+	// Guard every use of o.Rng up front: the engine draws from it only when
+	// o.lossy() holds, which this validation makes safe.
+	if o.lossy() && o.Rng == nil {
 		return o, fmt.Errorf("factorgraph: PSend in (0,1) requires Rng")
 	}
 	if o.StableIterations < 0 {
 		return o, fmt.Errorf("factorgraph: negative StableIterations")
 	}
+	if o.Parallel < 0 {
+		return o, fmt.Errorf("factorgraph: negative Parallel")
+	}
 	if o.StableIterations == 0 {
-		if o.PSend > 0 && o.PSend < 1 {
+		if o.lossy() {
 			o.StableIterations = 5
 		} else {
 			o.StableIterations = 1
@@ -387,6 +512,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	return o, nil
 }
+
+// lossy reports whether message loss is active.
+func (o Options) lossy() bool { return o.PSend > 0 && o.PSend < 1 }
 
 // Result is the outcome of a Run.
 type Result struct {
@@ -399,116 +527,18 @@ type Result struct {
 	Converged bool
 }
 
-// Run executes synchronous loopy belief propagation and returns the
-// marginals. On tree factor graphs the result is exact after at most two
-// iterations (§4.3); on loopy graphs it is the usual approximation.
+// Run executes synchronous loopy belief propagation on the compiled kernel
+// and returns the marginals. On tree factor graphs the result is exact
+// after at most two iterations (§4.3); on loopy graphs it is the usual
+// approximation. The compiled form of the graph is cached across calls;
+// message buffers are allocated once per Run, and the iteration loop
+// itself is allocation-free. Long-lived callers that run the same graph
+// repeatedly should hold a NewEngine and call Engine.Run to reuse the
+// buffers too.
 func (g *Graph) Run(opts Options) (Result, error) {
-	opts, err := opts.withDefaults()
-	if err != nil {
-		return Result{}, err
-	}
-	// factorToVar[f][pos] and varToFactor[f][pos] live on the factor side,
-	// indexed identically.
-	factorToVar := make([][]Msg, len(g.factors))
-	varToFactor := make([][]Msg, len(g.factors))
-	for fi, f := range g.factors {
-		n := len(f.Vars())
-		factorToVar[fi] = make([]Msg, n)
-		varToFactor[fi] = make([]Msg, n)
-		for i := 0; i < n; i++ {
-			if n == 1 {
-				// Unary factors (priors) emit a constant message; starting
-				// from it rather than the unit saves an iteration and
-				// matches the embedded scheme, where each peer knows its
-				// own priors from the outset (§4.3, §4.4).
-				factorToVar[fi][i] = f.Message(i, varToFactor[fi]).Normalized()
-			} else {
-				factorToVar[fi][i] = Unit()
-			}
-			varToFactor[fi][i] = Unit()
-		}
-	}
-
-	posterior := func(vi int) Msg {
-		b := Unit()
-		for _, a := range g.varFactors[vi] {
-			b = b.Mul(factorToVar[a.factor][a.pos])
-		}
-		return b.Normalized()
-	}
-
-	prev := make([]float64, len(g.vars))
-	for vi := range g.vars {
-		prev[vi] = posterior(vi)[Correct]
-	}
-
-	traceBuf := make(map[string]float64, len(g.vars))
-	res := Result{}
-	stable := 0
-	for iter := 1; iter <= opts.MaxIterations; iter++ {
-		// Variable → factor.
-		for fi, f := range g.factors {
-			for pos, v := range f.Vars() {
-				out := Unit()
-				for _, a := range g.varFactors[v.idx] {
-					if a.factor == fi && a.pos == pos {
-						continue
-					}
-					out = out.Mul(factorToVar[a.factor][a.pos])
-				}
-				out = out.Normalized()
-				if opts.PSend > 0 && opts.PSend < 1 && opts.Rng.Float64() >= opts.PSend {
-					continue // message lost; stale value remains
-				}
-				varToFactor[fi][pos] = out
-			}
-		}
-		// Factor → variable.
-		for fi, f := range g.factors {
-			for pos := range f.Vars() {
-				out := f.Message(pos, varToFactor[fi]).Normalized()
-				if opts.Damping > 0 {
-					old := factorToVar[fi][pos]
-					out = Msg{
-						(1-opts.Damping)*out[0] + opts.Damping*old[0],
-						(1-opts.Damping)*out[1] + opts.Damping*old[1],
-					}
-				}
-				factorToVar[fi][pos] = out
-			}
-		}
-		res.Iterations = iter
-
-		maxDelta := 0.0
-		for vi := range g.vars {
-			p := posterior(vi)[Correct]
-			if d := math.Abs(p - prev[vi]); d > maxDelta {
-				maxDelta = d
-			}
-			prev[vi] = p
-		}
-		if opts.Trace != nil {
-			for vi, v := range g.vars {
-				traceBuf[v.Name] = prev[vi]
-			}
-			opts.Trace(iter, traceBuf)
-		}
-		if maxDelta < opts.Tolerance {
-			stable++
-			if stable >= opts.StableIterations {
-				res.Converged = true
-				break
-			}
-		} else {
-			stable = 0
-		}
-	}
-
-	res.Posteriors = make(map[string]float64, len(g.vars))
-	for vi, v := range g.vars {
-		res.Posteriors[v.Name] = prev[vi]
-	}
-	return res, nil
+	e := NewEngine(g)
+	defer e.Close()
+	return e.Run(opts)
 }
 
 // Exact computes the exact marginals P(v = Correct) by enumerating all
