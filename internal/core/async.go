@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/factorgraph"
 	"repro/internal/graph"
 	"repro/internal/network"
 	"repro/internal/schema"
@@ -19,26 +20,47 @@ import (
 type AsyncOptions struct {
 	// DefaultPrior as in DetectOptions. Defaults to 0.5.
 	DefaultPrior float64
-	// Ticks is how many production steps each peer performs. Each tick the
-	// peer folds whatever remote messages have arrived so far into its
-	// factor replicas and emits fresh µ messages. Defaults to 50.
+	// Ticks is how many kick rounds the driver sends. Peers are
+	// event-driven — every received remote message triggers a local fold
+	// and re-production — so a single kick per peer suffices to start the
+	// cascade; extra kicks are cheap (an unchanged peer produces no new
+	// messages). Defaults to 1.
 	Ticks int
-	// TickInterval optionally spaces the driver's ticks to increase
+	// TickInterval optionally spaces the driver's kicks to increase
 	// interleaving; 0 means flat out.
 	TickInterval time.Duration
-	// Tolerance classifies the final state as converged when the last tick
-	// moved no posterior by more than this. Defaults to 1e-6.
+	// Tolerance classifies the final state as converged when the last
+	// production at every peer moved no posterior by more than this.
+	// Defaults to 1e-6.
 	Tolerance float64
+	// SendTolerance is the smallest message change worth propagating: a
+	// recomputed µ within this distance of the last transmitted one is not
+	// resent, which is what terminates the event cascade at a fixed point.
+	// Defaults to 1e-12.
+	SendTolerance float64
 }
 
-// RunDetectionAsync runs detection on the goroutine-per-peer Bus transport.
-// Evidence must have been discovered beforehand. All peer state is touched
-// only on the peer's dispatch goroutine (ticks are delivered as messages),
-// so the run is free of data races by construction; the interleaving of
-// remote messages across peers is entirely up to the Go scheduler, making
-// every run a fresh demonstration that the scheme needs no synchronization.
-// Results converge to a loopy-BP fixed point of the same model the
-// synchronous schedules solve (identical on tree factor graphs).
+// maxProductions bounds the event cascade per peer so a non-contracting
+// (oscillating) model terminates instead of flooding the bus forever. It is
+// far above what convergent runs use (one production does the work of one
+// synchronous round at the peer).
+const maxProductions = 5000
+
+// RunDetectionAsync runs detection on the goroutine-per-peer Bus transport
+// as an event-driven cascade: the driver kicks every peer once, and from
+// then on arriving remote messages fold into the receiver's replicas and
+// schedule a low-priority recomputation that runs once the inbox is drained
+// (bursts coalesce into a single production), forwarding only the µ
+// messages that changed beyond SendTolerance. The run ends when the bus is
+// quiescent — every message handled, every inbox empty — which at a fixed
+// point of the message-passing equations happens naturally, with no barrier
+// or round structure anywhere. All peer state is touched only on the peer's dispatch
+// goroutine, so the run is free of data races by construction; the
+// interleaving of messages across peers is entirely up to the Go scheduler,
+// making every run a fresh demonstration that the scheme needs no
+// synchronization. Results converge to a loopy-BP fixed point of the same
+// model the synchronous schedules solve (identical whenever that fixed
+// point is unique and attractive, e.g. on tree factor graphs).
 func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 	if opts.DefaultPrior == 0 {
 		opts.DefaultPrior = 0.5
@@ -47,7 +69,7 @@ func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 		return DetectResult{}, fmt.Errorf("core: default prior %v out of [0,1]", opts.DefaultPrior)
 	}
 	if opts.Ticks == 0 {
-		opts.Ticks = 50
+		opts.Ticks = 1
 	}
 	if opts.Ticks < 0 {
 		return DetectResult{}, fmt.Errorf("core: negative Ticks")
@@ -55,48 +77,94 @@ func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 	if opts.Tolerance == 0 {
 		opts.Tolerance = 1e-6
 	}
+	if opts.SendTolerance == 0 {
+		opts.SendTolerance = 1e-12
+	}
 
 	type tick struct{}
 	bus := network.NewBus()
 
-	// lastDelta[peer] is written only on the peer's dispatch goroutine and
-	// read after bus.Close(), when all dispatchers have exited.
+	// lastDelta[peer] and budgetHit are written only on the peer's dispatch
+	// goroutine and read after bus.Close(), when all dispatchers have
+	// exited. markers counts the coalescing self-notifications so they can
+	// be excluded from the remote-message tally.
 	var mu sync.Mutex
 	lastDelta := make(map[graph.PeerID]float64, n.NumPeers())
+	budgetHit := false
+	markers := 0
 
+	type sentKey struct {
+		ev  string
+		pos int
+	}
 	for _, p := range n.Peers() {
 		p := p
+		lastSent := make(map[sentKey]factorgraph.Msg)
+		productions := 0
+		produce := func() {
+			if productions >= maxProductions {
+				mu.Lock()
+				budgetHit = true
+				mu.Unlock()
+				return
+			}
+			productions++
+			delta := 0.0
+			for _, key := range p.sortedVarKeys() {
+				vs := p.vars[key]
+				prior := p.PriorFor(key.Mapping, key.Attr, opts.DefaultPrior)
+				before := vs.posterior(prior)
+				vs.refresh()
+				after := vs.posterior(prior)
+				if d := math.Abs(after - before); d > delta {
+					delta = d
+				}
+				outs := vs.outgoingAll(prior)
+				for fi, f := range vs.factors {
+					out := outs[fi]
+					f.replica.setRemote(f.pos, out)
+					k := sentKey{ev: f.replica.ev.ID, pos: f.pos}
+					if prev, ok := lastSent[k]; ok &&
+						math.Abs(prev[0]-out[0]) <= opts.SendTolerance &&
+						math.Abs(prev[1]-out[1]) <= opts.SendTolerance {
+						continue
+					}
+					lastSent[k] = out
+					for _, dest := range f.destinations(p.id) {
+						bus.Send(network.Envelope{
+							From:    p.id,
+							To:      dest,
+							Payload: remoteMsg{EvID: f.replica.ev.ID, Pos: f.pos, Msg: out},
+						})
+					}
+				}
+			}
+			mu.Lock()
+			lastDelta[p.id] = delta
+			mu.Unlock()
+		}
+		// Remote messages only fold into the replicas; production is
+		// deferred to a low-priority marker the peer sends itself, which
+		// the bus serves once the regular inbox is empty. Bursts of
+		// arrivals therefore coalesce into a single recomputation — one
+		// production does the work of one synchronous round — instead of
+		// one full produce per message. producePending is touched only on
+		// this peer's dispatch goroutine.
+		producePending := false
 		handler := func(e network.Envelope) {
 			switch m := e.Payload.(type) {
 			case remoteMsg:
 				p.handleRemote(m)
-			case tick:
-				delta := 0.0
-				for _, key := range p.sortedVarKeys() {
-					vs := p.vars[key]
-					prior := p.PriorFor(key.Mapping, key.Attr, opts.DefaultPrior)
-					before := vs.posterior(prior)
-					vs.refresh()
-					after := vs.posterior(prior)
-					if d := math.Abs(after - before); d > delta {
-						delta = d
-					}
-					outs := vs.outgoingAll(prior)
-					for fi, f := range vs.factors {
-						out := outs[fi]
-						f.replica.setRemote(f.pos, out)
-						for _, dest := range f.destinations(p.id) {
-							bus.Send(network.Envelope{
-								From:    p.id,
-								To:      dest,
-								Payload: remoteMsg{EvID: f.replica.ev.ID, Pos: f.pos, Msg: out},
-							})
-						}
-					}
+				if !producePending {
+					producePending = true
+					mu.Lock()
+					markers++
+					mu.Unlock()
+					bus.SendLow(network.Envelope{From: p.id, To: p.id, Payload: tick{}})
 				}
-				mu.Lock()
-				lastDelta[p.id] = delta
-				mu.Unlock()
+			case tick:
+				producePending = false
+				produce()
 			}
 		}
 		if err := bus.Register(p.id, handler); err != nil {
@@ -105,21 +173,31 @@ func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 		}
 	}
 
+	kicks := 0
 	for t := 0; t < opts.Ticks; t++ {
 		for _, p := range n.Peers() {
-			bus.Send(network.Envelope{From: "driver", To: p.ID(), Payload: tick{}})
+			bus.SendLow(network.Envelope{From: "driver", To: p.ID(), Payload: tick{}})
+			kicks++
 		}
 		if opts.TickInterval > 0 {
 			time.Sleep(opts.TickInterval)
 		}
 	}
-	bus.Close() // drains all inboxes, then all dispatchers exit
+	// Wait for the cascade to die out: no handler running, no message
+	// pending. The production budget guarantees this terminates.
+	deadline := time.Now().Add(time.Minute)
+	for !bus.Quiescent() && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	bus.Close()
 
 	res := DetectResult{
 		Posteriors: n.snapshotPosteriors(opts.DefaultPrior),
 		Rounds:     opts.Ticks,
 	}
-	res.Converged = true
+	// A peer that exhausted its production budget stopped mid-cascade: the
+	// state is not a verified fixed point, whatever its last delta said.
+	res.Converged = !budgetHit
 	for _, d := range lastDelta {
 		if d >= opts.Tolerance {
 			res.Converged = false
@@ -127,7 +205,7 @@ func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 	}
 	st := bus.Stats()
 	res.Transport = st
-	res.RemoteMessages = st.Sent - opts.Ticks*n.NumPeers() // exclude driver ticks
+	res.RemoteMessages = st.Sent - kicks - markers // exclude kicks and self-markers
 	return res, nil
 }
 

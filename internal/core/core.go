@@ -35,6 +35,9 @@ type Network struct {
 	peers    map[graph.PeerID]*Peer
 	order    []graph.PeerID // insertion order for deterministic iteration
 	mappings map[graph.EdgeID]*schema.Mapping
+	// pinRecs remembers which structure justified each ⊥ pin so churn can
+	// retract pins whose structures dissolved (see churn.go).
+	pinRecs []pinRecord
 }
 
 // NewNetwork creates an empty PDMS. directed selects directed mappings
@@ -78,7 +81,7 @@ func (n *Network) AddPeer(id graph.PeerID, s *schema.Schema) (*Peer, error) {
 		out:    make(map[graph.EdgeID]*schema.Mapping),
 		vars:   make(map[varKey]*varState),
 		evs:    make(map[string]*evReplica),
-		pinned: make(map[varKey]bool),
+		pinned: make(map[varKey]int),
 	}
 	n.peers[id] = p
 	n.order = append(n.order, id)
@@ -168,8 +171,10 @@ func IdentityPairs(s *schema.Schema) map[schema.Attribute]schema.Attribute {
 	return out
 }
 
-// RemoveMapping drops a mapping from the network (churn, §4.4). Inference
-// state derived from it is discarded on the next discovery.
+// RemoveMapping drops a mapping from the network (churn, §4.4). Every
+// evidence factor and ⊥ pin derived from a structure through the mapping is
+// retracted immediately at every peer, so posteriors never reference a
+// mapping that no longer exists; evidence from surviving structures is kept.
 func (n *Network) RemoveMapping(id graph.EdgeID) {
 	e, ok := n.topo.Edge(id)
 	if !ok {
@@ -180,6 +185,7 @@ func (n *Network) RemoveMapping(id graph.EdgeID) {
 	if p, ok := n.peers[e.From]; ok {
 		delete(p.out, id)
 	}
+	n.dropEvidenceFor(map[graph.EdgeID]bool{id: true})
 }
 
 // Mapping returns the schema mapping for a topology edge.
@@ -220,10 +226,12 @@ type Peer struct {
 	out    map[graph.EdgeID]*schema.Mapping
 	store  *xmldb.Store
 
-	// Local factor-graph fragment.
+	// Local factor-graph fragment. pinned counts, per variable, how many
+	// discovered structures justify the ⊥ pin — reference counting lets
+	// churn retract exactly the pins whose structures dissolved.
 	vars   map[varKey]*varState
 	evs    map[string]*evReplica
-	pinned map[varKey]bool
+	pinned map[varKey]int
 	// varKeys caches sortedVarKeys; every write to p.vars must clear it
 	// (installEvidence, resetInference).
 	varKeys []varKey

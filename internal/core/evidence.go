@@ -108,33 +108,48 @@ func (n *Network) DiscoverStructural(attrs []schema.Attribute, maxLen int, delta
 // are reported in DetectResult.Posteriors.
 func CoarseKey() schema.Attribute { return coarseAttr }
 
+// check validates the discovery configuration.
+func (cfg DiscoverConfig) check() error {
+	if cfg.MaxLen < 2 {
+		return fmt.Errorf("core: maxLen %d too small for cycle discovery", cfg.MaxLen)
+	}
+	if cfg.Delta < 0 || cfg.Delta > 1 {
+		return fmt.Errorf("core: delta %v out of [0,1]", cfg.Delta)
+	}
+	if len(cfg.Attrs) == 0 {
+		return fmt.Errorf("core: no attributes to analyze")
+	}
+	return nil
+}
+
 // Discover is the configurable form of DiscoverStructural.
 func (n *Network) Discover(cfg DiscoverConfig) (DiscoveryReport, error) {
-	attrs, maxLen, delta := cfg.Attrs, cfg.MaxLen, cfg.Delta
-	if maxLen < 2 {
-		return DiscoveryReport{}, fmt.Errorf("core: maxLen %d too small for cycle discovery", maxLen)
-	}
-	if delta < 0 || delta > 1 {
-		return DiscoveryReport{}, fmt.Errorf("core: delta %v out of [0,1]", delta)
-	}
-	if len(attrs) == 0 {
-		return DiscoveryReport{}, fmt.Errorf("core: no attributes to analyze")
+	if err := cfg.check(); err != nil {
+		return DiscoveryReport{}, err
 	}
 	n.resetInference()
 
 	var rep DiscoveryReport
 	resolve := n.Resolver()
-	cycles := n.topo.Cycles(maxLen)
+	cycles := n.topo.Cycles(cfg.MaxLen)
 	var pairs []graph.ParallelPair
 	if !cfg.DisableParallelPaths {
-		pairs = n.topo.ParallelPaths(maxLen)
+		pairs = n.topo.ParallelPaths(cfg.MaxLen)
 	}
 	rep.Structures = len(cycles) + len(pairs)
 
 	if cfg.Granularity == CoarseGrained {
 		return rep, n.discoverCoarse(&rep, cfg, cycles, pairs, resolve)
 	}
+	return rep, n.installFine(&rep, cfg, cycles, pairs, resolve)
+}
 
+// installFine evaluates the given structures under the fine granularity of
+// §4.1 — one factor-graph instance per analysis attribute — and installs the
+// resulting evidence. Shared by Discover (all structures) and
+// DiscoverIncremental (only structures through changed mappings).
+func (n *Network) installFine(rep *DiscoveryReport, cfg DiscoverConfig, cycles []graph.Cycle, pairs []graph.ParallelPair, resolve feedback.Resolver) error {
+	attrs, delta := cfg.Attrs, cfg.Delta
 	installed := make(map[string]bool)
 	for _, a := range attrs {
 		for _, c := range cycles {
@@ -153,7 +168,7 @@ func (n *Network) Discover(cfg DiscoverConfig) (DiscoveryReport, error) {
 				}
 				ev, err := feedback.EvaluateCycle(a, rot, resolve)
 				if err != nil {
-					return DiscoveryReport{}, err
+					return err
 				}
 				if installed[ev.ID] {
 					continue
@@ -163,7 +178,7 @@ func (n *Network) Discover(cfg DiscoverConfig) (DiscoveryReport, error) {
 				if dd == 0 {
 					dd = feedback.Delta(op.schema.Len())
 				}
-				n.recordEvidence(&rep, ev, a, rot.Steps, dd, false)
+				n.recordEvidence(rep, ev, a, rot.Steps, dd, false)
 			}
 		}
 		for _, pr := range pairs {
@@ -173,7 +188,7 @@ func (n *Network) Discover(cfg DiscoverConfig) (DiscoveryReport, error) {
 			}
 			ev, err := feedback.EvaluateParallel(a, pr, resolve)
 			if err != nil {
-				return DiscoveryReport{}, err
+				return err
 			}
 			if installed[ev.ID] {
 				continue
@@ -184,10 +199,10 @@ func (n *Network) Discover(cfg DiscoverConfig) (DiscoveryReport, error) {
 				dd = feedback.Delta(op.schema.Len())
 			}
 			steps := append(append([]graph.Step(nil), pr.A...), pr.B...)
-			n.recordEvidence(&rep, ev, a, steps, dd, true)
+			n.recordEvidence(rep, ev, a, steps, dd, true)
 		}
 	}
-	return rep, nil
+	return nil
 }
 
 // discoverCoarse installs one multi-attribute observation per structure
@@ -294,10 +309,15 @@ func (n *Network) recordEvidence(rep *DiscoveryReport, ev feedback.Evidence, var
 			lostAttr := n.attrArrivingAt(ev.Attr, steps, ev.LostAt)
 			if owner, ok := n.Owner(ev.LostAt); ok && lostAttr != "" {
 				key := varKey{Mapping: ev.LostAt, Attr: lostAttr}
-				if !owner.pinned[key] {
-					owner.pinned[key] = true
+				if owner.pinned[key] == 0 {
 					rep.Pinned++
 				}
+				owner.pinned[key]++
+				n.pinRecs = append(n.pinRecs, pinRecord{
+					key:   key,
+					owner: owner.id,
+					edges: stepEdges(steps),
+				})
 			}
 		}
 		return
@@ -401,6 +421,60 @@ func (n *Network) installEvidence(ev *evidenceRef) {
 	}
 }
 
+// EvidenceCounts returns how many positive and negative evidence factors
+// the variable (mapping, attr) participates in at the mapping's owner —
+// zero/zero when the variable is not part of any evidence.
+func (n *Network) EvidenceCounts(m graph.EdgeID, a schema.Attribute) (pos, neg int) {
+	p, ok := n.Owner(m)
+	if !ok {
+		return 0, 0
+	}
+	vs, ok := p.vars[varKey{Mapping: m, Attr: a}]
+	if !ok {
+		return 0, 0
+	}
+	for _, f := range vs.factors {
+		switch f.replica.ev.Polarity {
+		case feedback.Positive:
+			pos++
+		case feedback.Negative:
+			neg++
+		}
+	}
+	return pos, neg
+}
+
+// FactorInfo describes one evidence factor adjacent to a variable: its
+// polarity and the mappings it ranges over.
+type FactorInfo struct {
+	Polarity feedback.Polarity
+	Mappings []graph.EdgeID
+}
+
+// FactorsOf returns the evidence factors the variable (mapping, attr)
+// participates in at the mapping's owner, in the owner's factor order. The
+// harness uses it to separate unambiguously incriminated mappings (sole
+// suspect of a negative observation) from compensated ones (§4.5's Δ case:
+// multiple errors cancelling along a structure look like agreement).
+func (n *Network) FactorsOf(m graph.EdgeID, a schema.Attribute) []FactorInfo {
+	p, ok := n.Owner(m)
+	if !ok {
+		return nil
+	}
+	vs, ok := p.vars[varKey{Mapping: m, Attr: a}]
+	if !ok {
+		return nil
+	}
+	out := make([]FactorInfo, 0, len(vs.factors))
+	for _, f := range vs.factors {
+		out = append(out, FactorInfo{
+			Polarity: f.replica.ev.Polarity,
+			Mappings: append([]graph.EdgeID(nil), f.replica.ev.Mappings...),
+		})
+	}
+	return out
+}
+
 // EvidenceSummary returns, for debugging and the CLI, one line per evidence
 // factor installed at the peer, sorted.
 func (p *Peer) EvidenceSummary() []string {
@@ -419,7 +493,8 @@ func (n *Network) resetInference() {
 	for _, p := range n.peers {
 		p.vars = make(map[varKey]*varState)
 		p.evs = make(map[string]*evReplica)
-		p.pinned = make(map[varKey]bool)
+		p.pinned = make(map[varKey]int)
 		p.varKeys = nil
 	}
+	n.pinRecs = nil
 }

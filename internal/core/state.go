@@ -238,5 +238,5 @@ func (p *Peer) handleRemote(m remoteMsg) {
 // because the mapping provides no correspondence for the attribute
 // (§3.2.1's ⊥ rule).
 func (p *Peer) Pinned(mapping graph.EdgeID, attr schema.Attribute) bool {
-	return p.pinned[varKey{Mapping: mapping, Attr: attr}]
+	return p.pinned[varKey{Mapping: mapping, Attr: attr}] > 0
 }

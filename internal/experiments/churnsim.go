@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+)
+
+// ChurnEpochPoint is one epoch of the scenario-driven churn experiment.
+type ChurnEpochPoint struct {
+	Epoch     int
+	Peers     int
+	Mappings  int
+	Corrupted int
+	// Evidence is the number of non-neutral observations (re)installed this
+	// epoch — full discovery on the first epoch, incremental afterwards.
+	Evidence int
+	Rounds   int
+	// MeanClean/MeanCorrupt are the mean posteriors of covered clean and
+	// corrupted mappings; their gap is the detection signal surviving churn.
+	MeanClean   float64
+	MeanCorrupt float64
+	// Violations counts invariant violations (always 0 in a healthy build;
+	// the run includes the scratch differential).
+	Violations int
+}
+
+// ChurnTimeline generates a seeded churn scenario — peers joining and
+// leaving, mappings added, removed, corrupted and repaired every epoch —
+// replays it with incremental re-detection, and reports the per-epoch
+// network state and separation. It drives the same engine as cmd/pdmssim;
+// the scenario is reproducible from (peers, epochs, seed) alone.
+func ChurnTimeline(peers, epochs int, seed int64) ([]ChurnEpochPoint, error) {
+	sc, err := sim.Generate(sim.GenConfig{
+		Seed:    seed,
+		Peers:   peers,
+		Epochs:  epochs,
+		Events:  5,
+		Queries: 10,
+		Verify:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ChurnEpochPoint, 0, len(res.Epochs))
+	for _, e := range res.Epochs {
+		out = append(out, ChurnEpochPoint{
+			Epoch:       e.Epoch,
+			Peers:       e.Peers,
+			Mappings:    e.Mappings,
+			Corrupted:   e.Corrupted,
+			Evidence:    e.Discovery.Positive + e.Discovery.Negative,
+			Rounds:      e.Detection.Rounds,
+			MeanClean:   e.MeanClean,
+			MeanCorrupt: e.MeanCorrupt,
+			Violations:  len(e.Violations),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestChurnTimeline: the scenario-driven churn experiment is reproducible,
+// keeps the corrupted mappings ranked below the clean ones on average, and
+// never violates an invariant.
+func TestChurnTimeline(t *testing.T) {
+	run := func() []ChurnEpochPoint {
+		eps, err := ChurnTimeline(30, 3, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eps
+	}
+	a := run()
+	if len(a) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(a))
+	}
+	for _, e := range a {
+		if e.Violations != 0 {
+			t.Errorf("epoch %d: %d invariant violations", e.Epoch, e.Violations)
+		}
+		if e.MeanCorrupt >= e.MeanClean {
+			t.Errorf("epoch %d: corrupted mean %.3f not below clean mean %.3f", e.Epoch, e.MeanCorrupt, e.MeanClean)
+		}
+	}
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic timeline: %+v vs %+v", a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRemovePeer: removing a peer deletes it, all incident edges, and the
+// cycles through them, while the rest of the graph is untouched.
+func TestRemovePeer(t *testing.T) {
+	g := fig5(t)
+	before := g.NumEdges()
+	removed := g.RemovePeer("p2")
+	if g.HasPeer("p2") {
+		t.Fatal("p2 still present after RemovePeer")
+	}
+	// p2's incident edges: m12, m21, m23, m24.
+	want := map[EdgeID]bool{"m12": true, "m21": true, "m23": true, "m24": true}
+	if len(removed) != len(want) {
+		t.Fatalf("removed %v, want the 4 incident edges", removed)
+	}
+	for _, id := range removed {
+		if !want[id] {
+			t.Errorf("unexpected removed edge %q", id)
+		}
+		if _, ok := g.Edge(id); ok {
+			t.Errorf("edge %q still present", id)
+		}
+	}
+	if g.NumEdges() != before-len(want) {
+		t.Errorf("edge count %d, want %d", g.NumEdges(), before-len(want))
+	}
+	for _, c := range g.Cycles(6) {
+		for _, s := range c.Steps {
+			if want[s.Edge] {
+				t.Errorf("cycle %v uses removed edge %q", c, s.Edge)
+			}
+		}
+	}
+	if got := g.RemovePeer("p2"); got != nil {
+		t.Errorf("second RemovePeer returned %v, want nil", got)
+	}
+	if g.RemovePeer("no-such-peer") != nil {
+		t.Error("removing unknown peer returned edges")
+	}
+}
+
+// TestRemovePeerOutgoingConsistency: after removal, no peer lists a removed
+// edge among its usable edges.
+func TestRemovePeerOutgoingConsistency(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		g := newGraph(directed)
+		g.MustAddEdge("e1", "a", "b")
+		g.MustAddEdge("e2", "b", "c")
+		g.MustAddEdge("e3", "c", "a")
+		g.RemovePeer("b")
+		for _, p := range g.Peers() {
+			for _, id := range g.Outgoing(p) {
+				if id == "e1" || id == "e2" {
+					t.Errorf("directed=%v: peer %q still lists removed edge %q", directed, p, id)
+				}
+			}
+		}
+		if g.NumPeers() != 2 || g.NumEdges() != 1 {
+			t.Errorf("directed=%v: got %d peers %d edges, want 2/1", directed, g.NumPeers(), g.NumEdges())
+		}
+	}
+}
+
+// TestPreferentialTargets: targets are distinct, never the excluded peer,
+// deterministic under a fixed seed, and biased toward high-degree peers.
+func TestPreferentialTargets(t *testing.T) {
+	g, err := BarabasiAlbert(60, 2, false, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(seed int64) []PeerID {
+		return g.PreferentialTargets(3, "p0", rand.New(rand.NewSource(seed)))
+	}
+	a, b := pick(11), pick(11)
+	if len(a) != 3 {
+		t.Fatalf("got %d targets, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic targets: %v vs %v", a, b)
+		}
+	}
+	seen := make(map[PeerID]bool)
+	for _, p := range a {
+		if p == "p0" {
+			t.Error("excluded peer chosen")
+		}
+		if seen[p] {
+			t.Errorf("duplicate target %v", p)
+		}
+		seen[p] = true
+	}
+	// Degree bias: over many draws, the seed-clique hubs must be chosen far
+	// more often than a late leaf peer.
+	counts := make(map[PeerID]int)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		for _, p := range g.PreferentialTargets(1, "", rng) {
+			counts[p]++
+		}
+	}
+	if counts["p0"] <= counts["p59"] {
+		t.Errorf("no preferential bias: hub p0 %d draws vs leaf p59 %d", counts["p0"], counts["p59"])
+	}
+}
+
+// TestPreferentialTargetsEdgeCases: empty graphs, edgeless graphs and k
+// larger than the population degrade gracefully.
+func TestPreferentialTargetsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewUndirected()
+	if got := g.PreferentialTargets(2, "", rng); got != nil {
+		t.Errorf("empty graph: got %v, want nil", got)
+	}
+	g.AddPeer("a")
+	g.AddPeer("b")
+	// No edges: uniform fallback over the other peers.
+	got := g.PreferentialTargets(5, "a", rng)
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("edgeless fallback: got %v, want [b]", got)
+	}
+	if got := g.PreferentialTargets(0, "", rng); got != nil {
+		t.Errorf("k=0: got %v, want nil", got)
+	}
+}

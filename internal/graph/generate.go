@@ -139,6 +139,56 @@ func BarabasiAlbert(n, attach int, directed bool, rng *rand.Rand) (*Graph, error
 	return g, nil
 }
 
+// PreferentialTargets picks up to k distinct attachment targets for a peer
+// joining an existing overlay, chosen proportionally to current degree — the
+// same preferential-attachment rule BarabasiAlbert uses at construction
+// time, exposed for churn simulations where peers join an already-running
+// network. exclude (typically the joining peer itself) is never returned.
+// Isolated peers have degree zero and are never chosen; if the graph has no
+// edges at all, targets fall back to uniform choice over the other peers.
+// Determinism comes from the caller-provided source. Returns fewer than k
+// targets when the graph has fewer eligible peers.
+func (g *Graph) PreferentialTargets(k int, exclude PeerID, rng *rand.Rand) []PeerID {
+	if k < 1 {
+		return nil
+	}
+	// Degree-weighted urn in deterministic (edge insertion) order.
+	var urn []PeerID
+	for _, id := range g.edgeIDs {
+		e := g.edges[id]
+		urn = append(urn, e.From, e.To)
+	}
+	if len(urn) == 0 {
+		urn = append(urn, g.peers...)
+	}
+	eligible := make(map[PeerID]bool)
+	for _, p := range urn {
+		if p != exclude {
+			eligible[p] = true
+		}
+	}
+	if k > len(eligible) {
+		k = len(eligible)
+	}
+	if k == 0 {
+		return nil
+	}
+	chosen := make(map[PeerID]bool)
+	for len(chosen) < k {
+		t := urn[rng.Intn(len(urn))]
+		if t == exclude || chosen[t] {
+			continue
+		}
+		chosen[t] = true
+	}
+	out := make([]PeerID, 0, len(chosen))
+	for t := range chosen {
+		out = append(out, t)
+	}
+	sortPeerIDs(out)
+	return out
+}
+
 func sortPeerIDs(ps []PeerID) {
 	for i := 1; i < len(ps); i++ {
 		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {

@@ -126,6 +126,35 @@ func (g *Graph) RemoveEdge(id EdgeID) {
 	}
 }
 
+// RemovePeer deletes a peer and every edge incident to it (a peer leaving
+// the network, §4.4 churn). Removing an unknown peer is a no-op. It returns
+// the IDs of the edges that were removed with the peer.
+func (g *Graph) RemovePeer(p PeerID) []EdgeID {
+	if !g.peerSet[p] {
+		return nil
+	}
+	var incident []EdgeID
+	for _, id := range g.edgeIDs {
+		e := g.edges[id]
+		if e.From == p || e.To == p {
+			incident = append(incident, id)
+		}
+	}
+	for _, id := range incident {
+		g.RemoveEdge(id)
+	}
+	delete(g.peerSet, p)
+	delete(g.out, p)
+	delete(g.in, p)
+	for i, q := range g.peers {
+		if q == p {
+			g.peers = append(g.peers[:i:i], g.peers[i+1:]...)
+			break
+		}
+	}
+	return incident
+}
+
 func removeID(ids []EdgeID, id EdgeID) []EdgeID {
 	for i, x := range ids {
 		if x == id {

@@ -1,0 +1,190 @@
+package network
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestBusUnregister: an unregistered peer drains its inbox, later sends to
+// it are dropped, and double/unknown unregistration is a no-op.
+func TestBusUnregister(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	var got atomic.Int64
+	if err := b.Register("a", func(Envelope) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Send(Envelope{From: "x", To: "a", Payload: i})
+	}
+	b.Unregister("a")
+	b.Unregister("a")
+	b.Unregister("ghost")
+	// The in-flight inbox drains even after unregistration.
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 10 {
+		t.Fatalf("delivered %d of 10 queued envelopes after Unregister", got.Load())
+	}
+	b.Send(Envelope{From: "x", To: "a", Payload: 99})
+	st := b.Stats()
+	if st.Dropped == 0 {
+		t.Error("send to unregistered peer was not dropped")
+	}
+	// The name can be reused by a new peer.
+	if err := b.Register("a", func(Envelope) {}); err != nil {
+		t.Errorf("re-registration after Unregister failed: %v", err)
+	}
+}
+
+// TestBusSendLowPriority: low-priority envelopes are served only when the
+// regular inbox is empty, so a pre-filled regular queue is fully drained
+// before the first low-priority delivery.
+func TestBusSendLowPriority(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	var order []string
+	release := make(chan struct{})
+	if err := b.Register("a", func(e Envelope) {
+		<-release
+		mu.Lock()
+		order = append(order, e.Payload.(string))
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// While the dispatcher blocks on the first envelope, enqueue a low
+	// tick, then more regular traffic behind it.
+	b.Send(Envelope{To: "a", Payload: "r1"})
+	b.SendLow(Envelope{To: "a", Payload: "tick"})
+	b.Send(Envelope{To: "a", Payload: "r2"})
+	b.Send(Envelope{To: "a", Payload: "r3"})
+	close(release)
+	b.Close()
+	want := []string{"r1", "r2", "r3", "tick"}
+	if len(order) != len(want) {
+		t.Fatalf("delivered %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestBusQuiescent: a bus with traffic in flight is not quiescent; once
+// everything is handled it is.
+func TestBusQuiescent(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	block := make(chan struct{})
+	if err := b.Register("a", func(Envelope) { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Quiescent() {
+		t.Error("fresh bus not quiescent")
+	}
+	b.Send(Envelope{To: "a", Payload: 1})
+	if b.Quiescent() {
+		t.Error("bus with an envelope in flight reported quiescent")
+	}
+	close(block)
+	deadline := time.Now().Add(5 * time.Second)
+	for !b.Quiescent() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !b.Quiescent() {
+		t.Error("bus never became quiescent")
+	}
+}
+
+// TestBusChurnUnderLoadRace is the churn stress test: a fleet of stable
+// peers exchanges detection-style message rounds (every delivery triggers a
+// forward to the next peer, like µ messages cascading) while other
+// goroutines concurrently register and unregister transient peers and send
+// into the churning set. Run under -race this pins down that join/leave
+// needs no external synchronization with in-flight detection rounds.
+func TestBusChurnUnderLoadRace(t *testing.T) {
+	b := NewBus()
+	const stable = 8
+	const transientRounds = 40
+	var delivered atomic.Int64
+
+	name := func(i int) graph.PeerID { return graph.PeerID(fmt.Sprintf("s%d", i)) }
+	for i := 0; i < stable; i++ {
+		i := i
+		if err := b.Register(name(i), func(e Envelope) {
+			delivered.Add(1)
+			// Cascade like a belief-propagation round, bounded by TTL.
+			if ttl, ok := e.Payload.(int); ok && ttl > 0 {
+				b.Send(Envelope{From: name(i), To: name((i + 1) % stable), Payload: ttl - 1})
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Load generators: keep rounds in flight across the stable fleet.
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				b.Send(Envelope{From: "driver", To: name((g + r) % stable), Payload: 20})
+			}
+		}()
+	}
+	// Churners: transient peers join, receive, and leave concurrently.
+	for c := 0; c < 3; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < transientRounds; r++ {
+				p := graph.PeerID(fmt.Sprintf("t%d-%d", c, r))
+				if err := b.Register(p, func(e Envelope) {
+					if ttl, ok := e.Payload.(int); ok && ttl > 0 {
+						b.Send(Envelope{From: p, To: name(r % stable), Payload: ttl - 1})
+					}
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				b.Send(Envelope{From: "driver", To: p, Payload: 3})
+				b.SendLow(Envelope{From: "driver", To: p, Payload: 0})
+				b.Unregister(p)
+			}
+		}()
+	}
+	// A goroutine hammering sends at peers that may just have left.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 200; r++ {
+			b.Send(Envelope{From: "driver", To: graph.PeerID(fmt.Sprintf("t0-%d", r%transientRounds)), Payload: 0})
+		}
+	}()
+
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for !b.Quiescent() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	st := b.Stats()
+	if delivered.Load() == 0 {
+		t.Fatal("nothing delivered under churn")
+	}
+	if st.Sent != st.Delivered+st.Dropped {
+		t.Errorf("accounting leak: sent %d != delivered %d + dropped %d", st.Sent, st.Delivered, st.Dropped)
+	}
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/feedback"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// This file is the property side of the harness: invariants every epoch of
+// every scenario must satisfy, plus the scratch differential that pins the
+// incrementally maintained inference state to a from-scratch rebuild of the
+// same topology. Violations are reported as strings in the epoch trace so a
+// failing scenario is self-describing.
+
+// checkInvariants verifies, after one epoch's detection run:
+//
+//  1. Every posterior is a probability (in [0,1]).
+//  2. Every ⊥-pinned variable reports posterior zero.
+//  3. Corrupted mappings rank below their clean counterparts: the mean
+//     posterior of unambiguously incriminated corrupted mappings — sole
+//     corrupted member of at least one negative observation, member of no
+//     positive one — is below the mean of clean mappings backed only by
+//     positive evidence. Compensated corruptions (two errors cancelling
+//     along a structure, the Δ case of §4.5) are excluded: the evidence
+//     genuinely exonerates them, which is the paper's known limitation, not
+//     a bug in the inference.
+func (s *Simulation) checkInvariants(det core.DetectResult) []string {
+	var viol []string
+	attr := schema.Attribute(s.sc.AnalysisAttr)
+
+	// 1. Range, over every (mapping, attribute) pair, sorted for stable
+	// violation ordering.
+	type entry struct {
+		m graph.EdgeID
+		a schema.Attribute
+		p float64
+	}
+	var all []entry
+	for m, attrs := range det.Posteriors {
+		for a, p := range attrs {
+			all = append(all, entry{m, a, p})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].m != all[j].m {
+			return all[i].m < all[j].m
+		}
+		return all[i].a < all[j].a
+	})
+	for _, e := range all {
+		if e.p < 0 || e.p > 1 || math.IsNaN(e.p) {
+			viol = append(viol, fmt.Sprintf("posterior out of range: %s/%s = %v", e.m, e.a, e.p))
+		}
+	}
+
+	// 2. Pins report zero.
+	for _, e := range all {
+		if owner, ok := s.net.Owner(e.m); ok && owner.Pinned(e.m, e.a) && e.p != 0 {
+			viol = append(viol, fmt.Sprintf("pinned variable %s/%s reports %v, want 0", e.m, e.a, e.p))
+		}
+	}
+
+	// 3. Ranking: unambiguously incriminated corrupted vs positively
+	// supported clean.
+	var sumBad, sumGood float64
+	var nBad, nGood int
+	for _, id := range s.liveMappings() {
+		m := graph.EdgeID(id)
+		p := det.Posterior(m, attr, -1)
+		if p < 0 {
+			continue
+		}
+		pos, neg := s.net.EvidenceCounts(m, attr)
+		if s.corrupted[m] {
+			if pos > 0 || neg == 0 {
+				continue // compensated or uncovered: evidence cannot convict
+			}
+			soleSuspect := false
+			for _, f := range s.net.FactorsOf(m, attr) {
+				if f.Polarity != feedback.Negative {
+					continue
+				}
+				bad := 0
+				for _, member := range f.Mappings {
+					if s.corrupted[member] {
+						bad++
+					}
+				}
+				if bad == 1 {
+					soleSuspect = true
+					break
+				}
+			}
+			if soleSuspect {
+				sumBad += p
+				nBad++
+			}
+		} else if neg == 0 && pos > 0 {
+			sumGood += p
+			nGood++
+		}
+	}
+	if nBad > 0 && nGood > 0 {
+		meanBad, meanGood := sumBad/float64(nBad), sumGood/float64(nGood)
+		if meanBad >= meanGood {
+			viol = append(viol, fmt.Sprintf(
+				"ranking inverted: corrupted mean %.6f (n=%d) >= clean mean %.6f (n=%d)",
+				meanBad, nBad, meanGood, nGood))
+		}
+	}
+	return viol
+}
+
+// verifyRoute independently re-walks every path RouteQuery reported and
+// confirms the θ gate held on each hop: the mapping preserved every
+// attribute of the query as rewritten up to that hop, the posterior of each
+// such attribute cleared θ, and no pinned variable was crossed. Routing must
+// never cross a sub-θ mapping.
+func (s *Simulation) verifyRoute(origin graph.PeerID, q query.Query, res core.RouteResult, det core.DetectResult) []string {
+	var viol []string
+	for _, v := range res.Visits {
+		cur := q
+		at := origin
+		for _, eid := range v.Via {
+			e, ok := s.net.Topology().Edge(eid)
+			if !ok {
+				viol = append(viol, fmt.Sprintf("route to %s crossed unknown mapping %s", v.Peer, eid))
+				break
+			}
+			if e.From != at {
+				viol = append(viol, fmt.Sprintf("route to %s is not a path: %s departs %s, not %s", v.Peer, eid, e.From, at))
+				break
+			}
+			m, _ := s.net.Mapping(eid)
+			owner, _ := s.net.Peer(e.From)
+			broken := false
+			for _, a := range cur.Attributes() {
+				if _, mapped := m.Map(a); !mapped {
+					viol = append(viol, fmt.Sprintf("route to %s crossed %s, which drops attribute %s", v.Peer, eid, a))
+					broken = true
+					continue
+				}
+				post := det.Posterior(eid, a, 0.5)
+				if owner != nil && owner.Pinned(eid, a) {
+					post = 0
+				}
+				if post <= s.sc.Theta {
+					viol = append(viol, fmt.Sprintf(
+						"route to %s crossed sub-θ mapping %s (%s: %.6f <= %.2f)",
+						v.Peer, eid, a, post, s.sc.Theta))
+				}
+			}
+			if broken {
+				break
+			}
+			cur, _ = cur.Rewrite(m)
+			at = e.To
+		}
+	}
+	return viol
+}
+
+// rebuild constructs a fresh network with the simulation's current peers and
+// mapping revisions, as if the final topology had been declared up front.
+func (s *Simulation) rebuild() (*core.Network, error) {
+	fresh := core.NewNetwork(s.sc.Directed)
+	for _, p := range s.livePeers() {
+		if _, err := fresh.AddPeer(graph.PeerID(p), s.schemaFor(graph.PeerID(p))); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range s.liveMappings() {
+		spec := s.specs[graph.EdgeID(id)]
+		pairs := s.idPairs
+		if spec.corrupted {
+			pairs = s.swapPairs
+		}
+		if _, err := fresh.AddMapping(graph.EdgeID(id), spec.from, spec.to, pairs); err != nil {
+			return nil, err
+		}
+	}
+	return fresh, nil
+}
+
+// checkScratchDifferential is the churn oracle: the incrementally maintained
+// evidence state must be structurally identical to a from-scratch rebuild +
+// full rediscovery of the current topology, and (on reliable epochs) a
+// detection run over the rebuilt network must land on the same posteriors.
+func (s *Simulation) checkScratchDifferential(det core.DetectResult, psend float64) []string {
+	fresh, err := s.rebuild()
+	if err != nil {
+		return []string{fmt.Sprintf("scratch rebuild failed: %v", err)}
+	}
+	if _, err := fresh.Discover(s.discoverCfg()); err != nil {
+		return []string{fmt.Sprintf("scratch discovery failed: %v", err)}
+	}
+	a, b := s.net.InferenceDigest(), fresh.InferenceDigest()
+	if len(a) != len(b) {
+		return []string{fmt.Sprintf("inference state diverged from scratch: %d vs %d entries", len(a), len(b))}
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return []string{fmt.Sprintf("inference state diverged from scratch at %q vs %q", a[i], b[i])}
+		}
+	}
+	if psend < 1 {
+		// Loss patterns depend on peer order, so posterior comparison is
+		// only meaningful on reliable epochs.
+		return nil
+	}
+	ref, err := fresh.RunDetection(core.DetectOptions{MaxRounds: s.sc.MaxRounds, Tolerance: 1e-9})
+	if err != nil {
+		return []string{fmt.Sprintf("scratch detection failed: %v", err)}
+	}
+	var viol []string
+	for m, attrs := range det.Posteriors {
+		for at, p := range attrs {
+			if d := math.Abs(p - ref.Posterior(m, at, -1)); d > 1e-6 {
+				viol = append(viol, fmt.Sprintf(
+					"incremental posterior %s/%s differs from scratch by %.2e", m, at, d))
+			}
+		}
+	}
+	sort.Strings(viol)
+	return viol
+}

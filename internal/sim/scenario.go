@@ -1,0 +1,334 @@
+// Package sim is a seeded, deterministic scenario engine for dynamic PDMS
+// networks. A Scenario is a declarative, JSON-serializable description of a
+// reproducible experiment — initial overlay, corruption model, and a
+// timeline of epochs whose events make peers join and leave, and mappings
+// appear, disappear, and get corrupted or repaired — in the spirit of
+// CUDF-style shareable problem instances. Replaying a scenario drives the
+// whole stack: topology generation (internal/graph), churn maintenance and
+// incremental evidence discovery (internal/core), detection over the
+// simulated transport (internal/network), and θ-gated query routing. After
+// every epoch the engine re-runs detection incrementally and checks a suite
+// of invariants; the resulting Trace is bit-for-bit reproducible from the
+// scenario alone, which is what the golden-trace regression tests under
+// cmd/pdmssim/testdata pin down. See TESTING.md.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// EventOp enumerates the churn event kinds of a scenario timeline.
+type EventOp string
+
+const (
+	// OpJoin adds a fresh peer (connect it with OpAddMapping events).
+	OpJoin EventOp = "join"
+	// OpLeave removes a peer and every mapping incident to it.
+	OpLeave EventOp = "leave"
+	// OpAddMapping declares a new identity mapping From→To.
+	OpAddMapping EventOp = "add-mapping"
+	// OpRemoveMapping drops a mapping.
+	OpRemoveMapping EventOp = "remove-mapping"
+	// OpCorrupt replaces a mapping in place with a corrupted revision
+	// (its first two attributes swapped).
+	OpCorrupt EventOp = "corrupt-mapping"
+	// OpFix replaces a mapping in place with the clean identity revision.
+	OpFix EventOp = "fix-mapping"
+)
+
+// Event is one churn event. Which fields are meaningful depends on Op:
+// Peer for join/leave, Mapping for every mapping op, From/To only for
+// add-mapping.
+type Event struct {
+	Op      EventOp `json:"op"`
+	Peer    string  `json:"peer,omitempty"`
+	Mapping string  `json:"mapping,omitempty"`
+	From    string  `json:"from,omitempty"`
+	To      string  `json:"to,omitempty"`
+}
+
+// Epoch is one simulation step: apply the events, re-discover evidence
+// incrementally, re-run detection, check invariants, then route a burst of
+// queries.
+type Epoch struct {
+	// Events are applied in order before detection.
+	Events []Event `json:"events,omitempty"`
+	// PSend is the remote-message delivery probability for this epoch's
+	// detection run; 0 means reliable (1.0).
+	PSend float64 `json:"psend,omitempty"`
+	// Queries is the size of the θ-gated query burst routed after
+	// detection (origins drawn deterministically from the scenario seed).
+	Queries int `json:"queries,omitempty"`
+}
+
+// Scenario is a complete, declarative, reproducible experiment description.
+// The zero values of most fields select sensible defaults (see
+// withDefaults); Peers and Epochs are the only mandatory inputs.
+type Scenario struct {
+	Name string `json:"name"`
+	// Seed drives every random choice: initial topology, initial
+	// corruption, message loss and query origins. Same scenario, same
+	// trace, bit for bit.
+	Seed int64 `json:"seed"`
+
+	// Initial overlay of Peers peers over a shared schema of Attrs
+	// attributes a0..a{Attrs-1}, with identity mappings of which a Corrupt
+	// fraction start out corrupted (a0/a1 swapped). Topology selects the
+	// generator: "ba" (default) is a preferential-attachment graph with
+	// degree parameter Attach; "ring" is a directed ring with short
+	// forward chords (strongly connected, loopy evidence); "necklace" is a
+	// ring of disjoint 3-cycles (strongly connected with a forest factor
+	// graph — exact inference, the overlay the schedule differential runs
+	// on). Ring and necklace overlays are directed by construction.
+	Topology string  `json:"topology,omitempty"`
+	Peers    int     `json:"peers"`
+	Attach   int     `json:"attach,omitempty"`
+	Attrs    int     `json:"attrs,omitempty"`
+	Corrupt  float64 `json:"corrupt,omitempty"`
+	Directed bool    `json:"directed,omitempty"`
+
+	// Detection configuration.
+	AnalysisAttr string  `json:"analysisAttr,omitempty"` // default "a0"
+	MaxLen       int     `json:"maxLen,omitempty"`       // structure length bound, default 4
+	Delta        float64 `json:"delta,omitempty"`        // Δ of §4.5, default 0.1
+	Theta        float64 `json:"theta,omitempty"`        // routing threshold, default 0.5
+	MaxRounds    int     `json:"maxRounds,omitempty"`    // detection rounds bound, default 300
+
+	// RecordPosteriors includes the full posterior map in every epoch
+	// trace (keep scenarios small when enabling it).
+	RecordPosteriors bool `json:"recordPosteriors,omitempty"`
+	// Verify enables the scratch differential: after every epoch the
+	// incrementally maintained inference state is compared against a
+	// from-scratch rebuild + full rediscovery of the same topology.
+	Verify bool `json:"verify,omitempty"`
+
+	Epochs []Epoch `json:"epochs"`
+}
+
+// withDefaults fills zero-valued optional fields.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Topology == "" {
+		sc.Topology = "ba"
+	}
+	if sc.Topology == "ring" || sc.Topology == "necklace" {
+		sc.Directed = true // these overlays are directed by construction
+	}
+	if sc.Attach == 0 {
+		sc.Attach = 2
+	}
+	if sc.Attrs == 0 {
+		sc.Attrs = 4
+	}
+	if sc.AnalysisAttr == "" {
+		sc.AnalysisAttr = "a0"
+	}
+	if sc.MaxLen == 0 {
+		sc.MaxLen = 4
+	}
+	if sc.Delta == 0 {
+		sc.Delta = 0.1
+	}
+	if sc.Theta == 0 {
+		sc.Theta = 0.5
+	}
+	if sc.MaxRounds == 0 {
+		sc.MaxRounds = 300
+	}
+	return sc
+}
+
+// check validates a scenario after defaulting.
+func (sc Scenario) check() error {
+	if sc.Topology != "ba" && sc.Topology != "ring" && sc.Topology != "necklace" {
+		return fmt.Errorf("sim: unknown topology %q", sc.Topology)
+	}
+	if sc.Peers < sc.Attach+1 {
+		return fmt.Errorf("sim: %d peers too few for attach %d", sc.Peers, sc.Attach)
+	}
+	if sc.Attrs < 2 {
+		return fmt.Errorf("sim: need at least 2 attributes, got %d", sc.Attrs)
+	}
+	if sc.Corrupt < 0 || sc.Corrupt > 1 {
+		return fmt.Errorf("sim: corrupt fraction %v out of [0,1]", sc.Corrupt)
+	}
+	if sc.MaxLen < 2 {
+		return fmt.Errorf("sim: maxLen %d too small", sc.MaxLen)
+	}
+	if sc.Theta < 0 || sc.Theta >= 1 {
+		return fmt.Errorf("sim: theta %v out of [0,1)", sc.Theta)
+	}
+	for i, ep := range sc.Epochs {
+		if ep.PSend < 0 || ep.PSend > 1 {
+			return fmt.Errorf("sim: epoch %d: psend %v out of [0,1]", i+1, ep.PSend)
+		}
+		if ep.Queries < 0 {
+			return fmt.Errorf("sim: epoch %d: negative query burst", i+1)
+		}
+	}
+	return nil
+}
+
+// ParseScenario decodes a scenario from JSON, rejecting unknown fields so a
+// typo in a scenario file fails loudly instead of silently defaulting.
+func ParseScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(bytesReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("sim: parsing scenario: %w", err)
+	}
+	return sc, nil
+}
+
+// GenConfig parameterizes random scenario generation.
+type GenConfig struct {
+	Seed    int64
+	Peers   int     // initial peer count (default 12)
+	Attach  int     // preferential-attachment degree (default 2)
+	Attrs   int     // schema size (default 4)
+	Corrupt float64 // initial corruption fraction (default 0.15)
+	Epochs  int     // number of epochs (default 4)
+	Events  int     // churn events per epoch (default 4; negative = static scenario)
+	Queries int     // query burst per epoch (default 8)
+	PSend   float64 // per-epoch delivery probability (default reliable)
+	Verify  bool    // enable the scratch differential
+}
+
+func (cfg GenConfig) withDefaults() GenConfig {
+	if cfg.Peers == 0 {
+		cfg.Peers = 12
+	}
+	if cfg.Attach == 0 {
+		cfg.Attach = 2
+	}
+	if cfg.Attrs == 0 {
+		cfg.Attrs = 4
+	}
+	if cfg.Corrupt == 0 {
+		cfg.Corrupt = 0.15
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 4
+	}
+	if cfg.Events == 0 {
+		cfg.Events = 4
+	} else if cfg.Events < 0 {
+		cfg.Events = 0
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 8
+	}
+	return cfg
+}
+
+// Generate builds a random but fully declarative scenario: every event names
+// concrete peers and mappings, chosen against a shadow replay of the
+// scenario so the timeline is guaranteed to be applicable (leaves reference
+// live peers, corruptions reference clean mappings, and so on). The same
+// GenConfig always yields the same scenario.
+func Generate(cfg GenConfig) (Scenario, error) {
+	cfg = cfg.withDefaults()
+	sc := Scenario{
+		Name:    fmt.Sprintf("gen-%d", cfg.Seed),
+		Seed:    cfg.Seed,
+		Peers:   cfg.Peers,
+		Attach:  cfg.Attach,
+		Attrs:   cfg.Attrs,
+		Corrupt: cfg.Corrupt,
+		Verify:  cfg.Verify,
+	}
+	shadow, err := New(sc)
+	if err != nil {
+		return Scenario{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
+	for e := 0; e < cfg.Epochs; e++ {
+		ep := Epoch{PSend: cfg.PSend, Queries: cfg.Queries}
+		for i := 0; i < cfg.Events; i++ {
+			evs := shadow.randomEvents(rng)
+			for _, ev := range evs {
+				if err := shadow.applyEvent(ev); err != nil {
+					return Scenario{}, fmt.Errorf("sim: generated invalid event %+v: %w", ev, err)
+				}
+			}
+			ep.Events = append(ep.Events, evs...)
+		}
+		sc.Epochs = append(sc.Epochs, ep)
+	}
+	return sc, nil
+}
+
+// randomEvents draws one churn action against the current shadow state. A
+// join returns the join event together with the add-mapping events that
+// connect the new peer, so scenarios stay fully declarative.
+func (s *Simulation) randomEvents(rng *rand.Rand) []Event {
+	live := s.livePeers()
+	mappings := s.liveMappings()
+	var clean, corrupt []string
+	for _, id := range mappings {
+		if s.corrupted[graph.EdgeID(id)] {
+			corrupt = append(corrupt, id)
+		} else {
+			clean = append(clean, id)
+		}
+	}
+	for tries := 0; tries < 32; tries++ {
+		switch rng.Intn(6) {
+		case 0: // join with 1–2 preferential attachments
+			p := fmt.Sprintf("p%d", s.nextPeer)
+			targets := s.net.Topology().PreferentialTargets(1+rng.Intn(2), "", rng)
+			if len(targets) == 0 {
+				continue
+			}
+			evs := []Event{{Op: OpJoin, Peer: p}}
+			for _, t := range targets {
+				evs = append(evs, Event{
+					Op:   OpAddMapping,
+					From: p, To: string(t),
+					Mapping: fmt.Sprintf("m%d", s.nextEdge+len(evs)-1),
+				})
+			}
+			return evs
+		case 1: // leave (keep the network viable)
+			if len(live) <= s.sc.Attach+2 {
+				continue
+			}
+			return []Event{{Op: OpLeave, Peer: live[rng.Intn(len(live))]}}
+		case 2: // extra mapping between two live peers
+			if len(live) < 2 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			j := rng.Intn(len(live) - 1)
+			if j >= i {
+				j++
+			}
+			return []Event{{
+				Op:      OpAddMapping,
+				From:    live[i],
+				To:      live[j],
+				Mapping: fmt.Sprintf("m%d", s.nextEdge),
+			}}
+		case 3: // remove a mapping, but never below tree density
+			if len(mappings) <= len(live) {
+				continue
+			}
+			return []Event{{Op: OpRemoveMapping, Mapping: mappings[rng.Intn(len(mappings))]}}
+		case 4: // corrupt a clean mapping
+			if len(clean) == 0 {
+				continue
+			}
+			return []Event{{Op: OpCorrupt, Mapping: clean[rng.Intn(len(clean))]}}
+		case 5: // fix a corrupted mapping
+			if len(corrupt) == 0 {
+				continue
+			}
+			return []Event{{Op: OpFix, Mapping: corrupt[rng.Intn(len(corrupt))]}}
+		}
+	}
+	return nil
+}

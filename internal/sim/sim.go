@@ -1,0 +1,543 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// mapSpec remembers enough about a live mapping to rebuild the network from
+// scratch (the Verify differential) and to revise the mapping in place.
+type mapSpec struct {
+	from, to  graph.PeerID
+	corrupted bool
+}
+
+// Simulation replays one scenario. Create with New, drive with Run.
+type Simulation struct {
+	sc    Scenario
+	net   *core.Network
+	attrs []schema.Attribute
+	// identity and corrupted correspondence tables shared by every mapping.
+	idPairs, swapPairs map[schema.Attribute]schema.Attribute
+
+	specs      map[graph.EdgeID]mapSpec
+	corrupted  map[graph.EdgeID]bool
+	discovered bool
+	nextPeer   int
+	nextEdge   int
+}
+
+// New builds the scenario's initial network: a preferential-attachment
+// overlay over a shared schema with the seeded fraction of mappings
+// corrupted. Events have not been applied yet; Run replays the epochs.
+func New(sc Scenario) (*Simulation, error) {
+	sc = sc.withDefaults()
+	if err := sc.check(); err != nil {
+		return nil, err
+	}
+	attrs := make([]schema.Attribute, sc.Attrs)
+	for i := range attrs {
+		attrs[i] = schema.Attribute(fmt.Sprintf("a%d", i))
+	}
+	s := &Simulation{
+		sc:        sc,
+		attrs:     attrs,
+		idPairs:   make(map[schema.Attribute]schema.Attribute, len(attrs)),
+		swapPairs: make(map[schema.Attribute]schema.Attribute, len(attrs)),
+		specs:     make(map[graph.EdgeID]mapSpec),
+		corrupted: make(map[graph.EdgeID]bool),
+	}
+	for _, a := range attrs {
+		s.idPairs[a] = a
+		s.swapPairs[a] = a
+	}
+	s.swapPairs[attrs[0]], s.swapPairs[attrs[1]] = attrs[1], attrs[0]
+
+	rng := rand.New(rand.NewSource(sc.Seed))
+	var topo *graph.Graph
+	var err error
+	switch sc.Topology {
+	case "ring":
+		topo, err = ringWithChords(sc.Peers, rng)
+	case "necklace":
+		topo, err = necklace(sc.Peers)
+	default:
+		topo, err = graph.BarabasiAlbert(sc.Peers, sc.Attach, sc.Directed, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.net = core.NewNetwork(sc.Directed)
+	for _, p := range topo.Peers() {
+		s.net.MustAddPeer(p, s.schemaFor(p))
+	}
+	for _, e := range topo.Edges() {
+		pairs := s.idPairs
+		corrupt := rng.Float64() < sc.Corrupt
+		if corrupt {
+			pairs = s.swapPairs
+			s.corrupted[e.ID] = true
+		}
+		if _, err := s.net.AddMapping(e.ID, e.From, e.To, pairs); err != nil {
+			return nil, err
+		}
+		s.specs[e.ID] = mapSpec{from: e.From, to: e.To, corrupted: corrupt}
+	}
+	s.nextPeer = sc.Peers
+	s.nextEdge = topo.NumEdges()
+	return s, nil
+}
+
+// ringWithChords builds the strongly connected differential overlay: a
+// directed ring p0→p1→…→p0 (edges m0..m{n-1}) plus, per peer, a short
+// forward chord c<i> jumping 2 or 3 positions with probability 0.7. The
+// chords run parallel to short ring segments, producing the parallel-path
+// and cycle evidence of §3.3 while the ring guarantees every peer can be
+// reached from every origin — the property the lazy (piggybacking) schedule
+// needs for full message dissemination.
+func ringWithChords(n int, rng *rand.Rand) (*graph.Graph, error) {
+	g, err := graph.Ring(n)
+	if err != nil {
+		return nil, err
+	}
+	if n < 4 {
+		return g, nil
+	}
+	for i := 0; i < n; i++ {
+		if rng.Float64() >= 0.7 {
+			continue
+		}
+		jump := 2 + rng.Intn(2)
+		g.MustAddEdge(
+			graph.EdgeID(fmt.Sprintf("c%d", i)),
+			graph.PeerID(fmt.Sprintf("p%d", i)),
+			graph.PeerID(fmt.Sprintf("p%d", (i+jump)%n)),
+		)
+	}
+	return g, nil
+}
+
+// necklace builds the schedule-differential overlay: blocks of three peers,
+// each forming a directed 3-cycle (edges m<3b>..m<3b+2>), chained into a
+// ring of blocks by bridge mappings b<i>. The overlay is strongly connected
+// (queries and piggybacked messages reach every peer), yet with a structure
+// bound of 4 the only evidence is the per-block 3-cycles, which share no
+// mappings — the factor graph is a forest, belief propagation is exact, and
+// every schedule must land on the same posteriors to machine precision.
+// Peers is rounded down to a multiple of three (minimum one block).
+func necklace(n int) (*graph.Graph, error) {
+	blocks := n / 3
+	if blocks < 1 {
+		return nil, fmt.Errorf("sim: necklace needs at least 3 peers, got %d", n)
+	}
+	g := graph.NewDirected()
+	peer := func(i int) graph.PeerID { return graph.PeerID(fmt.Sprintf("p%d", i)) }
+	for b := 0; b < blocks; b++ {
+		base := 3 * b
+		for i := 0; i < 3; i++ {
+			g.MustAddEdge(
+				graph.EdgeID(fmt.Sprintf("m%d", base+i)),
+				peer(base+i), peer(base+(i+1)%3),
+			)
+		}
+	}
+	for b := 0; b < blocks && blocks > 1; b++ {
+		g.MustAddEdge(
+			graph.EdgeID(fmt.Sprintf("b%d", b)),
+			peer(3*b+2), peer(3*((b+1)%blocks)),
+		)
+	}
+	return g, nil
+}
+
+// Network exposes the simulation's live network (shared; do not mutate
+// outside applyEvent).
+func (s *Simulation) Network() *core.Network { return s.net }
+
+// Scenario returns the defaulted scenario being replayed.
+func (s *Simulation) Scenario() Scenario { return s.sc }
+
+// Corrupted reports whether the mapping is currently a corrupted revision.
+func (s *Simulation) Corrupted(id graph.EdgeID) bool { return s.corrupted[id] }
+
+func (s *Simulation) schemaFor(p graph.PeerID) *schema.Schema {
+	return schema.MustNew("S_"+string(p), s.attrs...)
+}
+
+// livePeers returns the current peer names, sorted.
+func (s *Simulation) livePeers() []string {
+	out := make([]string, 0, s.net.NumPeers())
+	for _, p := range s.net.Peers() {
+		out = append(out, string(p.ID()))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// liveMappings returns the current mapping IDs, sorted.
+func (s *Simulation) liveMappings() []string {
+	edges := s.net.Topology().Edges()
+	out := make([]string, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, string(e.ID))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bumpCounter keeps the fresh-name counters ahead of externally chosen
+// names of the form p<N> / m<N>.
+func bumpCounter(counter *int, name, prefix string) {
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return
+	}
+	if k, err := strconv.Atoi(name[len(prefix):]); err == nil && k >= *counter {
+		*counter = k + 1
+	}
+}
+
+// applyEvent mutates the network for one churn event and returns the
+// mapping IDs it (re)installed, if any.
+func (s *Simulation) applyEvent(ev Event) error {
+	switch ev.Op {
+	case OpJoin:
+		if ev.Peer == "" {
+			return fmt.Errorf("sim: join without peer")
+		}
+		if _, err := s.net.AddPeer(graph.PeerID(ev.Peer), s.schemaFor(graph.PeerID(ev.Peer))); err != nil {
+			return err
+		}
+		bumpCounter(&s.nextPeer, ev.Peer, "p")
+	case OpLeave:
+		if _, ok := s.net.Peer(graph.PeerID(ev.Peer)); !ok {
+			return fmt.Errorf("sim: leave of unknown peer %q", ev.Peer)
+		}
+		for _, id := range s.net.RemovePeer(graph.PeerID(ev.Peer)) {
+			delete(s.specs, id)
+			delete(s.corrupted, id)
+		}
+	case OpAddMapping:
+		id := graph.EdgeID(ev.Mapping)
+		if _, err := s.net.AddMapping(id, graph.PeerID(ev.From), graph.PeerID(ev.To), s.idPairs); err != nil {
+			return err
+		}
+		s.specs[id] = mapSpec{from: graph.PeerID(ev.From), to: graph.PeerID(ev.To)}
+		bumpCounter(&s.nextEdge, ev.Mapping, "m")
+	case OpRemoveMapping:
+		id := graph.EdgeID(ev.Mapping)
+		if _, ok := s.net.Mapping(id); !ok {
+			return fmt.Errorf("sim: removal of unknown mapping %q", ev.Mapping)
+		}
+		s.net.RemoveMapping(id)
+		delete(s.specs, id)
+		delete(s.corrupted, id)
+	case OpCorrupt, OpFix:
+		id := graph.EdgeID(ev.Mapping)
+		spec, ok := s.specs[id]
+		if !ok {
+			return fmt.Errorf("sim: revision of unknown mapping %q", ev.Mapping)
+		}
+		pairs := s.swapPairs
+		spec.corrupted = ev.Op == OpCorrupt
+		if ev.Op == OpFix {
+			pairs = s.idPairs
+		}
+		s.net.RemoveMapping(id)
+		if _, err := s.net.AddMapping(id, spec.from, spec.to, pairs); err != nil {
+			return err
+		}
+		s.specs[id] = spec
+		if spec.corrupted {
+			s.corrupted[id] = true
+		} else {
+			delete(s.corrupted, id)
+		}
+	default:
+		return fmt.Errorf("sim: unknown event op %q", ev.Op)
+	}
+	return nil
+}
+
+// installedEdges returns the mapping IDs an event (re)installed — the
+// changed set incremental discovery needs to cover.
+func installedEdges(ev Event) []graph.EdgeID {
+	switch ev.Op {
+	case OpAddMapping, OpCorrupt, OpFix:
+		return []graph.EdgeID{graph.EdgeID(ev.Mapping)}
+	}
+	return nil
+}
+
+// DiscoveryTrace summarizes one epoch's (incremental) evidence pass.
+type DiscoveryTrace struct {
+	Structures int `json:"structures"`
+	Positive   int `json:"positive"`
+	Negative   int `json:"negative"`
+	Neutral    int `json:"neutral"`
+	Pinned     int `json:"pinned"`
+}
+
+// DetectionTrace summarizes one epoch's detection run.
+type DetectionTrace struct {
+	Rounds    int  `json:"rounds"`
+	Converged bool `json:"converged"`
+	Messages  int  `json:"messages"`
+	Delivered int  `json:"delivered"`
+	Dropped   int  `json:"dropped"`
+}
+
+// RoutingTrace summarizes one epoch's θ-gated query burst.
+type RoutingTrace struct {
+	Queries     int `json:"queries"`
+	Visits      int `json:"visits"`
+	Blocked     int `json:"blocked"`
+	DroppedAttr int `json:"droppedAttr"`
+}
+
+// EpochTrace is the reproducible record of one epoch.
+type EpochTrace struct {
+	Epoch     int            `json:"epoch"`
+	Events    int            `json:"events"`
+	Peers     int            `json:"peers"`
+	Mappings  int            `json:"mappings"`
+	Corrupted int            `json:"corrupted"`
+	Discovery DiscoveryTrace `json:"discovery"`
+	Detection DetectionTrace `json:"detection"`
+	// CoveredClean/CoveredCorrupt count mappings with a posterior for the
+	// analysis attribute; MeanClean/MeanCorrupt average those posteriors
+	// (corrupted mappings must rank below clean ones).
+	CoveredClean   int          `json:"coveredClean"`
+	CoveredCorrupt int          `json:"coveredCorrupt"`
+	MeanClean      float64      `json:"meanClean"`
+	MeanCorrupt    float64      `json:"meanCorrupt"`
+	Routing        RoutingTrace `json:"routing"`
+	// Posteriors ("mapping/attr" → P(correct)) is recorded only when the
+	// scenario sets RecordPosteriors.
+	Posteriors map[string]float64 `json:"posteriors,omitempty"`
+	// Violations lists every invariant violated this epoch (empty in a
+	// healthy run).
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Result is the full reproducible trace of a scenario replay.
+type Result struct {
+	Name   string       `json:"name"`
+	Seed   int64        `json:"seed"`
+	Epochs []EpochTrace `json:"epochs"`
+	// Violations is the total invariant violation count across epochs.
+	Violations int `json:"violations"`
+	// Digest fingerprints the final distributed inference state (SHA-256
+	// over Network.InferenceDigest).
+	Digest string `json:"digest"`
+}
+
+// epochSeed derives the deterministic per-epoch seed for message loss and
+// query origins.
+func (s *Simulation) epochSeed(epoch int) int64 {
+	return s.sc.Seed*1_000_003 + int64(epoch)*7919
+}
+
+// Run replays every epoch and returns the trace. The trace depends only on
+// the scenario: replaying it again — in another process, on another machine
+// — produces identical bytes.
+func (s *Simulation) Run() (*Result, error) {
+	res := &Result{Name: s.sc.Name, Seed: s.sc.Seed}
+	for i := range s.sc.Epochs {
+		tr, err := s.runEpoch(i)
+		if err != nil {
+			return nil, fmt.Errorf("sim: epoch %d: %w", i+1, err)
+		}
+		res.Epochs = append(res.Epochs, tr)
+		res.Violations += len(tr.Violations)
+	}
+	sum := sha256.New()
+	for _, line := range s.net.InferenceDigest() {
+		sum.Write([]byte(line))
+		sum.Write([]byte{'\n'})
+	}
+	res.Digest = hex.EncodeToString(sum.Sum(nil))
+	return res, nil
+}
+
+func (s *Simulation) discoverCfg() core.DiscoverConfig {
+	return core.DiscoverConfig{
+		Attrs:  []schema.Attribute{schema.Attribute(s.sc.AnalysisAttr)},
+		MaxLen: s.sc.MaxLen,
+		Delta:  s.sc.Delta,
+	}
+}
+
+func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
+	ep := s.sc.Epochs[i]
+	tr := EpochTrace{Epoch: i + 1, Events: len(ep.Events)}
+
+	// 1. Churn. Removals retract evidence eagerly inside core; additions
+	// and revisions are collected for incremental discovery.
+	added := make(map[graph.EdgeID]bool)
+	for _, ev := range ep.Events {
+		if err := s.applyEvent(ev); err != nil {
+			return tr, err
+		}
+		for _, id := range installedEdges(ev) {
+			added[id] = true
+		}
+		// An event may retract a mapping installed earlier in this epoch.
+		for id := range added {
+			if _, ok := s.net.Mapping(id); !ok {
+				delete(added, id)
+			}
+		}
+	}
+	tr.Peers = s.net.NumPeers()
+	tr.Mappings = s.net.Topology().NumEdges()
+	tr.Corrupted = len(s.corrupted)
+
+	// 2. Evidence: full discovery on the first epoch, incremental after.
+	cfg := s.discoverCfg()
+	var rep core.DiscoveryReport
+	var err error
+	if !s.discovered {
+		rep, err = s.net.Discover(cfg)
+		s.discovered = true
+	} else {
+		changed := make([]graph.EdgeID, 0, len(added))
+		for id := range added {
+			changed = append(changed, id)
+		}
+		sort.Slice(changed, func(a, b int) bool { return changed[a] < changed[b] })
+		rep, err = s.net.DiscoverIncremental(cfg, changed...)
+	}
+	if err != nil {
+		return tr, err
+	}
+	tr.Discovery = DiscoveryTrace{
+		Structures: rep.Structures,
+		Positive:   rep.Positive,
+		Negative:   rep.Negative,
+		Neutral:    rep.Neutral,
+		Pinned:     rep.Pinned,
+	}
+
+	// 3. Incremental re-detection: fresh messages over maintained evidence.
+	psend := ep.PSend
+	if psend == 0 {
+		psend = 1
+	}
+	s.net.ResetMessages()
+	det, err := s.net.RunDetection(core.DetectOptions{
+		MaxRounds: s.sc.MaxRounds,
+		Tolerance: 1e-9,
+		PSend:     psend,
+		Seed:      s.epochSeed(i + 1),
+	})
+	if err != nil {
+		return tr, err
+	}
+	tr.Detection = DetectionTrace{
+		Rounds:    det.Rounds,
+		Converged: det.Converged,
+		Messages:  det.RemoteMessages,
+		Delivered: det.Transport.Delivered,
+		Dropped:   det.Transport.Dropped,
+	}
+
+	// 4. Posterior statistics and invariants.
+	s.summarize(&tr, det)
+	tr.Violations = append(tr.Violations, s.checkInvariants(det)...)
+	if s.sc.Verify {
+		tr.Violations = append(tr.Violations, s.checkScratchDifferential(det, psend)...)
+	}
+
+	// 5. θ-gated query burst over the fresh posteriors.
+	rt, viol := s.queryBurst(ep.Queries, det, s.epochSeed(i+1)+1)
+	tr.Routing = rt
+	tr.Violations = append(tr.Violations, viol...)
+
+	if s.sc.RecordPosteriors {
+		tr.Posteriors = flattenPosteriors(det)
+	}
+	return tr, nil
+}
+
+// flattenPosteriors renders the posterior map with "mapping/attr" keys (the
+// JSON encoder sorts map keys, keeping traces byte-stable).
+func flattenPosteriors(det core.DetectResult) map[string]float64 {
+	out := make(map[string]float64)
+	for m, attrs := range det.Posteriors {
+		for a, v := range attrs {
+			out[string(m)+"/"+string(a)] = v
+		}
+	}
+	return out
+}
+
+// summarize fills the covered/mean posterior statistics, iterating in
+// sorted order so float accumulation is reproducible.
+func (s *Simulation) summarize(tr *EpochTrace, det core.DetectResult) {
+	attr := schema.Attribute(s.sc.AnalysisAttr)
+	var sumClean, sumCorrupt float64
+	for _, id := range s.liveMappings() {
+		p := det.Posterior(graph.EdgeID(id), attr, -1)
+		if p < 0 {
+			continue
+		}
+		if s.corrupted[graph.EdgeID(id)] {
+			tr.CoveredCorrupt++
+			sumCorrupt += p
+		} else {
+			tr.CoveredClean++
+			sumClean += p
+		}
+	}
+	if tr.CoveredClean > 0 {
+		tr.MeanClean = sumClean / float64(tr.CoveredClean)
+	}
+	if tr.CoveredCorrupt > 0 {
+		tr.MeanCorrupt = sumCorrupt / float64(tr.CoveredCorrupt)
+	}
+}
+
+// queryBurst routes n projection queries on the analysis attribute from
+// deterministically drawn origins and independently re-verifies the θ gate
+// along every reported path.
+func (s *Simulation) queryBurst(n int, det core.DetectResult, seed int64) (RoutingTrace, []string) {
+	tr := RoutingTrace{Queries: n}
+	var viol []string
+	if n == 0 {
+		return tr, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	live := s.livePeers()
+	attr := schema.Attribute(s.sc.AnalysisAttr)
+	for q := 0; q < n; q++ {
+		origin := graph.PeerID(live[rng.Intn(len(live))])
+		op, _ := s.net.Peer(origin)
+		qry := query.MustNew(op.Schema(), query.Op{Kind: query.Project, Attr: attr})
+		res, err := s.net.RouteQuery(origin, qry, core.RouteOptions{
+			DefaultTheta: s.sc.Theta,
+			Posteriors:   det,
+		})
+		if err != nil {
+			viol = append(viol, fmt.Sprintf("query %d from %s failed: %v", q, origin, err))
+			continue
+		}
+		tr.Visits += len(res.Visits)
+		tr.Blocked += res.Blocked
+		tr.DroppedAttr += res.DroppedAttr
+		viol = append(viol, s.verifyRoute(origin, qry, res, det)...)
+	}
+	return tr, viol
+}

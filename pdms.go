@@ -25,6 +25,16 @@
 //     clear the per-attribute semantic threshold θ, eliminating the false
 //     positives erroneous mappings would produce.
 //
+// Networks are dynamic: peers leave (Network.RemovePeer) and mappings churn
+// (Network.RemoveMapping) with all derived evidence retracted eagerly, new
+// mappings are folded in incrementally (Network.DiscoverIncremental), and
+// Network.ResetMessages re-arms detection between epochs. The Scenario API
+// (NewSimulation, GenerateScenario, ParseScenario and cmd/pdmssim) replays
+// declarative churn timelines against the whole stack with a reproducible
+// trace and an invariant suite; TESTING.md documents the harness — the
+// invariants, the three-way schedule differential, the scratch-rediscovery
+// oracle and how to add a scenario.
+//
 // Quickstart:
 //
 //	s := pdms.MustNewSchema("S1", "Creator", "Title")
@@ -46,6 +56,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/query"
 	"repro/internal/schema"
+	"repro/internal/sim"
 	"repro/internal/xmldb"
 )
 
@@ -116,6 +127,24 @@ type (
 	PrecisionPoint = eval.PrecisionPoint
 )
 
+// Scenario simulation types (dynamic-network replay, see TESTING.md).
+type (
+	// Scenario is a declarative, reproducible churn experiment.
+	Scenario = sim.Scenario
+	// ScenarioEpoch is one simulation step of a scenario.
+	ScenarioEpoch = sim.Epoch
+	// ScenarioEvent is one churn event (join/leave/add/remove/corrupt/fix).
+	ScenarioEvent = sim.Event
+	// Simulation replays a scenario against a live network.
+	Simulation = sim.Simulation
+	// ScenarioResult is the bit-reproducible trace of a replay.
+	ScenarioResult = sim.Result
+	// EpochTrace records one epoch of a replay.
+	EpochTrace = sim.EpochTrace
+	// GenConfig parameterizes random scenario generation.
+	GenConfig = sim.GenConfig
+)
+
 // Operation kinds for Op.Kind.
 const (
 	// Project keeps only the named attribute (π).
@@ -174,3 +203,14 @@ func PrecisionCurve(items []Judgment, thetas []float64) []PrecisionPoint {
 
 // Values collects the distinct values of an attribute across records.
 func Values(records []Record, a Attribute) []string { return xmldb.Values(records, a) }
+
+// NewSimulation builds a scenario's initial network, ready to Run — the
+// entry point for replaying churn timelines against the full stack.
+func NewSimulation(sc Scenario) (*Simulation, error) { return sim.New(sc) }
+
+// GenerateScenario builds a random but fully declarative churn scenario;
+// the same config always yields the same scenario.
+func GenerateScenario(cfg GenConfig) (Scenario, error) { return sim.Generate(cfg) }
+
+// ParseScenario decodes a scenario from JSON, rejecting unknown fields.
+func ParseScenario(data []byte) (Scenario, error) { return sim.ParseScenario(data) }

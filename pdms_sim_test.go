@@ -1,0 +1,69 @@
+package pdms_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	pdms "repro"
+)
+
+// TestScenarioPublicAPI drives the scenario engine purely through the
+// public surface: generate, serialize, parse, replay, and churn the network
+// with the incremental re-detection entry points.
+func TestScenarioPublicAPI(t *testing.T) {
+	sc, err := pdms.GenerateScenario(pdms.GenConfig{Seed: 4, Peers: 8, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := pdms.ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pdms.NewSimulation(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 2 || res.Violations != 0 {
+		t.Fatalf("unexpected result: %d epochs, %d violations", len(res.Epochs), res.Violations)
+	}
+
+	// Churn entry points on the Network alias.
+	net := s.Network()
+	mappings := net.Topology().Edges()
+	if len(mappings) == 0 {
+		t.Fatal("no mappings after replay")
+	}
+	victim := mappings[0].ID
+	net.RemoveMapping(victim)
+	if _, ok := net.Mapping(victim); ok {
+		t.Fatal("mapping survived removal")
+	}
+	owner := mappings[0].From
+	p, ok := net.Peer(owner)
+	if !ok {
+		t.Fatal("owner missing")
+	}
+	if _, err := net.AddMapping(victim, owner, mappings[0].To, pdms.IdentityPairs(p.Schema())); err != nil {
+		t.Fatal(err)
+	}
+	cfg := pdms.DiscoverConfig{Attrs: []pdms.Attribute{"a0"}, MaxLen: 4, Delta: 0.1}
+	if _, err := net.DiscoverIncremental(cfg, victim); err != nil {
+		t.Fatal(err)
+	}
+	net.ResetMessages()
+	det, err := net.RunDetection(pdms.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Rounds == 0 {
+		t.Fatal("re-detection did not run")
+	}
+}
