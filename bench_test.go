@@ -20,6 +20,7 @@ import (
 	"repro/internal/factorgraph"
 	"repro/internal/feedback"
 	"repro/internal/graph"
+	"repro/internal/network"
 	"repro/internal/paper"
 	"repro/internal/query"
 	"repro/internal/schema"
@@ -360,5 +361,91 @@ func BenchmarkEliminateExact(b *testing.B) {
 		if _, err := g.ExactEliminate(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchNecklacePDMS builds a directed necklace overlay — blocks of three
+// peers forming disjoint 3-cycles, chained into a ring by bridge mappings —
+// with a corrupt fraction of mappings erroneous on a0. Discovery is linear
+// in the peer count (each block contributes one 3-cycle), which makes the
+// overlay the right substrate for very large transport benchmarks.
+func benchNecklacePDMS(tb testing.TB, peers int, corrupt float64) *core.Network {
+	tb.Helper()
+	blocks := peers / 3
+	if blocks < 2 {
+		tb.Fatalf("necklace needs at least 6 peers, got %d", peers)
+	}
+	attrs := []schema.Attribute{"a0", "a1", "a2", "a3"}
+	identity := make(map[schema.Attribute]schema.Attribute, len(attrs))
+	swapped := make(map[schema.Attribute]schema.Attribute, len(attrs))
+	for _, a := range attrs {
+		identity[a] = a
+		swapped[a] = a
+	}
+	swapped[attrs[0]], swapped[attrs[1]] = attrs[1], attrs[0]
+
+	rng := rand.New(rand.NewSource(7))
+	net := core.NewNetwork(true)
+	name := func(i int) graph.PeerID { return graph.PeerID(fmt.Sprintf("p%d", i)) }
+	for i := 0; i < blocks*3; i++ {
+		net.MustAddPeer(name(i), schema.MustNew(fmt.Sprintf("S%d", i), attrs...))
+	}
+	addMapping := func(id string, from, to graph.PeerID) {
+		pairs := identity
+		if rng.Float64() < corrupt {
+			pairs = swapped
+		}
+		net.MustAddMapping(graph.EdgeID(id), from, to, pairs)
+	}
+	for blk := 0; blk < blocks; blk++ {
+		base := 3 * blk
+		for i := 0; i < 3; i++ {
+			addMapping(fmt.Sprintf("m%d", base+i), name(base+i), name(base+(i+1)%3))
+		}
+		addMapping(fmt.Sprintf("b%d", blk), name(3*blk+2), name(3*((blk+1)%blocks)))
+	}
+	return net
+}
+
+// BenchmarkTransportDetectionRound times one full round of the periodic
+// detection schedule — produce, marshal, cross the transport, unmarshal,
+// fold, refresh, snapshot — per transport and network size, up to a
+// 100k-peer overlay on the sharded parallel simulator (the acceptance
+// workload of the transport layer; numbers in PERFORMANCE.md). Evidence
+// discovery runs once outside the timer.
+func BenchmarkTransportDetectionRound(b *testing.B) {
+	cases := []struct {
+		name  string
+		peers int
+		kind  network.Kind
+	}{
+		{"sim-10k", 10_002, network.KindSim},
+		{"sharded-10k", 10_002, network.KindSharded},
+		{"tcp-10k", 10_002, network.KindTCP},
+		{"sharded-30k", 30_000, network.KindSharded},
+		{"sharded-100k", 99_999, network.KindSharded},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			net := benchNecklacePDMS(b, bc.peers, 0.15)
+			if _, err := net.DiscoverStructural([]schema.Attribute{"a0"}, 4, 0.1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ResetMessages()
+				res, err := net.RunDetection(core.DetectOptions{
+					MaxRounds: 1,
+					Transport: bc.kind,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds != 1 || res.RemoteMessages == 0 {
+					b.Fatalf("degenerate round: %+v", res)
+				}
+			}
+			b.ReportMetric(float64(bc.peers), "peers")
+		})
 	}
 }

@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	pdmssim -scenario s.json              # replay, trace to stdout
-//	pdmssim -scenario s.json -out t.json  # replay, trace to a file
-//	pdmssim -gen -seed 7 -peers 50        # generate a scenario instead
+//	pdmssim -scenario s.json                # replay, trace to stdout
+//	pdmssim -scenario s.json -out t.json    # replay, trace to a file
+//	pdmssim -scenario s.json -transport tcp # replay over the TCP loopback
+//	pdmssim -gen -seed 7 -peers 50          # generate a scenario instead
+//
+// -transport overrides the scenario's message substrate (sim, sharded or
+// tcp); the trace is identical whichever transport carries the messages,
+// which the cross-transport differential test pins down.
 //
 // A scenario describes an initial overlay (topology, size, corruption) and a
 // timeline of epochs: churn events (peer join/leave, mapping add/remove/
@@ -39,6 +44,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pdmssim", flag.ContinueOnError)
 	scenarioPath := fs.String("scenario", "", "scenario file to replay")
 	out := fs.String("out", "", "output file (default stdout)")
+	transport := fs.String("transport", "", "override the scenario's transport: sim, sharded or tcp (the trace must not depend on it)")
+	shards := fs.Int("shards", 0, "override the sharded transport's worker count (0 = GOMAXPROCS)")
 	gen := fs.Bool("gen", false, "generate a scenario instead of replaying one")
 	seed := fs.Int64("seed", 1, "generation seed")
 	peers := fs.Int("peers", 0, "generation: initial peer count")
@@ -75,6 +82,12 @@ func run(args []string, stdout io.Writer) error {
 		sc, err := sim.ParseScenario(data)
 		if err != nil {
 			return err
+		}
+		if *transport != "" {
+			sc.Transport = *transport
+		}
+		if *shards != 0 {
+			sc.Shards = *shards
 		}
 		s, err := sim.New(sc)
 		if err != nil {

@@ -11,6 +11,22 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden trace files")
 
+// transport lets CI run the golden suite as a matrix over message
+// substrates: `go test ./cmd/pdmssim -transport tcp` must reproduce the
+// same committed bytes as the default, because traces do not depend on the
+// transport.
+var transport = flag.String("transport", "", "replay golden scenarios over this transport (sim, sharded, tcp)")
+
+// replayArgs builds the CLI arguments for one scenario honoring the
+// -transport matrix flag.
+func replayArgs(scenario string) []string {
+	args := []string{"-scenario", scenario}
+	if *transport != "" {
+		args = append(args, "-transport", *transport)
+	}
+	return args
+}
+
 // TestGoldenTraces replays the committed scenarios and asserts the traces
 // reproduce bit-for-bit: every posterior, message count and digest must
 // match the committed bytes exactly. Regenerate with `go test -update`
@@ -27,7 +43,7 @@ func TestGoldenTraces(t *testing.T) {
 		name := strings.TrimSuffix(filepath.Base(sc), ".scenario.json")
 		t.Run(name, func(t *testing.T) {
 			var got bytes.Buffer
-			if err := run([]string{"-scenario", sc}, &got); err != nil {
+			if err := run(replayArgs(sc), &got); err != nil {
 				t.Fatal(err)
 			}
 			golden := filepath.Join("testdata", name+".trace.json")
@@ -49,6 +65,45 @@ func TestGoldenTraces(t *testing.T) {
 			// double as a record that the invariant suite held.
 			if bytes.Contains(want, []byte(`"violations": [`)) {
 				t.Errorf("golden trace %s contains invariant violations", name)
+			}
+		})
+	}
+}
+
+// TestCrossTransportGolden is the cross-transport differential: every
+// golden scenario must produce byte-identical traces on the deterministic
+// Simulator, the sharded parallel simulator (at several worker counts) and
+// the TCP loopback. Message loss, message counts and posteriors all ride
+// the same deterministic per-pair loss model, so nothing in the trace may
+// depend on the substrate.
+func TestCrossTransportGolden(t *testing.T) {
+	scenarios, err := filepath.Glob(filepath.Join("testdata", "*.scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) == 0 {
+		t.Fatal("no scenarios under testdata/")
+	}
+	for _, sc := range scenarios {
+		name := strings.TrimSuffix(filepath.Base(sc), ".scenario.json")
+		t.Run(name, func(t *testing.T) {
+			var ref bytes.Buffer
+			if err := run([]string{"-scenario", sc, "-transport", "sim"}, &ref); err != nil {
+				t.Fatal(err)
+			}
+			variants := [][]string{
+				{"-scenario", sc, "-transport", "sharded"},
+				{"-scenario", sc, "-transport", "sharded", "-shards", "3"},
+				{"-scenario", sc, "-transport", "tcp"},
+			}
+			for _, args := range variants {
+				var got bytes.Buffer
+				if err := run(args, &got); err != nil {
+					t.Fatalf("%v: %v", args, err)
+				}
+				if !bytes.Equal(got.Bytes(), ref.Bytes()) {
+					t.Errorf("trace with %v differs from the simulator trace", args[2:])
+				}
 			}
 		})
 	}

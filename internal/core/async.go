@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/network"
 	"repro/internal/schema"
+	"repro/internal/wire"
 )
 
 // AsyncOptions configures RunDetectionAsync, the genuinely asynchronous
@@ -81,8 +82,11 @@ func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 		opts.SendTolerance = 1e-12
 	}
 
-	type tick struct{}
 	bus := network.NewBus()
+	// Control frames are constant; encode them once (payloads are
+	// read-only).
+	kickFrame := wire.Encode(wire.Kick{})
+	tickFrame := wire.Encode(wire.Tick{})
 
 	// lastDelta[peer] and budgetHit are written only on the peer's dispatch
 	// goroutine and read after bus.Close(), when all dispatchers have
@@ -130,12 +134,13 @@ func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 						continue
 					}
 					lastSent[k] = out
-					for _, dest := range f.destinations(p.id) {
-						bus.Send(network.Envelope{
-							From:    p.id,
-							To:      dest,
-							Payload: remoteMsg{EvID: f.replica.ev.ID, Pos: f.pos, Msg: out},
-						})
+					dests := f.destinations(p.id)
+					if len(dests) == 0 {
+						continue
+					}
+					frame := wire.Encode(wire.Remote{EvID: f.replica.ev.ID, Pos: f.pos, Msg: out})
+					for _, dest := range dests {
+						bus.Send(network.Envelope{From: p.id, To: dest, Payload: frame})
 					}
 				}
 			}
@@ -152,17 +157,21 @@ func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 		// this peer's dispatch goroutine.
 		producePending := false
 		handler := func(e network.Envelope) {
-			switch m := e.Payload.(type) {
-			case remoteMsg:
+			m, err := wire.Decode(e.Payload)
+			if err != nil {
+				return // corrupt frame: drop
+			}
+			switch m := m.(type) {
+			case wire.Remote:
 				p.handleRemote(m)
 				if !producePending {
 					producePending = true
 					mu.Lock()
 					markers++
 					mu.Unlock()
-					bus.SendLow(network.Envelope{From: p.id, To: p.id, Payload: tick{}})
+					bus.SendLow(network.Envelope{From: p.id, To: p.id, Payload: tickFrame})
 				}
-			case tick:
+			case wire.Kick, wire.Tick:
 				producePending = false
 				produce()
 			}
@@ -176,7 +185,7 @@ func (n *Network) RunDetectionAsync(opts AsyncOptions) (DetectResult, error) {
 	kicks := 0
 	for t := 0; t < opts.Ticks; t++ {
 		for _, p := range n.Peers() {
-			bus.SendLow(network.Envelope{From: "driver", To: p.ID(), Payload: tick{}})
+			bus.SendLow(network.Envelope{From: "driver", To: p.ID(), Payload: kickFrame})
 			kicks++
 		}
 		if opts.TickInterval > 0 {

@@ -3,11 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/network"
 	"repro/internal/schema"
+	"repro/internal/wire"
 )
 
 // DetectOptions configures a detection run (the periodic message passing
@@ -26,10 +27,24 @@ type DetectOptions struct {
 	// Defaults to 1 (5 under message loss).
 	StableRounds int
 	// PSend delivers each remote message with this probability (Fig 11).
-	// 1 or 0 means reliable.
+	// 1 or 0 means reliable. The loss pattern depends only on Seed and the
+	// traffic, never on the transport (see internal/network).
 	PSend float64
 	// Seed drives message loss.
 	Seed int64
+	// Transport selects the message substrate the µ-messages cross:
+	// network.KindSim (the default single-threaded deterministic
+	// simulator), network.KindSharded (parallel sharded simulator for very
+	// large networks) or network.KindTCP (loopback TCP — every message
+	// travels as real bytes through a socket). All three produce identical
+	// results and stats.
+	Transport network.Kind
+	// Shards is the worker count for the sharded transport (0 picks
+	// GOMAXPROCS). With a sharded transport the per-peer compute of every
+	// round — message production and refresh — also runs on the shard
+	// workers, and any peer state outside a worker's own shard is reached
+	// through messages only.
+	Shards int
 	// Trace, if non-nil, receives after every round the posterior map. The
 	// map is freshly allocated each call.
 	Trace func(round int, posteriors map[graph.EdgeID]map[schema.Attribute]float64)
@@ -99,40 +114,51 @@ func (r DetectResult) Posterior(m graph.EdgeID, a schema.Attribute, def float64)
 
 // RunDetection executes the periodic embedded message passing schedule on
 // previously discovered evidence (DiscoverStructural or DiscoverByProbes):
-// in every round each peer recomputes its variable→factor messages and sends
-// them to the other peers of each factor; the transport delivers them; every
-// peer then refreshes its factor→variable messages and posteriors. With
-// reliable delivery this is exactly the synchronous sum-product schedule of
-// the centralized engine.
+// in every round each peer recomputes its variable→factor messages, marshals
+// them through the wire codec and sends them to the other peers of each
+// factor; the transport delivers the bytes; every receiving peer unmarshals
+// and folds them in, then refreshes its factor→variable messages and
+// posteriors. With reliable delivery this is exactly the synchronous
+// sum-product schedule of the centralized engine — on any transport.
 func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return DetectResult{}, err
 	}
-	var rng *rand.Rand
-	if opts.PSend < 1 {
-		rng = rand.New(rand.NewSource(opts.Seed))
-	}
-	sim, err := network.NewSimulator(opts.PSend, rng)
+	tr, err := network.New(network.Config{
+		Kind:   opts.Transport,
+		PSend:  opts.PSend,
+		Seed:   opts.Seed,
+		Shards: opts.Shards,
+	})
 	if err != nil {
 		return DetectResult{}, err
 	}
+	defer tr.Close()
 	for _, p := range n.Peers() {
 		p := p
-		sim.Register(p.id, func(e network.Envelope) {
-			if m, ok := e.Payload.(remoteMsg); ok {
-				p.handleRemote(m)
+		err := tr.Register(p.id, func(e network.Envelope) {
+			m, err := wire.Decode(e.Payload)
+			if err != nil {
+				return // malformed frame: drop, exactly like a real node
+			}
+			if rm, ok := m.(wire.Remote); ok {
+				p.handleRemote(rm)
 			}
 		})
+		if err != nil {
+			return DetectResult{}, err
+		}
 	}
+	shards := n.shardPartition(tr)
 
 	res := DetectResult{}
 	prev := n.snapshotPosteriors(opts.DefaultPrior)
 	stable := 0
 	for round := 1; round <= opts.MaxRounds; round++ {
-		res.RemoteMessages += n.sendRound(sim, opts.DefaultPrior)
-		sim.Step()
-		n.refreshRound()
+		res.RemoteMessages += sendRound(tr, shards, opts.DefaultPrior)
+		tr.Step()
+		refreshRound(shards)
 		res.Rounds = round
 
 		cur := n.snapshotPosteriors(opts.DefaultPrior)
@@ -152,49 +178,104 @@ func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 		}
 	}
 	res.Posteriors = prev
-	res.Transport = sim.Stats()
+	res.Transport = tr.Stats()
+	// A transport backed by a real stream (TCP loopback) cannot report
+	// failures per Send/Step; a broken socket would otherwise degrade into
+	// silently missing messages and a bogus "converged" result.
+	if ec, ok := tr.(interface{ Err() error }); ok {
+		if err := ec.Err(); err != nil {
+			return DetectResult{}, fmt.Errorf("core: transport failed: %w", err)
+		}
+	}
 	return res, nil
 }
 
-// sendRound performs phase 1 of a period for every peer: compute and emit
-// the variable→factor messages. Messages to factors replicated on the same
-// peer are applied locally (they never touch the network); messages to other
-// peers are sent once per (factor, destination peer). Returns the number of
-// remote messages handed to the transport.
-func (n *Network) sendRound(sim *network.Simulator, defPrior float64) int {
-	sent := 0
-	for _, p := range n.Peers() {
-		for _, key := range p.sortedVarKeys() {
-			vs := p.vars[key]
-			prior := p.PriorFor(key.Mapping, key.Attr, defPrior)
-			outs := vs.outgoingAll(prior)
-			for fi, f := range vs.factors {
-				out := outs[fi]
-				// Local copy: my own replica records my message so my other
-				// variables in this factor see it.
-				f.replica.setRemote(f.pos, out)
-				for _, dest := range f.destinations(p.id) {
-					sim.Send(network.Envelope{
-						From:    p.id,
-						To:      dest,
-						Payload: remoteMsg{EvID: f.replica.ev.ID, Pos: f.pos, Msg: out},
-					})
-					sent++
+// shardPartition buckets the peers along the transport's shard partition so
+// the per-peer compute of a round runs on the same worker that owns the
+// peer's messages. Non-sharded transports get a single bucket.
+func (n *Network) shardPartition(tr network.Transport) [][]*Peer {
+	peers := n.Peers()
+	si, ok := tr.(network.ShardInfo)
+	if !ok || si.Shards() <= 1 {
+		return [][]*Peer{peers}
+	}
+	buckets := make([][]*Peer, si.Shards())
+	for _, p := range peers {
+		s := si.ShardOf(p.id)
+		buckets[s] = append(buckets[s], p)
+	}
+	return buckets
+}
+
+// eachShard runs f over every bucket — inline for a single bucket, on one
+// goroutine per shard otherwise. Peer state is touched only by the bucket's
+// own worker; everything cross-shard rides the transport as bytes.
+func eachShard(shards [][]*Peer, f func(shard int, peers []*Peer)) {
+	if len(shards) == 1 {
+		f(0, shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for si, ps := range shards {
+		wg.Add(1)
+		go func(si int, ps []*Peer) {
+			defer wg.Done()
+			f(si, ps)
+		}(si, ps)
+	}
+	wg.Wait()
+}
+
+// sendRound performs phase 1 of a period for every peer: compute, marshal
+// and emit the variable→factor messages. Messages to factors replicated on
+// the same peer are applied locally (they never touch the network);
+// messages to other peers are sent once per (factor, destination peer).
+// Returns the number of remote messages handed to the transport.
+func sendRound(tr network.Transport, shards [][]*Peer, defPrior float64) int {
+	counts := make([]int, len(shards))
+	eachShard(shards, func(si int, peers []*Peer) {
+		sent := 0
+		for _, p := range peers {
+			for _, key := range p.sortedVarKeys() {
+				vs := p.vars[key]
+				prior := p.PriorFor(key.Mapping, key.Attr, defPrior)
+				outs := vs.outgoingAll(prior)
+				for fi, f := range vs.factors {
+					out := outs[fi]
+					// Local copy: my own replica records my message so my
+					// other variables in this factor see it.
+					f.replica.setRemote(f.pos, out)
+					dests := f.destinations(p.id)
+					if len(dests) == 0 {
+						continue
+					}
+					frame := wire.Encode(wire.Remote{EvID: f.replica.ev.ID, Pos: f.pos, Msg: out})
+					for _, dest := range dests {
+						tr.Send(network.Envelope{From: p.id, To: dest, Payload: frame})
+						sent++
+					}
 				}
 			}
 		}
+		counts[si] = sent
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
 	}
-	return sent
+	return total
 }
 
 // refreshRound performs phase 2: every peer recomputes factor→variable
 // messages from the replicas' remote messages.
-func (n *Network) refreshRound() {
-	for _, p := range n.Peers() {
-		for _, key := range p.sortedVarKeys() {
-			p.vars[key].refresh()
+func refreshRound(shards [][]*Peer) {
+	eachShard(shards, func(_ int, peers []*Peer) {
+		for _, p := range peers {
+			for _, key := range p.sortedVarKeys() {
+				p.vars[key].refresh()
+			}
 		}
-	}
+	})
 }
 
 // snapshotPosteriors collects the current posterior of every variable in

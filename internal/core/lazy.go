@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/query"
 	"repro/internal/schema"
+	"repro/internal/wire"
 )
 
 // LazyQuery is one unit of query workload driving the lazy schedule.
@@ -240,11 +241,13 @@ func (st *lazyState) propagate(lq LazyQuery, opts LazyOptions, res *LazyResult) 
 
 // hop transfers, from the sender's relay buffer to the receiver, every
 // message whose factor the receiver participates in and that is fresher
-// than what the receiver has. Applied messages update the receiver's factor
-// replicas; if anything landed, the receiver re-produces its own messages.
+// than what the receiver has. The batch crosses the hop as one wire
+// Piggyback frame — marshalled at the sender, unmarshalled at the receiver —
+// so a lazy run exercises exactly the bytes a real query message would
+// carry. Applied messages update the receiver's factor replicas; if
+// anything landed, the receiver re-produces its own messages.
 func (st *lazyState) hop(from, to graph.PeerID, defPrior float64, res *LazyResult) float64 {
-	dst := st.n.peers[to]
-	applied := false
+	var batch []wire.PiggybackEntry
 	for key, entry := range st.relay[from] {
 		if !st.participants[key.ev][to] {
 			continue
@@ -253,13 +256,36 @@ func (st *lazyState) hop(from, to graph.PeerID, defPrior float64, res *LazyResul
 		if ok && have.seq >= entry.seq {
 			continue
 		}
-		st.relay[to][key] = entry
+		batch = append(batch, wire.PiggybackEntry{
+			EvID: key.ev,
+			Pos:  key.pos,
+			Seq:  uint64(entry.seq),
+			Msg:  entry.msg,
+		})
+	}
+	if len(batch) == 0 {
+		return 0
+	}
+	frame := wire.Encode(wire.Piggyback{Entries: batch})
+	decoded, err := wire.Decode(frame)
+	if err != nil {
+		// Unreachable: we just encoded it. Dropping mirrors a real node's
+		// reaction to a corrupt frame.
+		return 0
+	}
+	pb := decoded.(wire.Piggyback)
+
+	dst := st.n.peers[to]
+	applied := false
+	for _, e := range pb.Entries {
+		key := lazyKey{ev: e.EvID, pos: e.Pos}
+		st.relay[to][key] = lazyEntry{msg: factorgraph.Msg(e.Msg), seq: int(e.Seq)}
 		res.Piggybacked++
 		// Apply to the local replica unless this is the receiver's own
 		// position (its own µ is maintained by produce).
-		if r, ok := dst.evs[key.ev]; ok {
-			if key.pos >= 0 && key.pos < len(r.ev.Owners) && r.ev.Owners[key.pos] != to {
-				r.setRemote(key.pos, entry.msg)
+		if r, ok := dst.evs[e.EvID]; ok {
+			if e.Pos >= 0 && e.Pos < len(r.ev.Owners) && r.ev.Owners[e.Pos] != to {
+				r.setRemote(e.Pos, factorgraph.Msg(e.Msg))
 				applied = true
 			}
 		}

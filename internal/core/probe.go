@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/network"
 	"repro/internal/schema"
+	"repro/internal/wire"
 )
 
 // probeMsg is a probe flooded through the mapping network to detect cycles
@@ -15,7 +16,8 @@ import (
 // messages with a certain Time-To-Live or by examining the trace of routed
 // queries"). The probe carries the image of the origin attribute under the
 // mappings traversed so far, so the destination can compare transitive
-// closures without any further communication.
+// closures without any further communication. On the transport a probe
+// travels as a wire.Probe frame.
 type probeMsg struct {
 	Origin graph.PeerID
 	Attr   schema.Attribute
@@ -25,6 +27,42 @@ type probeMsg struct {
 	Lost  graph.EdgeID
 	Steps []graph.Step
 	TTL   int
+}
+
+// toWire marshals the probe into its wire frame.
+func (pm probeMsg) toWire() wire.Probe {
+	w := wire.Probe{
+		Origin: pm.Origin,
+		Attr:   pm.Attr,
+		Image:  pm.Image,
+		Lost:   pm.Lost,
+		TTL:    pm.TTL,
+	}
+	if len(pm.Steps) > 0 {
+		w.Steps = make([]wire.ProbeStep, len(pm.Steps))
+		for i, s := range pm.Steps {
+			w.Steps[i] = wire.ProbeStep{Edge: s.Edge, Forward: s.Forward}
+		}
+	}
+	return w
+}
+
+// probeFromWire unmarshals a wire frame back into a probe.
+func probeFromWire(w wire.Probe) probeMsg {
+	pm := probeMsg{
+		Origin: w.Origin,
+		Attr:   w.Attr,
+		Image:  w.Image,
+		Lost:   w.Lost,
+		TTL:    w.TTL,
+	}
+	if len(w.Steps) > 0 {
+		pm.Steps = make([]graph.Step, len(w.Steps))
+		for i, s := range w.Steps {
+			pm.Steps[i] = graph.Step{Edge: s.Edge, Forward: s.Forward}
+		}
+	}
+	return pm
 }
 
 // probeRun accumulates discovery state across the flood.
@@ -61,17 +99,24 @@ func (n *Network) DiscoverByProbes(attrs []schema.Attribute, ttl int, delta floa
 		installed: make(map[string]bool),
 		arrived:   make(map[graph.PeerID]map[string][]probeMsg),
 	}
-	sim, err := network.NewSimulator(1, nil)
+	sim, err := network.NewSimulator(1, 0)
 	if err != nil {
 		return DiscoveryReport{}, err
 	}
 	for _, p := range n.Peers() {
 		p := p
-		sim.Register(p.id, func(e network.Envelope) {
-			if pm, ok := e.Payload.(probeMsg); ok {
-				run.receive(sim, p, pm)
+		err := sim.Register(p.id, func(e network.Envelope) {
+			m, err := wire.Decode(e.Payload)
+			if err != nil {
+				return
+			}
+			if pb, ok := m.(wire.Probe); ok {
+				run.receive(sim, p, probeFromWire(pb))
 			}
 		})
+		if err != nil {
+			return DiscoveryReport{}, err
+		}
 	}
 	// Seed: every peer probes through its outgoing mappings for every
 	// analysis attribute its schema declares.
@@ -147,7 +192,7 @@ func (r *probeRun) forward(sim *network.Simulator, p *Peer, pm probeMsg) {
 				out.Lost = eid
 			}
 		}
-		sim.Send(network.Envelope{From: p.id, To: next, Payload: out})
+		sim.Send(network.Envelope{From: p.id, To: next, Payload: wire.Encode(out.toWire())})
 	}
 }
 

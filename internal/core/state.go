@@ -6,6 +6,7 @@ import (
 	"repro/internal/factorgraph"
 	"repro/internal/graph"
 	"repro/internal/schema"
+	"repro/internal/wire"
 )
 
 // evReplica is a peer-local replica of one feedback factor (§4.1): the
@@ -162,14 +163,6 @@ func (vs *varState) refresh() {
 	}
 }
 
-// remoteMsg is the payload of a remote message (§4.3): the sender's
-// variable→factor message for factor EvID at position Pos.
-type remoteMsg struct {
-	EvID string
-	Pos  int
-	Msg  factorgraph.Msg
-}
-
 // sortedVarKeys returns the peer's variable keys in deterministic order.
 // The slice is cached — every round of every schedule iterates it — and
 // invalidated by whatever mutates p.vars (installEvidence,
@@ -221,9 +214,10 @@ func (p *Peer) SetPrior(mapping graph.EdgeID, attr schema.Attribute, prior float
 	p.samples[key] = []float64{prior}
 }
 
-// handleRemote stores an incoming remote message into the matching factor
-// replica. Unknown evidence IDs are ignored (stale messages after churn).
-func (p *Peer) handleRemote(m remoteMsg) {
+// handleRemote stores an incoming (unmarshalled) remote message into the
+// matching factor replica. Unknown evidence IDs are ignored (stale messages
+// after churn), as are out-of-range positions (malformed frames).
+func (p *Peer) handleRemote(m wire.Remote) {
 	r, ok := p.evs[m.EvID]
 	if !ok {
 		return
@@ -231,7 +225,7 @@ func (p *Peer) handleRemote(m remoteMsg) {
 	if m.Pos < 0 || m.Pos >= len(r.remote) {
 		return
 	}
-	r.setRemote(m.Pos, m.Msg)
+	r.setRemote(m.Pos, factorgraph.Msg(m.Msg))
 }
 
 // Pinned reports whether the peer has pinned (mapping, attr) to zero

@@ -10,6 +10,7 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/graph"
 	"repro/internal/schema"
+	"repro/internal/wire"
 )
 
 func testEvidence(nVars int, vals []float64) *evidenceRef {
@@ -101,10 +102,10 @@ func TestHandleRemoteBounds(t *testing.T) {
 	p.evs[ev.ID] = newEvReplica(ev)
 	// Unknown evidence and out-of-range positions are ignored silently
 	// (stale messages after churn must not crash peers).
-	p.handleRemote(remoteMsg{EvID: "ghost", Pos: 0, Msg: factorgraph.Unit()})
-	p.handleRemote(remoteMsg{EvID: ev.ID, Pos: -1, Msg: factorgraph.Unit()})
-	p.handleRemote(remoteMsg{EvID: ev.ID, Pos: 99, Msg: factorgraph.Unit()})
-	p.handleRemote(remoteMsg{EvID: ev.ID, Pos: 1, Msg: factorgraph.Msg{0.2, 0.8}})
+	p.handleRemote(wire.Remote{EvID: "ghost", Pos: 0, Msg: factorgraph.Unit()})
+	p.handleRemote(wire.Remote{EvID: ev.ID, Pos: -1, Msg: factorgraph.Unit()})
+	p.handleRemote(wire.Remote{EvID: ev.ID, Pos: 99, Msg: factorgraph.Unit()})
+	p.handleRemote(wire.Remote{EvID: ev.ID, Pos: 1, Msg: [2]float64{0.2, 0.8}})
 	if got := p.evs[ev.ID].remote[1]; got != (factorgraph.Msg{0.2, 0.8}) {
 		t.Errorf("remote not stored: %v", got)
 	}

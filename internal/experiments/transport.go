@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/paper"
+	"repro/internal/schema"
+)
+
+// TransportPoint is one row of the transport comparison: the same detection
+// workload timed on one message substrate.
+type TransportPoint struct {
+	Kind     string
+	Shards   int
+	Peers    int
+	Mappings int
+	// Rounds actually executed and remote messages per round.
+	Rounds       int
+	MsgsPerRound int
+	Millis       float64
+	RoundsPerSec float64
+}
+
+// TransportCompare times the periodic detection schedule over every stepped
+// transport on one generated scale-free overlay: the single-threaded
+// Simulator, the sharded parallel simulator (at GOMAXPROCS workers), and
+// the TCP loopback where every µ-message crosses a real socket as
+// wire-encoded bytes. Posteriors are identical on all of them — only the
+// wall-clock differs — so the figure isolates the cost/benefit of the
+// substrate itself: sharding buys parallel compute, TCP pays for real
+// serialization. Tolerance is pinned low so every transport executes
+// exactly `rounds` rounds.
+func TransportCompare(peers, maxLen, rounds int, corrupt float64, seed int64) ([]TransportPoint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	net, _, err := syntheticPDMS(peers, 2, paper.NumAttrs, corrupt, false, rng)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := net.DiscoverStructural([]schema.Attribute{"a0"}, maxLen, 0); err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		kind   network.Kind
+		shards int
+	}{
+		{network.KindSim, 0},
+		{network.KindSharded, runtime.GOMAXPROCS(0)},
+		{network.KindTCP, 0},
+	}
+	var out []TransportPoint
+	for _, cfg := range configs {
+		net.ResetMessages()
+		start := time.Now()
+		res, err := net.RunDetection(core.DetectOptions{
+			MaxRounds: rounds,
+			Tolerance: 1e-300, // never met: run the full budget
+			Transport: cfg.kind,
+			Shards:    cfg.shards,
+		})
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		pt := TransportPoint{
+			Kind:     string(cfg.kind),
+			Shards:   cfg.shards,
+			Peers:    net.NumPeers(),
+			Mappings: net.Topology().NumEdges(),
+			Rounds:   res.Rounds,
+			Millis:   secs * 1000,
+		}
+		if res.Rounds > 0 {
+			pt.MsgsPerRound = res.RemoteMessages / res.Rounds
+		}
+		if secs > 0 {
+			pt.RoundsPerSec = float64(res.Rounds) / secs
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -20,7 +20,7 @@ func TestBusUnregister(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		b.Send(Envelope{From: "x", To: "a", Payload: i})
+		b.Send(Envelope{From: "x", To: "a", Payload: []byte{byte(i)}})
 	}
 	b.Unregister("a")
 	b.Unregister("a")
@@ -33,7 +33,7 @@ func TestBusUnregister(t *testing.T) {
 	if got.Load() != 10 {
 		t.Fatalf("delivered %d of 10 queued envelopes after Unregister", got.Load())
 	}
-	b.Send(Envelope{From: "x", To: "a", Payload: 99})
+	b.Send(Envelope{From: "x", To: "a", Payload: []byte{99}})
 	st := b.Stats()
 	if st.Dropped == 0 {
 		t.Error("send to unregistered peer was not dropped")
@@ -55,17 +55,17 @@ func TestBusSendLowPriority(t *testing.T) {
 	if err := b.Register("a", func(e Envelope) {
 		<-release
 		mu.Lock()
-		order = append(order, e.Payload.(string))
+		order = append(order, string(e.Payload))
 		mu.Unlock()
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// While the dispatcher blocks on the first envelope, enqueue a low
 	// tick, then more regular traffic behind it.
-	b.Send(Envelope{To: "a", Payload: "r1"})
-	b.SendLow(Envelope{To: "a", Payload: "tick"})
-	b.Send(Envelope{To: "a", Payload: "r2"})
-	b.Send(Envelope{To: "a", Payload: "r3"})
+	b.Send(Envelope{To: "a", Payload: []byte("r1")})
+	b.SendLow(Envelope{To: "a", Payload: []byte("tick")})
+	b.Send(Envelope{To: "a", Payload: []byte("r2")})
+	b.Send(Envelope{To: "a", Payload: []byte("r3")})
 	close(release)
 	b.Close()
 	want := []string{"r1", "r2", "r3", "tick"}
@@ -91,7 +91,7 @@ func TestBusQuiescent(t *testing.T) {
 	if !b.Quiescent() {
 		t.Error("fresh bus not quiescent")
 	}
-	b.Send(Envelope{To: "a", Payload: 1})
+	b.Send(Envelope{To: "a", Payload: []byte{1}})
 	if b.Quiescent() {
 		t.Error("bus with an envelope in flight reported quiescent")
 	}
@@ -123,8 +123,8 @@ func TestBusChurnUnderLoadRace(t *testing.T) {
 		if err := b.Register(name(i), func(e Envelope) {
 			delivered.Add(1)
 			// Cascade like a belief-propagation round, bounded by TTL.
-			if ttl, ok := e.Payload.(int); ok && ttl > 0 {
-				b.Send(Envelope{From: name(i), To: name((i + 1) % stable), Payload: ttl - 1})
+			if ttl := int(e.Payload[0]); ttl > 0 {
+				b.Send(Envelope{From: name(i), To: name((i + 1) % stable), Payload: []byte{byte(ttl - 1)}})
 			}
 		}); err != nil {
 			t.Fatal(err)
@@ -139,7 +139,7 @@ func TestBusChurnUnderLoadRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for r := 0; r < 50; r++ {
-				b.Send(Envelope{From: "driver", To: name((g + r) % stable), Payload: 20})
+				b.Send(Envelope{From: "driver", To: name((g + r) % stable), Payload: []byte{20}})
 			}
 		}()
 	}
@@ -152,15 +152,15 @@ func TestBusChurnUnderLoadRace(t *testing.T) {
 			for r := 0; r < transientRounds; r++ {
 				p := graph.PeerID(fmt.Sprintf("t%d-%d", c, r))
 				if err := b.Register(p, func(e Envelope) {
-					if ttl, ok := e.Payload.(int); ok && ttl > 0 {
-						b.Send(Envelope{From: p, To: name(r % stable), Payload: ttl - 1})
+					if ttl := int(e.Payload[0]); ttl > 0 {
+						b.Send(Envelope{From: p, To: name(r % stable), Payload: []byte{byte(ttl - 1)}})
 					}
 				}); err != nil {
 					t.Error(err)
 					return
 				}
-				b.Send(Envelope{From: "driver", To: p, Payload: 3})
-				b.SendLow(Envelope{From: "driver", To: p, Payload: 0})
+				b.Send(Envelope{From: "driver", To: p, Payload: []byte{3}})
+				b.SendLow(Envelope{From: "driver", To: p, Payload: []byte{0}})
 				b.Unregister(p)
 			}
 		}()
@@ -170,7 +170,7 @@ func TestBusChurnUnderLoadRace(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for r := 0; r < 200; r++ {
-			b.Send(Envelope{From: "driver", To: graph.PeerID(fmt.Sprintf("t0-%d", r%transientRounds)), Payload: 0})
+			b.Send(Envelope{From: "driver", To: graph.PeerID(fmt.Sprintf("t0-%d", r%transientRounds)), Payload: []byte{0}})
 		}
 	}()
 

@@ -1,43 +1,38 @@
-// Package network provides the message transport substrate a PDMS runs on.
-//
-// Two implementations are provided:
+// Package network provides the pluggable message transport substrate a PDMS
+// runs on. Payloads are opaque bytes (see internal/wire for the typed frame
+// codec); the Transport interface decouples the peer runtime from any
+// particular substrate. Four implementations are provided:
 //
 //   - Simulator: a deterministic, single-threaded, stepped message bus with
-//     seeded message loss. All experiments use it — it makes runs
-//     reproducible bit-for-bit and lets Fig 11's "probability of sending a
-//     message" be controlled exactly.
+//     seeded message loss. The reference transport — runs are reproducible
+//     bit-for-bit and Fig 11's "probability of sending a message" is
+//     controlled exactly.
+//
+//   - ShardedSim: a stepped simulator that partitions peers across parallel
+//     worker shards with per-shard loss streams, for 100k+ peer runs. It
+//     produces the *same* traces as Simulator (same deliveries, same drops,
+//     same stats) while delivering on all cores.
+//
+//   - Loopback: a stepped transport that pushes every frame through a real
+//     localhost TCP socket (an in-memory net.Pipe where sockets are
+//     unavailable), proving the messages survive real serialization. Also
+//     trace-identical to Simulator.
 //
 //   - Bus: a goroutine-per-peer asynchronous runtime built on channels,
 //     demonstrating that the embedded message passing scheme needs no
 //     synchronization (§4.3.2); it is exercised under the race detector in
 //     tests.
 //
-// Payloads are opaque to the transport.
+// Message loss is a deterministic per-(sender, receiver) hash stream shared
+// by every transport (see dropper), so a lossy run is reproducible — and
+// identical — no matter which substrate carries it.
 package network
 
 import (
 	"fmt"
-	"math/rand"
-	"sync"
 
 	"repro/internal/graph"
 )
-
-// Envelope is one message in flight.
-type Envelope struct {
-	From, To graph.PeerID
-	Payload  any
-}
-
-// Handler consumes a delivered envelope. Handlers may send further messages.
-type Handler func(Envelope)
-
-// Stats counts transport activity.
-type Stats struct {
-	Sent      int // messages handed to the transport
-	Delivered int // messages delivered to a handler
-	Dropped   int // messages lost (1 − PSend)
-}
 
 // Simulator is a deterministic stepped transport. Messages sent during a
 // step are delivered in the next step, mirroring one synchronous round of
@@ -46,37 +41,37 @@ type Stats struct {
 type Simulator struct {
 	handlers map[graph.PeerID]Handler
 	queue    []Envelope
-	psend    float64
-	rng      *rand.Rand
+	drop     *dropper
 	stats    Stats
 }
 
 // NewSimulator creates a simulator delivering each message with probability
-// psend (1 = reliable). rng may be nil when psend is 1.
-func NewSimulator(psend float64, rng *rand.Rand) (*Simulator, error) {
-	if psend <= 0 || psend > 1 {
-		return nil, fmt.Errorf("network: psend %v out of (0,1]", psend)
-	}
-	if psend < 1 && rng == nil {
-		return nil, fmt.Errorf("network: psend < 1 requires an rng")
+// psend (1 = reliable); seed drives the deterministic loss model.
+func NewSimulator(psend float64, seed int64) (*Simulator, error) {
+	d, err := newDropper(psend, seed)
+	if err != nil {
+		return nil, err
 	}
 	return &Simulator{
 		handlers: make(map[graph.PeerID]Handler),
-		psend:    psend,
-		rng:      rng,
+		drop:     d,
 	}, nil
 }
 
-// Register installs the handler for a peer. Re-registering replaces it.
-func (s *Simulator) Register(p graph.PeerID, h Handler) {
+// Register installs the handler for a peer.
+func (s *Simulator) Register(p graph.PeerID, h Handler) error {
+	if _, dup := s.handlers[p]; dup {
+		return fmt.Errorf("network: peer %q already registered", p)
+	}
 	s.handlers[p] = h
+	return nil
 }
 
 // Send enqueues an envelope for delivery at the next Step. Loss is applied
 // at send time.
 func (s *Simulator) Send(e Envelope) {
 	s.stats.Sent++
-	if s.psend < 1 && s.rng.Float64() >= s.psend {
+	if s.drop.drop(e.From, e.To) {
 		s.stats.Dropped++
 		return
 	}
@@ -123,187 +118,5 @@ func (s *Simulator) Stats() Stats { return s.stats }
 // ResetStats zeroes the counters.
 func (s *Simulator) ResetStats() { s.stats = Stats{} }
 
-// Bus is an asynchronous goroutine-per-peer transport. Each registered peer
-// gets a dedicated dispatch goroutine consuming its unbounded inbox in
-// order. Sends never block.
-type Bus struct {
-	mu     sync.Mutex
-	peers  map[graph.PeerID]*busPeer
-	closed bool
-	wg     sync.WaitGroup
-
-	statsMu sync.Mutex
-	stats   Stats
-}
-
-type busPeer struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []Envelope
-	low     []Envelope // low-priority inbox, served only when queue is empty
-	closed  bool
-	handler Handler
-}
-
-// NewBus creates an asynchronous transport.
-func NewBus() *Bus {
-	return &Bus{peers: make(map[graph.PeerID]*busPeer)}
-}
-
-// Register installs the handler for a peer and starts its dispatch
-// goroutine. It returns an error after Close or on duplicate registration.
-func (b *Bus) Register(p graph.PeerID, h Handler) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return fmt.Errorf("network: bus closed")
-	}
-	if _, dup := b.peers[p]; dup {
-		return fmt.Errorf("network: peer %q already registered", p)
-	}
-	bp := &busPeer{handler: h}
-	bp.cond = sync.NewCond(&bp.mu)
-	b.peers[p] = bp
-	b.wg.Add(1)
-	go func() {
-		defer b.wg.Done()
-		for {
-			bp.mu.Lock()
-			for len(bp.queue) == 0 && len(bp.low) == 0 && !bp.closed {
-				bp.cond.Wait()
-			}
-			if len(bp.queue) == 0 && len(bp.low) == 0 && bp.closed {
-				bp.mu.Unlock()
-				return
-			}
-			var e Envelope
-			if len(bp.queue) > 0 {
-				e = bp.queue[0]
-				bp.queue = bp.queue[1:]
-			} else {
-				e = bp.low[0]
-				bp.low = bp.low[1:]
-			}
-			bp.mu.Unlock()
-			bp.handler(e)
-			b.statsMu.Lock()
-			b.stats.Delivered++
-			b.statsMu.Unlock()
-		}
-	}()
-	return nil
-}
-
-// Unregister removes a peer (a peer leaving a live network): its dispatch
-// goroutine drains the remaining inbox and exits, and later sends to the
-// peer are dropped. Unregistering an unknown peer is a no-op. Safe to call
-// concurrently with Send and Register.
-func (b *Bus) Unregister(p graph.PeerID) {
-	b.mu.Lock()
-	bp, ok := b.peers[p]
-	if ok {
-		delete(b.peers, p)
-	}
-	b.mu.Unlock()
-	if !ok {
-		return
-	}
-	bp.mu.Lock()
-	bp.closed = true
-	bp.cond.Broadcast()
-	bp.mu.Unlock()
-}
-
-// Send delivers asynchronously without blocking. Messages to unknown peers
-// or sent after Close are dropped.
-func (b *Bus) Send(e Envelope) { b.send(e, false) }
-
-// SendLow is Send at low priority: the envelope is delivered only when the
-// destination's regular inbox is empty. Drivers use it for periodic ticks so
-// a peer always folds in the remote messages that already arrived before
-// producing again — modelling a node that serves its network inbox ahead of
-// its local timer, with no cross-peer synchronization whatsoever.
-func (b *Bus) SendLow(e Envelope) { b.send(e, true) }
-
-func (b *Bus) send(e Envelope, low bool) {
-	b.mu.Lock()
-	bp, ok := b.peers[e.To]
-	closed := b.closed
-	b.mu.Unlock()
-	b.statsMu.Lock()
-	b.stats.Sent++
-	if !ok || closed {
-		b.stats.Dropped++
-		b.statsMu.Unlock()
-		return
-	}
-	b.statsMu.Unlock()
-	bp.mu.Lock()
-	if bp.closed {
-		bp.mu.Unlock()
-		b.statsMu.Lock()
-		b.stats.Dropped++
-		b.statsMu.Unlock()
-		return
-	}
-	if low {
-		bp.low = append(bp.low, e)
-	} else {
-		bp.queue = append(bp.queue, e)
-	}
-	bp.cond.Signal()
-	bp.mu.Unlock()
-}
-
-// Close stops accepting sends, lets inboxes drain, and waits for the
-// dispatch goroutines to exit. Safe to call more than once.
-func (b *Bus) Close() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return
-	}
-	b.closed = true
-	peers := b.peers
-	b.mu.Unlock()
-	for _, bp := range peers {
-		bp.mu.Lock()
-		bp.closed = true
-		bp.cond.Broadcast()
-		bp.mu.Unlock()
-	}
-	b.wg.Wait()
-}
-
-// Stats returns a copy of the transport counters.
-func (b *Bus) Stats() Stats {
-	b.statsMu.Lock()
-	defer b.statsMu.Unlock()
-	return b.stats
-}
-
-// Quiescent reports whether the bus has reached a stable idle state: every
-// accepted envelope has been fully handled and every inbox is empty. A
-// handler that is still executing keeps the bus non-quiescent (its envelope
-// is counted as sent but not yet delivered), so a true result means no
-// handler is running and none is pending — any further activity can only be
-// triggered by a new external Send.
-func (b *Bus) Quiescent() bool {
-	b.statsMu.Lock()
-	st := b.stats
-	b.statsMu.Unlock()
-	if st.Sent != st.Delivered+st.Dropped {
-		return false
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, bp := range b.peers {
-		bp.mu.Lock()
-		n := len(bp.queue) + len(bp.low)
-		bp.mu.Unlock()
-		if n > 0 {
-			return false
-		}
-	}
-	return true
-}
+// Close implements Transport; the simulator holds no resources.
+func (s *Simulator) Close() error { return nil }

@@ -1,7 +1,6 @@
 package network
 
 import (
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,29 +9,31 @@ import (
 )
 
 func TestNewSimulatorValidation(t *testing.T) {
-	if _, err := NewSimulator(0, nil); err == nil {
+	if _, err := NewSimulator(0, 0); err == nil {
 		t.Error("psend=0: want error")
 	}
-	if _, err := NewSimulator(1.5, nil); err == nil {
+	if _, err := NewSimulator(1.5, 0); err == nil {
 		t.Error("psend>1: want error")
 	}
-	if _, err := NewSimulator(0.5, nil); err == nil {
-		t.Error("lossy without rng: want error")
+	if _, err := NewSimulator(1, 0); err != nil {
+		t.Errorf("reliable simulator should work: %v", err)
 	}
-	if _, err := NewSimulator(1, nil); err != nil {
-		t.Errorf("reliable without rng should work: %v", err)
+	if _, err := NewSimulator(0.5, 7); err != nil {
+		t.Errorf("lossy simulator should work: %v", err)
 	}
 }
 
 func TestSimulatorDelivery(t *testing.T) {
-	s, err := NewSimulator(1, nil)
+	s, err := NewSimulator(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var got []string
-	s.Register("a", func(e Envelope) { got = append(got, e.Payload.(string)) })
-	s.Send(Envelope{From: "b", To: "a", Payload: "one"})
-	s.Send(Envelope{From: "b", To: "a", Payload: "two"})
+	if err := s.Register("a", func(e Envelope) { got = append(got, string(e.Payload)) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Send(Envelope{From: "b", To: "a", Payload: []byte("one")})
+	s.Send(Envelope{From: "b", To: "a", Payload: []byte("two")})
 	if s.Pending() != 2 {
 		t.Errorf("Pending = %d, want 2", s.Pending())
 	}
@@ -48,18 +49,28 @@ func TestSimulatorDelivery(t *testing.T) {
 	}
 }
 
+func TestSimulatorDuplicateRegistration(t *testing.T) {
+	s, _ := NewSimulator(1, 0)
+	if err := s.Register("a", func(Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("a", func(Envelope) {}); err == nil {
+		t.Error("duplicate registration: want error")
+	}
+}
+
 func TestSimulatorNextStepSemantics(t *testing.T) {
 	// A message sent during delivery arrives only in the following step.
-	s, _ := NewSimulator(1, nil)
+	s, _ := NewSimulator(1, 0)
 	var deliveredAt []int
 	step := 0
 	s.Register("a", func(e Envelope) {
 		deliveredAt = append(deliveredAt, step)
-		if e.Payload.(int) < 2 {
-			s.Send(Envelope{From: "a", To: "a", Payload: e.Payload.(int) + 1})
+		if e.Payload[0] < 2 {
+			s.Send(Envelope{From: "a", To: "a", Payload: []byte{e.Payload[0] + 1}})
 		}
 	})
-	s.Send(Envelope{From: "x", To: "a", Payload: 0})
+	s.Send(Envelope{From: "x", To: "a", Payload: []byte{0}})
 	for step = 1; step <= 5 && s.Pending() > 0; step++ {
 		s.Step()
 	}
@@ -74,8 +85,8 @@ func TestSimulatorNextStepSemantics(t *testing.T) {
 }
 
 func TestSimulatorUnknownPeerDropped(t *testing.T) {
-	s, _ := NewSimulator(1, nil)
-	s.Send(Envelope{From: "x", To: "ghost", Payload: 1})
+	s, _ := NewSimulator(1, 0)
+	s.Send(Envelope{From: "x", To: "ghost", Payload: []byte{1}})
 	s.Step()
 	if st := s.Stats(); st.Dropped != 1 || st.Delivered != 0 {
 		t.Errorf("stats = %+v", st)
@@ -84,13 +95,13 @@ func TestSimulatorUnknownPeerDropped(t *testing.T) {
 
 func TestSimulatorLossIsSeeded(t *testing.T) {
 	run := func(seed int64) Stats {
-		s, err := NewSimulator(0.5, rand.New(rand.NewSource(seed)))
+		s, err := NewSimulator(0.5, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
 		s.Register("a", func(Envelope) {})
 		for i := 0; i < 1000; i++ {
-			s.Send(Envelope{From: "b", To: "a", Payload: i})
+			s.Send(Envelope{From: "b", To: "a"})
 		}
 		s.Drain(10)
 		return s.Stats()
@@ -98,6 +109,9 @@ func TestSimulatorLossIsSeeded(t *testing.T) {
 	a, b := run(7), run(7)
 	if a != b {
 		t.Errorf("same seed, different stats: %+v vs %+v", a, b)
+	}
+	if c := run(8); c == a {
+		t.Errorf("different seeds, same loss pattern: %+v", c)
 	}
 	if a.Dropped < 400 || a.Dropped > 600 {
 		t.Errorf("dropped = %d, expected ≈500 of 1000", a.Dropped)
@@ -108,7 +122,7 @@ func TestSimulatorLossIsSeeded(t *testing.T) {
 }
 
 func TestSimulatorDrain(t *testing.T) {
-	s, _ := NewSimulator(1, nil)
+	s, _ := NewSimulator(1, 0)
 	count := 0
 	s.Register("a", func(e Envelope) {
 		count++
@@ -145,8 +159,8 @@ func TestBusDeliversConcurrently(t *testing.T) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		go b.Send(Envelope{From: "a", To: "b", Payload: i})
-		go b.Send(Envelope{From: "b", To: "a", Payload: i})
+		go b.Send(Envelope{From: "a", To: "b"})
+		go b.Send(Envelope{From: "b", To: "a"})
 	}
 	wg.Wait()
 	b.Close()
@@ -165,7 +179,7 @@ func TestBusOrderPerPeer(t *testing.T) {
 	done := make(chan struct{})
 	if err := b.Register("a", func(e Envelope) {
 		mu.Lock()
-		got = append(got, e.Payload.(int))
+		got = append(got, int(e.Payload[0]))
 		n := len(got)
 		mu.Unlock()
 		if n == 100 {
@@ -175,7 +189,7 @@ func TestBusOrderPerPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		b.Send(Envelope{From: "x", To: "a", Payload: i})
+		b.Send(Envelope{From: "x", To: "a", Payload: []byte{byte(i)}})
 	}
 	<-done
 	b.Close()
@@ -212,7 +226,7 @@ func TestBusCloseDrainsQueued(t *testing.T) {
 	var count int64
 	block := make(chan struct{})
 	if err := b.Register("a", func(e Envelope) {
-		if e.Payload.(int) == 0 {
+		if e.Payload[0] == 0 {
 			<-block
 		}
 		atomic.AddInt64(&count, 1)
@@ -220,7 +234,7 @@ func TestBusCloseDrainsQueued(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		b.Send(Envelope{From: "x", To: "a", Payload: i})
+		b.Send(Envelope{From: "x", To: "a", Payload: []byte{byte(i)}})
 	}
 	close(block)
 	b.Close()

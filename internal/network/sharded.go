@@ -1,0 +1,181 @@
+package network
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// ShardedSim is a stepped transport that partitions peers across worker
+// shards so very large networks (100k+ peers) step on all cores. It is
+// trace-equivalent to Simulator: the same traffic yields the same
+// deliveries, the same deterministic loss decisions (each shard owns a loss
+// stream, and a pair's stream always lives in the sender's shard) and the
+// same aggregate Stats — only wall-clock time differs.
+//
+// Concurrency contract: a peer's handler runs only on its own shard's
+// worker, and a peer's state must only be touched there — cross-shard
+// effects go through messages. Send is safe to call concurrently as long as
+// each sender peer is driven from one goroutine (the natural state when the
+// driver parallelizes per-peer work along ShardOf); handlers may Send
+// during a Step under the same rule.
+type ShardedSim struct {
+	shards   int
+	shardOf  map[graph.PeerID]int
+	handlers map[graph.PeerID]Handler
+	// next[dest][src] is the inbox of dest-shard messages produced by the
+	// src shard; giving every (dest, src) pair its own slice keeps Send
+	// lock-free and the delivery order deterministic (concatenation in src
+	// order at the step boundary).
+	next [][][]Envelope
+	drop []*dropper // per src shard, same seed → same per-pair streams
+	// per-shard counters, summed by Stats: sent/dropAtSend are owned by the
+	// sender's shard, delivered/dropAtStep by the destination's.
+	sent, dropAtSend, delivered, dropAtStep []int
+	nreg                                    int
+}
+
+// NewSharded creates a sharded simulator with the given worker count
+// (0 picks GOMAXPROCS) and the shared deterministic loss model.
+func NewSharded(shards int, psend float64, seed int64) (*ShardedSim, error) {
+	if shards < 0 {
+		return nil, fmt.Errorf("network: negative shard count %d", shards)
+	}
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if _, err := newDropper(psend, seed); err != nil {
+		return nil, err
+	}
+	s := &ShardedSim{
+		shards:     shards,
+		shardOf:    make(map[graph.PeerID]int),
+		handlers:   make(map[graph.PeerID]Handler),
+		next:       makeInboxes(shards),
+		drop:       make([]*dropper, shards),
+		sent:       make([]int, shards),
+		dropAtSend: make([]int, shards),
+		delivered:  make([]int, shards),
+		dropAtStep: make([]int, shards),
+	}
+	for i := range s.drop {
+		s.drop[i], _ = newDropper(psend, seed)
+	}
+	return s, nil
+}
+
+func makeInboxes(shards int) [][][]Envelope {
+	in := make([][][]Envelope, shards)
+	for d := range in {
+		in[d] = make([][]Envelope, shards)
+	}
+	return in
+}
+
+// Shards implements ShardInfo.
+func (s *ShardedSim) Shards() int { return s.shards }
+
+// ShardOf implements ShardInfo. Peers are assigned round-robin in
+// registration order, so any deterministic registration sequence yields a
+// deterministic partition.
+func (s *ShardedSim) ShardOf(p graph.PeerID) int { return s.shardOf[p] }
+
+// Register installs the handler for a peer and assigns it to a shard.
+func (s *ShardedSim) Register(p graph.PeerID, h Handler) error {
+	if _, dup := s.handlers[p]; dup {
+		return fmt.Errorf("network: peer %q already registered", p)
+	}
+	s.handlers[p] = h
+	s.shardOf[p] = s.nreg % s.shards
+	s.nreg++
+	return nil
+}
+
+// Send enqueues an envelope for delivery at the next Step, applying loss
+// from the sender shard's stream.
+func (s *ShardedSim) Send(e Envelope) {
+	src := s.shardOf[e.From]
+	s.sent[src]++
+	if s.drop[src].drop(e.From, e.To) {
+		s.dropAtSend[src]++
+		return
+	}
+	dst := s.shardOf[e.To] // unknown receivers land in shard 0 and drop at Step
+	s.next[dst][src] = append(s.next[dst][src], e)
+}
+
+// Step delivers every currently queued message — each destination shard's
+// inboxes on its own worker — and returns the number delivered. Messages
+// sent by handlers during the step are queued for the next one.
+func (s *ShardedSim) Step() int {
+	before := 0
+	for d := 0; d < s.shards; d++ {
+		before += s.delivered[d]
+	}
+	cur := s.next
+	s.next = makeInboxes(s.shards)
+	var wg sync.WaitGroup
+	for d := 0; d < s.shards; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for src := 0; src < s.shards; src++ {
+				for _, e := range cur[d][src] {
+					h, ok := s.handlers[e.To]
+					if !ok || s.shardOf[e.To] != d {
+						s.dropAtStep[d]++
+						continue
+					}
+					s.delivered[d]++
+					h(e)
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	after := 0
+	for d := 0; d < s.shards; d++ {
+		after += s.delivered[d]
+	}
+	return after - before
+}
+
+// Pending returns the number of queued messages.
+func (s *ShardedSim) Pending() int {
+	n := 0
+	for d := range s.next {
+		for src := range s.next[d] {
+			n += len(s.next[d][src])
+		}
+	}
+	return n
+}
+
+// Drain steps until the queue is empty or maxSteps is reached, returning the
+// number of steps taken.
+func (s *ShardedSim) Drain(maxSteps int) int {
+	steps := 0
+	for steps < maxSteps && s.Pending() > 0 {
+		s.Step()
+		steps++
+	}
+	return steps
+}
+
+func (s *ShardedSim) statsTotal() Stats {
+	var st Stats
+	for i := 0; i < s.shards; i++ {
+		st.Sent += s.sent[i]
+		st.Delivered += s.delivered[i]
+		st.Dropped += s.dropAtSend[i] + s.dropAtStep[i]
+	}
+	return st
+}
+
+// Stats returns a copy of the aggregated transport counters.
+func (s *ShardedSim) Stats() Stats { return s.statsTotal() }
+
+// Close implements Transport; the sharded simulator holds no resources.
+func (s *ShardedSim) Close() error { return nil }

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/network"
 )
 
 // EventOp enumerates the churn event kinds of a scenario timeline.
@@ -98,6 +99,17 @@ type Scenario struct {
 	Theta        float64 `json:"theta,omitempty"`        // routing threshold, default 0.5
 	MaxRounds    int     `json:"maxRounds,omitempty"`    // detection rounds bound, default 300
 
+	// Transport selects the message substrate detection runs on: "sim"
+	// (default, the single-threaded deterministic simulator), "sharded"
+	// (parallel sharded simulator) or "tcp" (loopback TCP — every remote
+	// message crosses a real socket as wire-encoded bytes). The trace is
+	// identical whichever transport carries it; the field exists so the
+	// whole stack can be replayed — and golden-diffed — over each one.
+	Transport string `json:"transport,omitempty"`
+	// Shards is the worker count for the sharded transport (0 picks
+	// GOMAXPROCS; the trace does not depend on it).
+	Shards int `json:"shards,omitempty"`
+
 	// RecordPosteriors includes the full posterior map in every epoch
 	// trace (keep scenarios small when enabling it).
 	RecordPosteriors bool `json:"recordPosteriors,omitempty"`
@@ -160,6 +172,14 @@ func (sc Scenario) check() error {
 	}
 	if sc.Theta < 0 || sc.Theta >= 1 {
 		return fmt.Errorf("sim: theta %v out of [0,1)", sc.Theta)
+	}
+	switch network.Kind(sc.Transport) {
+	case "", network.KindSim, network.KindSharded, network.KindTCP:
+	default:
+		return fmt.Errorf("sim: unknown transport %q", sc.Transport)
+	}
+	if sc.Shards < 0 {
+		return fmt.Errorf("sim: negative shard count %d", sc.Shards)
 	}
 	for i, ep := range sc.Epochs {
 		if ep.PSend < 0 || ep.PSend > 1 {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/network"
 	"repro/internal/query"
 	"repro/internal/schema"
 )
@@ -442,6 +443,8 @@ func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
 		Tolerance: 1e-9,
 		PSend:     psend,
 		Seed:      s.epochSeed(i + 1),
+		Transport: network.Kind(s.sc.Transport),
+		Shards:    s.sc.Shards,
 	})
 	if err != nil {
 		return tr, err

@@ -35,6 +35,19 @@
 // invariants, the three-way schedule differential, the scratch-rediscovery
 // oracle and how to add a scenario.
 //
+// Every message the stack sends — belief-propagation µ-messages, discovery
+// probes, lazy piggybacks, asynchronous control frames — crosses the
+// transport as typed, versioned, canonical binary frames (internal/wire),
+// and the transport itself is pluggable: DetectOptions.Transport selects
+// TransportSim (the default deterministic simulator), TransportSharded (a
+// parallel sharded simulator for 100k+ peer networks; DetectOptions.Shards
+// sets the worker count) or TransportTCP (a loopback TCP socket proving the
+// frames survive real serialization). Message loss is a deterministic
+// per-(sender, receiver) hash stream, so results — posteriors, message
+// counts, drops — are identical on every transport, which the
+// cross-transport golden tests pin down. Scenario.Transport threads the
+// same choice through the replay engine and cmd/pdmssim's -transport flag.
+//
 // Quickstart:
 //
 //	s := pdms.MustNewSchema("S1", "Creator", "Title")
@@ -54,6 +67,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/feedback"
 	"repro/internal/graph"
+	"repro/internal/network"
 	"repro/internal/query"
 	"repro/internal/schema"
 	"repro/internal/sim"
@@ -143,6 +157,23 @@ type (
 	EpochTrace = sim.EpochTrace
 	// GenConfig parameterizes random scenario generation.
 	GenConfig = sim.GenConfig
+)
+
+// TransportKind selects the message substrate a detection run uses (see
+// DetectOptions.Transport and Scenario-level "transport").
+type TransportKind = network.Kind
+
+// Transport kinds. All produce identical results; they differ in execution
+// model (single-threaded, sharded-parallel, real sockets) only.
+const (
+	// TransportSim is the single-threaded deterministic simulator (default).
+	TransportSim = network.KindSim
+	// TransportSharded is the sharded parallel simulator for very large
+	// networks.
+	TransportSharded = network.KindSharded
+	// TransportTCP is the loopback TCP transport: every message travels as
+	// wire-encoded bytes through a real socket.
+	TransportTCP = network.KindTCP
 )
 
 // Operation kinds for Op.Kind.

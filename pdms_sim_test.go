@@ -67,3 +67,43 @@ func TestScenarioPublicAPI(t *testing.T) {
 		t.Fatal("re-detection did not run")
 	}
 }
+
+// TestTransportPublicAPI: the transport is selectable through the public
+// surface and every kind lands on the same posteriors.
+func TestTransportPublicAPI(t *testing.T) {
+	sc, err := pdms.GenerateScenario(pdms.GenConfig{Seed: 9, Peers: 10, Epochs: 1, Events: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pdms.NewSimulation(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	net := s.Network()
+	var ref pdms.DetectResult
+	for i, kind := range []pdms.TransportKind{pdms.TransportSim, pdms.TransportSharded, pdms.TransportTCP} {
+		net.ResetMessages()
+		det, err := net.RunDetection(pdms.DetectOptions{Transport: kind, Shards: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if i == 0 {
+			ref = det
+			continue
+		}
+		if det.Rounds != ref.Rounds || det.RemoteMessages != ref.RemoteMessages {
+			t.Errorf("%s: rounds/messages %d/%d, want %d/%d",
+				kind, det.Rounds, det.RemoteMessages, ref.Rounds, ref.RemoteMessages)
+		}
+		for m, attrs := range ref.Posteriors {
+			for a, v := range attrs {
+				if got := det.Posterior(m, a, -1); got != v {
+					t.Errorf("%s: posterior %s/%s = %v, want %v", kind, m, a, got, v)
+				}
+			}
+		}
+	}
+}
