@@ -1,0 +1,136 @@
+// Command pdmsload drives the concurrent query-serving plane with a seeded
+// workload: N client goroutines serve mixed query templates with hot-key
+// skew against the epoch-stamped routing snapshots a churn scenario
+// publishes, and the aggregate trace — answers served, cache hit rate,
+// per-epoch answer digests — is emitted as reproducible JSON: the same load
+// spec always produces the same bytes, however the goroutines interleave
+// (see TESTING.md, "Serving plane"). Wall-clock latency and throughput are
+// printed separately with -perf, since they are real but not reproducible.
+//
+// Usage:
+//
+//	pdmsload -spec load.json               # run, trace to stdout
+//	pdmsload -spec load.json -out t.json   # run, trace to a file
+//	pdmsload -spec load.json -perf         # also print the latency table (stderr)
+//	pdmsload -gen -seed 7 -peers 1000 -queries 250000 -clients 8
+//	                                       # generate a load spec instead
+//
+// A load spec is a churn scenario (the same format cmd/pdmssim replays)
+// plus a workload section: client count, queries per epoch, hot-key skew,
+// QPS cap, cache size and store seeding parameters.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdmsload: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pdmsload", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "load spec file to run")
+	out := fs.String("out", "", "output file for the trace (default stdout)")
+	perf := fs.Bool("perf", false, "print the latency/throughput table to stderr after the run")
+	gen := fs.Bool("gen", false, "generate a load spec instead of running one")
+	seed := fs.Int64("seed", 1, "generation seed")
+	peers := fs.Int("peers", 0, "generation: initial peer count")
+	epochs := fs.Int("epochs", 0, "generation: number of epochs")
+	events := fs.Int("events", 0, "generation: churn events per epoch (-1 for a static scenario)")
+	clients := fs.Int("clients", 0, "generation: concurrent serving clients")
+	queries := fs.Int("queries", 0, "generation: queries served per epoch")
+	hot := fs.Float64("hot", 0, "generation: hot-key traffic fraction")
+	qps := fs.Int("qps", 0, "generation: aggregate QPS cap (0 = unlimited)")
+	cache := fs.Int("cache", 0, "generation: server result-cache size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var payload any
+	switch {
+	case *gen:
+		sc, err := sim.Generate(sim.GenConfig{
+			Seed:   *seed,
+			Peers:  *peers,
+			Epochs: *epochs,
+			Events: *events,
+		})
+		if err != nil {
+			return err
+		}
+		sc.Epochs = trimQueryBursts(sc.Epochs)
+		payload = sim.LoadSpec{
+			Scenario: sc,
+			Workload: sim.Workload{
+				Seed:            *seed,
+				Clients:         *clients,
+				QueriesPerEpoch: *queries,
+				Hot:             *hot,
+				QPS:             *qps,
+				CacheSize:       *cache,
+			},
+		}
+	case *specPath != "":
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec, err := sim.ParseLoadSpec(data)
+		if err != nil {
+			return err
+		}
+		s, err := sim.New(spec.Scenario)
+		if err != nil {
+			return err
+		}
+		res, p, err := s.RunWorkload(spec.Workload, nil)
+		if err != nil {
+			return err
+		}
+		if *perf {
+			printPerf(stderr, p)
+		}
+		payload = res
+	default:
+		return fmt.Errorf("nothing to do: pass -spec <file> or -gen (see -h)")
+	}
+
+	enc, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, enc, 0o644)
+	}
+	_, err = stdout.Write(enc)
+	return err
+}
+
+// trimQueryBursts zeroes the scenario-level θ-gated query bursts: the
+// workload engine serves the queries, the replay-side burst would only slow
+// the run down.
+func trimQueryBursts(eps []sim.Epoch) []sim.Epoch {
+	for i := range eps {
+		eps[i].Queries = 0
+	}
+	return eps
+}
+
+// printPerf renders the wall-clock table (stderr; never part of the trace).
+func printPerf(w io.Writer, p *sim.WorkloadPerf) {
+	fmt.Fprintf(w, "served     %d answers in %v (%.0f answers/sec)\n", p.Served, p.Elapsed.Round(1e6), p.Throughput)
+	fmt.Fprintf(w, "latency    p50 %v  p95 %v  p99 %v  max %v\n", p.P50, p.P95, p.P99, p.Max)
+}

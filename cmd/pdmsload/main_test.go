@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// million opts into the full-scale acceptance run (≥1M answered queries
+// against a 1000-peer network with churn). It takes a couple of minutes, so
+// it is off by default; CI and PERFORMANCE.md runs enable it with
+// `go test ./cmd/pdmsload -run TestMillionQuery -million`.
+var million = flag.Bool("million", false, "run the 1M-query acceptance workload")
+
+// TestGoldenWorkloadTraces replays the committed load specs and asserts the
+// aggregate traces reproduce bit-for-bit — served counts, cache hits,
+// per-epoch answer digests — however the client goroutines interleave.
+// Regenerate with `go test ./cmd/pdmsload -update` after an intentional
+// engine change, and review the diff.
+func TestGoldenWorkloadTraces(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join("testdata", "*.load.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no load specs under testdata/")
+	}
+	for _, sp := range specs {
+		name := strings.TrimSuffix(filepath.Base(sp), ".load.json")
+		t.Run(name, func(t *testing.T) {
+			var got bytes.Buffer
+			if err := run([]string{"-spec", sp}, &got, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+".trace.json")
+			if *update {
+				if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("trace for %s does not reproduce the golden file bit-for-bit\n"+
+					"regenerate with `go test ./cmd/pdmsload -update` and review the diff", name)
+			}
+			// The serving engine must answer everything it is asked and
+			// never observe a stale epoch in barriered mode.
+			if bytes.Contains(want, []byte(`"errors"`)) {
+				t.Errorf("golden trace %s contains serving errors", name)
+			}
+		})
+	}
+}
+
+// TestGenerateReproducible: -gen emits identical specs for a seed, and the
+// generated spec runs cleanly end to end.
+func TestGenerateReproducible(t *testing.T) {
+	genArgs := []string{"-gen", "-seed", "11", "-peers", "10", "-epochs", "2", "-queries", "80"}
+	var a, b bytes.Buffer
+	if err := run(genArgs, &a, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(genArgs, &b, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("generation is not reproducible")
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(specPath, a.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var tr bytes.Buffer
+	if err := run([]string{"-spec", specPath}, &tr, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var res sim.WorkloadResult
+	if err := json.Unmarshal(tr.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalServed != 160 {
+		t.Errorf("served %d answers, want 160", res.TotalServed)
+	}
+}
+
+// TestCLIErrors: missing inputs and bad files are reported.
+func TestCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out, io.Discard); err == nil {
+		t.Error("no arguments: want error")
+	}
+	if err := run([]string{"-spec", "testdata/no-such-file.json"}, &out, io.Discard); err == nil {
+		t.Error("missing file: want error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"workload": {"unknown": 1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", bad}, &out, io.Discard); err == nil {
+		t.Error("unknown spec field: want error")
+	}
+}
+
+// TestMillionQueryAcceptance is the scale acceptance run of the serving
+// plane: one pdmsload run must sustain at least one million answered queries
+// against a 1000-peer network with churn enabled. Gated behind -million.
+func TestMillionQueryAcceptance(t *testing.T) {
+	if !*million {
+		t.Skip("pass -million to run the 1M-query acceptance workload")
+	}
+	spec := sim.LoadSpec{
+		Workload: sim.Workload{
+			Clients:         8,
+			QueriesPerEpoch: 250_000,
+			HotKeys:         64,
+		},
+	}
+	sc, err := sim.Generate(sim.GenConfig{Seed: 1, Peers: 1000, Epochs: 4, Events: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sc.Epochs {
+		sc.Epochs[i].Queries = 0
+	}
+	spec.Scenario = sc
+	s, err := sim.New(spec.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, perf, err := s.RunWorkload(spec.Workload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalServed < 1_000_000 {
+		t.Fatalf("served %d answers, want >= 1,000,000", res.TotalServed)
+	}
+	for _, ep := range res.Epochs {
+		if ep.Errors != 0 {
+			t.Errorf("epoch %d: %d serving errors", ep.Epoch, ep.Errors)
+		}
+		if ep.Served != ep.Queries {
+			t.Errorf("epoch %d: served %d of %d queries", ep.Epoch, ep.Served, ep.Queries)
+		}
+	}
+	t.Logf("served %d answers (%d cache hits) in %v: %.0f answers/sec, p50 %v p99 %v",
+		res.TotalServed, res.TotalCacheHits, perf.Elapsed, perf.Throughput, perf.P50, perf.P99)
+}

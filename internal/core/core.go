@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/schema"
@@ -28,7 +29,9 @@ import (
 
 // Network is a PDMS: peers, schemas, mappings and the shared transport.
 // Networks are not safe for concurrent mutation; detection runs are
-// sequential and deterministic.
+// sequential and deterministic. The one concurrent surface is the serving
+// plane: PublishSnapshot installs an immutable RoutingSnapshot with an atomic
+// pointer swap and Snapshot loads it lock-free from any goroutine.
 type Network struct {
 	directed bool
 	topo     *graph.Graph
@@ -38,6 +41,11 @@ type Network struct {
 	// pinRecs remembers which structure justified each ⊥ pin so churn can
 	// retract pins whose structures dissolved (see churn.go).
 	pinRecs []pinRecord
+
+	// Serving plane (snapshot.go): the current published snapshot and the
+	// monotone epoch counter stamping each publication.
+	snap      atomic.Pointer[RoutingSnapshot]
+	snapEpoch atomic.Uint64
 }
 
 // NewNetwork creates an empty PDMS. directed selects directed mappings

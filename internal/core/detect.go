@@ -48,6 +48,11 @@ type DetectOptions struct {
 	// Trace, if non-nil, receives after every round the posterior map. The
 	// map is freshly allocated each call.
 	Trace func(round int, posteriors map[graph.EdgeID]map[schema.Attribute]float64)
+	// Publish, if non-nil, makes the run publish a fresh RoutingSnapshot
+	// under this policy after every round (and a final one when the run
+	// ends), so concurrent query servers reading Network.Snapshot always see
+	// the latest posteriors without ever blocking the BP rounds.
+	Publish *SnapshotOptions
 }
 
 func (o DetectOptions) withDefaults() (DetectOptions, error) {
@@ -162,6 +167,9 @@ func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 		res.Rounds = round
 
 		cur := n.snapshotPosteriors(opts.DefaultPrior)
+		if opts.Publish != nil {
+			n.PublishSnapshot(DetectResult{Posteriors: cur}, *opts.Publish)
+		}
 		maxDelta := posteriorDelta(prev, cur)
 		prev = cur
 		if opts.Trace != nil {

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/xmldb"
+)
+
+// This file implements the read side of the query-serving plane: detection
+// publishes an immutable, epoch-stamped RoutingSnapshot via an atomic pointer
+// swap, and any number of server goroutines route queries against it without
+// ever blocking — or being blocked by — the belief-propagation rounds or
+// churn maintenance that produce the next snapshot. A snapshot freezes
+// everything routing needs: the θ-evaluated posterior of every (mapping,
+// attribute) variable, the adjacency of the mapping overlay, and per-peer
+// schema and store references. Mapping, Schema and Store objects are never
+// mutated after installation (churn replaces mappings with fresh objects), so
+// sharing the pointers is safe.
+
+// SnapshotOptions fixes the routing policy a snapshot is published under.
+// The θ gate is evaluated once at publication: serving threads only follow
+// precomputed verdicts.
+type SnapshotOptions struct {
+	// Theta is the per-attribute semantic threshold θ_a; attributes not in
+	// the map use DefaultTheta.
+	Theta map[schema.Attribute]float64
+	// DefaultTheta defaults to 0.5.
+	DefaultTheta float64
+	// DefaultPosterior is used for variables absent from the detection
+	// result (mappings never covered by any structure). Defaults to 0.5.
+	DefaultPosterior float64
+	// MaxHops bounds propagation. Defaults to the number of peers.
+	MaxHops int
+}
+
+func (o SnapshotOptions) withDefaults(peers int) SnapshotOptions {
+	if o.DefaultTheta == 0 {
+		o.DefaultTheta = 0.5
+	}
+	if o.DefaultPosterior == 0 {
+		o.DefaultPosterior = 0.5
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = peers
+	}
+	return o
+}
+
+// attrVerdict is the precomputed θ-gate outcome for one (edge, source
+// attribute) pair.
+type attrVerdict uint8
+
+const (
+	// verdictDropped: the mapping provides no correspondence (⊥, §2).
+	verdictDropped attrVerdict = iota
+	// verdictBlocked: mapped, but the posterior does not clear θ_a (or the
+	// variable is ⊥-pinned).
+	verdictBlocked
+	// verdictPass: mapped and the posterior clears θ_a.
+	verdictPass
+)
+
+// snapEdge is one frozen outgoing mapping: destination, the immutable
+// mapping object, and the θ verdict per source-schema attribute.
+type snapEdge struct {
+	id       graph.EdgeID
+	to       graph.PeerID
+	mapping  *schema.Mapping
+	verdicts map[schema.Attribute]attrVerdict
+	// passable is true if at least one attribute passes — edges failing it
+	// can never be crossed and are pruned from the BFS frontier fast path.
+	passable bool
+}
+
+// snapPeer is one peer's frozen serving state.
+type snapPeer struct {
+	schema *schema.Schema
+	store  *xmldb.Store
+	out    []snapEdge // sorted by edge ID, matching live RouteQuery order
+}
+
+// RoutingSnapshot is an immutable, epoch-stamped view of the network for
+// query serving. All methods are safe for unlimited concurrent use; nothing
+// reachable from a snapshot is ever written after Publish returns it.
+type RoutingSnapshot struct {
+	epoch      uint64
+	opts       SnapshotOptions
+	peers      map[graph.PeerID]*snapPeer
+	order      []graph.PeerID
+	mappings   map[graph.EdgeID]*schema.Mapping
+	posteriors map[graph.EdgeID]map[schema.Attribute]float64
+}
+
+// Epoch returns the snapshot's publication epoch. Epochs increase by one per
+// publication on a given network, starting at 1.
+func (s *RoutingSnapshot) Epoch() uint64 { return s.epoch }
+
+// Options returns the routing policy the snapshot was published under.
+func (s *RoutingSnapshot) Options() SnapshotOptions { return s.opts }
+
+// NumPeers returns the number of peers frozen in the snapshot.
+func (s *RoutingSnapshot) NumPeers() int { return len(s.order) }
+
+// PeerIDs returns the frozen peer IDs in network insertion order. The slice
+// is shared: callers must not mutate it.
+func (s *RoutingSnapshot) PeerIDs() []graph.PeerID { return s.order }
+
+// HasPeer reports whether the snapshot contains the peer.
+func (s *RoutingSnapshot) HasPeer(id graph.PeerID) bool {
+	_, ok := s.peers[id]
+	return ok
+}
+
+// Schema returns the frozen schema of a peer.
+func (s *RoutingSnapshot) Schema(id graph.PeerID) (*schema.Schema, bool) {
+	p, ok := s.peers[id]
+	if !ok {
+		return nil, false
+	}
+	return p.schema, true
+}
+
+// Store returns the frozen store reference of a peer, if it had one at
+// publication time.
+func (s *RoutingSnapshot) Store(id graph.PeerID) (*xmldb.Store, bool) {
+	p, ok := s.peers[id]
+	if !ok || p.store == nil {
+		return nil, false
+	}
+	return p.store, true
+}
+
+// Mapping returns the frozen mapping object behind an edge.
+func (s *RoutingSnapshot) Mapping(id graph.EdgeID) (*schema.Mapping, bool) {
+	m, ok := s.mappings[id]
+	return m, ok
+}
+
+// Posterior returns the frozen effective posterior for a mapping and
+// attribute (⊥-pinned variables report 0), or def when the variable was
+// never covered by evidence.
+func (s *RoutingSnapshot) Posterior(m graph.EdgeID, a schema.Attribute, def float64) float64 {
+	if mm, ok := s.posteriors[m]; ok {
+		if p, ok := mm[a]; ok {
+			return p
+		}
+	}
+	return def
+}
+
+// RouteQuery propagates q from the origin peer through the frozen overlay,
+// breadth-first and deterministic, honouring the θ verdicts precomputed at
+// publication. It mirrors Network.RouteQuery exactly — same visit order,
+// same Blocked/DroppedAttr accounting — but executes nothing: visits carry
+// the hop-by-hop rewritten query and the mapping chain only, and the serve
+// layer re-derives and executes the rewrite per reachable peer.
+func (s *RoutingSnapshot) RouteQuery(origin graph.PeerID, q query.Query) (RouteResult, error) {
+	op, ok := s.peers[origin]
+	if !ok {
+		return RouteResult{}, fmt.Errorf("core: snapshot %d: unknown origin peer %q", s.epoch, origin)
+	}
+	if q.SchemaName != op.schema.Name() {
+		return RouteResult{}, fmt.Errorf("core: snapshot %d: query schema %q does not match origin schema %q",
+			s.epoch, q.SchemaName, op.schema.Name())
+	}
+	for _, a := range q.Attributes() {
+		if !op.schema.Has(a) {
+			return RouteResult{}, fmt.Errorf("core: snapshot %d: origin schema %q has no attribute %q",
+				s.epoch, op.schema.Name(), a)
+		}
+	}
+
+	type item struct {
+		peer graph.PeerID
+		q    query.Query
+		via  []graph.EdgeID
+	}
+	res := RouteResult{}
+	visited := map[graph.PeerID]bool{origin: true}
+	queue := []item{{peer: origin, q: q}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		p := s.peers[cur.peer]
+		res.Visits = append(res.Visits, Visit{Peer: cur.peer, Query: cur.q, Via: cur.via})
+
+		if len(cur.via) >= s.opts.MaxHops {
+			continue
+		}
+		attrs := cur.q.Attributes()
+		for i := range p.out {
+			e := &p.out[i]
+			if visited[e.to] {
+				continue
+			}
+			ok := true
+			for _, a := range attrs {
+				switch e.verdicts[a] {
+				case verdictDropped:
+					res.DroppedAttr++
+					ok = false
+				case verdictBlocked:
+					res.Blocked++
+					ok = false
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			rewritten, dropped := cur.q.Rewrite(e.mapping)
+			if len(dropped) > 0 {
+				res.DroppedAttr++
+				continue
+			}
+			visited[e.to] = true
+			queue = append(queue, item{
+				peer: e.to,
+				q:    rewritten,
+				via:  append(append([]graph.EdgeID(nil), cur.via...), e.id),
+			})
+		}
+	}
+	return res, nil
+}
+
+// PublishSnapshot freezes the network's current topology, stores and the
+// detection result's posteriors into a RoutingSnapshot, stamps it with the
+// next epoch and installs it as the network's current snapshot with a single
+// atomic pointer swap. It must be called from the goroutine that owns the
+// network (the one running detection and churn); readers call Snapshot
+// concurrently at any time.
+func (n *Network) PublishSnapshot(det DetectResult, opts SnapshotOptions) *RoutingSnapshot {
+	opts = opts.withDefaults(n.NumPeers())
+	theta := func(a schema.Attribute) float64 {
+		if t, ok := opts.Theta[a]; ok {
+			return t
+		}
+		return opts.DefaultTheta
+	}
+
+	snap := &RoutingSnapshot{
+		opts:       opts,
+		peers:      make(map[graph.PeerID]*snapPeer, len(n.order)),
+		order:      append([]graph.PeerID(nil), n.order...),
+		mappings:   make(map[graph.EdgeID]*schema.Mapping, len(n.mappings)),
+		posteriors: make(map[graph.EdgeID]map[schema.Attribute]float64),
+	}
+	for _, id := range n.order {
+		p := n.peers[id]
+		sp := &snapPeer{schema: p.schema, store: p.store}
+		outIDs := p.Outgoing()
+		sp.out = make([]snapEdge, 0, len(outIDs))
+		for _, eid := range outIDs {
+			e, ok := n.topo.Edge(eid)
+			if !ok {
+				continue
+			}
+			m := p.out[eid]
+			se := snapEdge{
+				id:       eid,
+				to:       e.To,
+				mapping:  m,
+				verdicts: make(map[schema.Attribute]attrVerdict, p.schema.Len()),
+			}
+			post := make(map[schema.Attribute]float64)
+			for _, a := range p.schema.Attributes() {
+				if _, mapped := m.Map(a); !mapped {
+					se.verdicts[a] = verdictDropped
+					continue
+				}
+				pr := det.Posterior(eid, a, opts.DefaultPosterior)
+				if p.Pinned(eid, a) {
+					pr = 0
+				}
+				post[a] = pr
+				if pr <= theta(a) {
+					se.verdicts[a] = verdictBlocked
+					continue
+				}
+				se.verdicts[a] = verdictPass
+				se.passable = true
+			}
+			if len(post) > 0 {
+				snap.posteriors[eid] = post
+			}
+			snap.mappings[eid] = m
+			sp.out = append(sp.out, se)
+		}
+		sort.Slice(sp.out, func(i, j int) bool { return sp.out[i].id < sp.out[j].id })
+		snap.peers[id] = sp
+	}
+	snap.epoch = n.snapEpoch.Add(1)
+	n.snap.Store(snap)
+	return snap
+}
+
+// Snapshot returns the most recently published RoutingSnapshot, or nil if
+// none has been published yet. It is a lock-free atomic load, safe to call
+// from any goroutine at any time — including while detection or churn runs.
+func (n *Network) Snapshot() *RoutingSnapshot {
+	return n.snap.Load()
+}

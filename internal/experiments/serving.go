@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ServingPoint is one row of the query-serving throughput figure: one
+// workload mixture driven through the snapshot-serving plane.
+type ServingPoint struct {
+	Label   string
+	Clients int
+	Hot     float64
+	Served  int
+	// HitRate is the cache hit fraction (coalesced misses included).
+	HitRate       float64
+	AnswersPerSec float64
+	P50, P99      time.Duration
+}
+
+// ServingThroughput measures the serving plane end to end: a generated
+// Barabási–Albert overlay replayed over churn epochs, with a fresh
+// RoutingSnapshot published per epoch and concurrent clients serving mixed
+// π/σ query templates against it (see internal/sim.RunWorkload). Three
+// mixtures are timed: the default hot-key-skewed workload, a miss-heavy
+// one, and a single serial client as the contention-free baseline. The
+// answers themselves are deterministic; only the wall-clock side varies.
+func ServingThroughput(peers, epochs, queriesPerEpoch int, seed int64) ([]ServingPoint, error) {
+	configs := []struct {
+		label   string
+		clients int
+		hot     float64
+	}{
+		{"hot-skewed", 8, 0.8},
+		{"miss-heavy", 8, 0.05},
+		{"serial", 1, 0.8},
+	}
+	var out []ServingPoint
+	for _, cfg := range configs {
+		sc, err := sim.Generate(sim.GenConfig{Seed: seed, Peers: peers, Epochs: epochs})
+		if err != nil {
+			return nil, err
+		}
+		for i := range sc.Epochs {
+			sc.Epochs[i].Queries = 0 // the workload serves the queries
+		}
+		s, err := sim.New(sc)
+		if err != nil {
+			return nil, err
+		}
+		res, perf, err := s.RunWorkload(sim.Workload{
+			Clients:         cfg.clients,
+			QueriesPerEpoch: queriesPerEpoch,
+			Hot:             cfg.hot,
+			HotKeys:         64,
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, ep := range res.Epochs {
+			if ep.Errors != 0 {
+				return nil, fmt.Errorf("experiments: %s epoch %d: %d serving errors", cfg.label, ep.Epoch, ep.Errors)
+			}
+		}
+		out = append(out, ServingPoint{
+			Label:         cfg.label,
+			Clients:       cfg.clients,
+			Hot:           cfg.hot,
+			Served:        res.TotalServed,
+			HitRate:       float64(res.TotalCacheHits) / float64(res.TotalServed),
+			AnswersPerSec: perf.Throughput,
+			P50:           perf.P50,
+			P99:           perf.P99,
+		})
+	}
+	return out, nil
+}

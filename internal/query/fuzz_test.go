@@ -1,0 +1,159 @@
+package query_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/xmldb"
+)
+
+// FuzzRewriteChain fuzzes query rewriting over random mapping chains — the
+// operation the serving plane performs on every surviving path. The fuzz
+// input deterministically decodes into a chain of schemas S0→S1→…→Sn with
+// partial, possibly non-injective mappings between them and a query against
+// S0, and the test checks three laws:
+//
+//  1. Composition: RewriteChain over the whole chain equals rewriting hop
+//     by hop (a chain of two is exactly two rewrites), and every surviving
+//     operation lands on schema.Follow's image of its attribute.
+//  2. Well-formedness: the rewritten query is expressed against the final
+//     schema — every operation's attribute is declared by it, kinds and
+//     literals are preserved, and operation order is stable.
+//  3. Executability: xmldb.Execute of the rewritten query against a store
+//     of the final schema never panics and never errors.
+//
+// The seed corpus mirrors the golden scenarios: 4-attribute shared schemas
+// with identity chains and the corrupted first-two-swapped revision.
+func FuzzRewriteChain(f *testing.F) {
+	// b0: schema size selector; b1: chain length selector; then per hop,
+	// one byte per source attribute (m%5==0 → unmapped, else dst =
+	// m%nAttrs); then query op bytes in triples (kind, attr, literal).
+	// Identity hop over 4 attrs: 16,13,6,11; a0/a1-swapped hop: 13,16,6,11
+	// (the corrupt-mapping revision of the golden scenarios).
+	f.Add([]byte{2, 1, 16, 13, 6, 11, 0, 0, 7})                               // one identity hop, π[a0]
+	f.Add([]byte{2, 2, 16, 13, 6, 11, 16, 13, 6, 11, 1, 0, 3, 0, 1, 9})       // identity 2-chain, σπ
+	f.Add([]byte{2, 2, 13, 16, 6, 11, 16, 13, 6, 11, 0, 0, 2, 1, 1, 4})       // corrupted then clean hop
+	f.Add([]byte{2, 3, 16, 13, 5, 11, 13, 16, 6, 11, 16, 13, 6, 10, 0, 2, 1}) // with ⊥ drops
+	f.Add([]byte{4, 0, 1, 3, 2})                                              // empty chain
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func(i int) byte {
+			if i < len(data) {
+				return data[i]
+			}
+			return 0
+		}
+		pos := 0
+		read := func() byte { b := next(pos); pos++; return b }
+
+		nAttrs := 2 + int(read())%5
+		chainLen := int(read()) % 4
+		attrs := make([]schema.Attribute, nAttrs)
+		for i := range attrs {
+			attrs[i] = schema.Attribute(fmt.Sprintf("a%d", i))
+		}
+		schemas := make([]*schema.Schema, chainLen+1)
+		for i := range schemas {
+			schemas[i] = schema.MustNew(fmt.Sprintf("S%d", i), attrs...)
+		}
+		chain := make([]*schema.Mapping, chainLen)
+		for h := 0; h < chainLen; h++ {
+			m := schema.MustNewMapping(fmt.Sprintf("m%d", h), schemas[h], schemas[h+1])
+			for j, a := range attrs {
+				b := read()
+				if b%5 == 0 {
+					continue // ⊥: no correspondence for this attribute
+				}
+				if err := m.Add(a, attrs[int(b)%nAttrs]); err != nil {
+					t.Fatalf("hop %d attr %d: %v", h, j, err)
+				}
+			}
+			chain[h] = m
+		}
+
+		nOps := 1 + int(read())%4
+		ops := make([]query.Op, 0, nOps)
+		for i := 0; i < nOps; i++ {
+			kind := query.Project
+			if read()%2 == 1 {
+				kind = query.Select
+			}
+			ops = append(ops, query.Op{
+				Kind:    kind,
+				Attr:    attrs[int(read())%nAttrs],
+				Literal: fmt.Sprintf("v%d", read()%4),
+			})
+		}
+		q, err := query.New(schemas[0], ops...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Law 1: chain rewrite = iterated rewrite (chain of two is exactly
+		// two single rewrites), with identical drop accounting.
+		got, gotDropped := q.RewriteChain(chain...)
+		step := q
+		var stepDropped []schema.Attribute
+		for _, m := range chain {
+			var d []schema.Attribute
+			step, d = step.Rewrite(m)
+			stepDropped = append(stepDropped, d...)
+		}
+		if !got.Equal(step) || got.SchemaName != step.SchemaName {
+			t.Fatalf("RewriteChain %v != iterated Rewrite %v", got, step)
+		}
+		if len(gotDropped) != len(stepDropped) {
+			t.Fatalf("chain dropped %v, iterated dropped %v", gotDropped, stepDropped)
+		}
+
+		// Law 2: well-formed against the final schema, with each surviving
+		// op on schema.Follow's image and kinds/literals preserved. The
+		// surviving ops must be the Follow-able ops, in order.
+		final := schemas[chainLen]
+		if chainLen > 0 && got.SchemaName != final.Name() {
+			t.Fatalf("rewritten schema %q, want %q", got.SchemaName, final.Name())
+		}
+		gi := 0
+		for _, op := range q.Ops {
+			img, ok := schema.Follow(op.Attr, chain...)
+			if !ok {
+				continue
+			}
+			if gi >= len(got.Ops) {
+				t.Fatalf("op %v (→%s) missing from rewritten query %v", op, img, got)
+			}
+			g := got.Ops[gi]
+			gi++
+			if g.Attr != img || g.Kind != op.Kind || g.Literal != op.Literal {
+				t.Fatalf("op %v rewrote to %v, want attr %s with kind/literal preserved", op, g, img)
+			}
+			if !final.Has(g.Attr) {
+				t.Fatalf("rewritten op %v references attribute outside the final schema", g)
+			}
+		}
+		if gi != len(got.Ops) {
+			t.Fatalf("rewritten query has %d ops, want %d surviving", len(got.Ops), gi)
+		}
+
+		// Law 3: executing the rewritten query at a store of the final
+		// schema must never panic or error.
+		st, err := xmldb.NewStore(final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 2; r++ {
+			rec := make(xmldb.Record, nAttrs)
+			for _, a := range attrs {
+				rec[a] = []string{fmt.Sprintf("v%d %s r%d", read()%4, a, r)}
+			}
+			if err := st.Insert(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := st.Execute(got); err != nil {
+			t.Fatalf("executing rewritten query %v: %v", got, err)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// cache is a sharded LRU result cache with in-flight coalescing: concurrent
+// requests for the same key block on the first requester's computation
+// instead of recomputing, so the number of computations per key is exactly
+// one as long as the entry is not evicted. Keys embed the snapshot epoch
+// (see Server.Answer), which makes a snapshot swap the only invalidation the
+// cache ever needs — old epochs age out of the LRU naturally. Capacity is
+// enforced per shard (ceil(size/16) each), so a pathological key
+// distribution can evict while the cache as a whole is under `size`;
+// callers that depend on eviction-free epochs (the deterministic workload
+// goldens) must budget 16× their distinct-key count.
+type cache struct {
+	shards []cacheShard
+	// perShard is the LRU capacity of each shard.
+	perShard int
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu sync.Mutex
+	// entries holds both completed entries (elem != nil, in the LRU list)
+	// and in-flight ones (elem == nil, not evictable yet).
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recent; values are *cacheEntry
+}
+
+type cacheEntry struct {
+	key   string
+	ready chan struct{} // closed once ans/err are set
+	ans   Answer
+	err   error
+	elem  *list.Element // nil while in flight
+}
+
+// newCache builds a cache with roughly `size` total entries (0 disables).
+func newCache(size int) *cache {
+	if size <= 0 {
+		return nil
+	}
+	per := (size + cacheShards - 1) / cacheShards
+	c := &cache{shards: make([]cacheShard, cacheShards), perShard: per}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+func (c *cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// getOrCompute returns the cached answer for key, waiting on an in-flight
+// computation if one exists, or runs compute itself. The second return
+// reports whether the answer came from the cache (hit or coalesced wait)
+// rather than this call's own computation. Errors are never cached, and a
+// panicking compute is converted into an error: the entry must always be
+// finalized and its ready channel closed, or every later request for the
+// key would block on it forever.
+func (c *cache) getOrCompute(key string, compute func() (Answer, error)) (Answer, bool, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if e.elem != nil {
+			s.lru.MoveToFront(e.elem)
+		}
+		s.mu.Unlock()
+		<-e.ready
+		return e.ans, true, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.ans, e.err = Answer{}, fmt.Errorf("serve: answer computation panicked: %v", r)
+			}
+			s.mu.Lock()
+			if e.err != nil {
+				delete(s.entries, key)
+			} else {
+				e.elem = s.lru.PushFront(e)
+				for s.lru.Len() > c.perShard {
+					old := s.lru.Back()
+					s.lru.Remove(old)
+					delete(s.entries, old.Value.(*cacheEntry).key)
+				}
+			}
+			s.mu.Unlock()
+			close(e.ready)
+		}()
+		e.ans, e.err = compute()
+	}()
+	return e.ans, false, e.err
+}
+
+// len returns the number of completed resident entries (for tests).
+func (c *cache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].lru.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestCachePanicRecovery: a panicking computation must surface as an error
+// and fully finalize the entry — waiters unblock, the key is recomputable,
+// and nothing is cached. (Without the recover/finalize defer, one panic
+// would leave the entry in-flight forever and deadlock every later request
+// for the key.)
+func TestCachePanicRecovery(t *testing.T) {
+	c := newCache(64)
+	_, _, err := c.getOrCompute("k", func() (Answer, error) {
+		panic("boom")
+	})
+	if err == nil {
+		t.Fatal("panicking compute: want error")
+	}
+	// The key must be immediately computable again (no stuck in-flight
+	// entry, no cached error).
+	ans, cached, err := c.getOrCompute("k", func() (Answer, error) {
+		return Answer{Epoch: 7}, nil
+	})
+	if err != nil || cached || ans.Epoch != 7 {
+		t.Fatalf("recompute after panic: ans %+v cached %v err %v", ans, cached, err)
+	}
+	if c.len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.len())
+	}
+}
+
+// TestCacheErrorNotCached: failed computations are retried, successful ones
+// stick, and eviction keeps each shard bounded.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newCache(16) // 1 entry per shard
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, _, err := c.getOrCompute("k", func() (Answer, error) {
+			calls++
+			return Answer{}, errors.New("nope")
+		})
+		if err == nil {
+			t.Fatal("want error")
+		}
+	}
+	if calls != 2 {
+		t.Errorf("error was cached: %d calls, want 2", calls)
+	}
+	// Overflow a shard: keys beyond the per-shard bound evict the oldest.
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if _, _, err := c.getOrCompute(key, func() (Answer, error) { return Answer{}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.len(); got > cacheShards {
+		t.Errorf("cache holds %d entries, want at most %d (1 per shard)", got, cacheShards)
+	}
+}

@@ -1,0 +1,260 @@
+// Package serve is the concurrent query-serving plane of the PDMS: a Server
+// answers queries end-to-end against the immutable, epoch-stamped
+// RoutingSnapshots that detection publishes (core.Network.PublishSnapshot),
+// so any number of serving goroutines run lock-free alongside the
+// belief-propagation rounds and churn maintenance producing the next
+// snapshot.
+//
+// Answering a query is: load the current snapshot (one atomic pointer read),
+// route the query through the frozen θ-gated overlay
+// (RoutingSnapshot.RouteQuery), rewrite it along each surviving mapping
+// chain (query.RewriteChain), execute the rewritten query at every reachable
+// peer that has a store (xmldb.Store.Execute), and merge the translated
+// results into a canonically ordered, deduplicated record set. Answers are
+// memoized in a sharded, coalescing LRU cache keyed by (origin, query,
+// snapshot epoch): a snapshot swap is the only invalidation, because stale
+// epochs simply stop being requested and age out.
+//
+// Every Answer is internally consistent with exactly one epoch: all state it
+// derives from hangs off the single snapshot pointer loaded at entry.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/xmldb"
+)
+
+// Source yields the current routing snapshot. *core.Network implements it.
+type Source interface {
+	Snapshot() *core.RoutingSnapshot
+}
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize is the approximate number of cached answers. 0 selects the
+	// default (4096); negative disables caching entirely.
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	return o
+}
+
+// Answer is one served query result, consistent with exactly one snapshot
+// epoch.
+type Answer struct {
+	// Epoch is the snapshot epoch every part of the answer derives from.
+	Epoch uint64
+	// Origin is the peer the query entered the network at.
+	Origin graph.PeerID
+	// Peers is the number of peers the query reached (origin included).
+	Peers int
+	// Answered is the number of reached peers that had a store and
+	// contributed records.
+	Answered int
+	// Blocked and DroppedAttr are the θ-gate and ⊥-rule rejection counts of
+	// the underlying route.
+	Blocked     int
+	DroppedAttr int
+	// Records is the merged result set, deduplicated and in canonical
+	// order: every record rendered with sorted attributes, records sorted
+	// by that rendering.
+	Records []xmldb.Record
+}
+
+// Fingerprint returns a stable SHA-256 hex digest of the answer's canonical
+// record set (the bytes the differential oracle and the workload traces
+// compare).
+func (a Answer) Fingerprint() string {
+	sum := sha256.Sum256(CanonicalBytes(a.Records))
+	return hex.EncodeToString(sum[:])
+}
+
+// Stats are monotone serving counters.
+type Stats struct {
+	// Served counts successfully answered queries.
+	Served uint64
+	// Errors counts failed ones.
+	Errors uint64
+	// CacheHits counts answers served from the cache, including requests
+	// that coalesced onto a concurrent computation of the same key.
+	CacheHits uint64
+	// Computed counts answers computed from a snapshot walk.
+	Computed uint64
+	// StaleEpochReads counts answers whose snapshot had already been
+	// superseded by a newer publication by the time the answer completed —
+	// reads that were consistent but not current.
+	StaleEpochReads uint64
+}
+
+// Server answers queries against the current snapshot of a Source. All
+// methods are safe for concurrent use.
+type Server struct {
+	src   Source
+	cache *cache
+
+	served, errors, hits, computed, stale atomic.Uint64
+}
+
+// New builds a Server reading snapshots from src (typically a
+// *core.Network).
+func New(src Source, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{src: src, cache: newCache(opts.CacheSize)}
+}
+
+// Stats returns a consistent-enough point-in-time copy of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Served:          s.served.Load(),
+		Errors:          s.errors.Load(),
+		CacheHits:       s.hits.Load(),
+		Computed:        s.computed.Load(),
+		StaleEpochReads: s.stale.Load(),
+	}
+}
+
+// Answer serves one query end-to-end from the current snapshot. The whole
+// answer — routing, rewriting, execution, merging — derives from the single
+// snapshot loaded on entry, so it is internally consistent with exactly that
+// epoch even while new snapshots are being published concurrently.
+func (s *Server) Answer(origin graph.PeerID, q query.Query) (Answer, error) {
+	snap := s.src.Snapshot()
+	if snap == nil {
+		s.errors.Add(1)
+		return Answer{}, fmt.Errorf("serve: no snapshot published yet")
+	}
+	var (
+		ans    Answer
+		cached bool
+		err    error
+	)
+	if s.cache == nil {
+		ans, err = computeAnswer(snap, origin, q)
+	} else {
+		ans, cached, err = s.cache.getOrCompute(cacheKey(snap.Epoch(), origin, q), func() (Answer, error) {
+			return computeAnswer(snap, origin, q)
+		})
+	}
+	if err != nil {
+		s.errors.Add(1)
+		return Answer{}, err
+	}
+	if cached {
+		s.hits.Add(1)
+	} else {
+		s.computed.Add(1)
+	}
+	s.served.Add(1)
+	if cur := s.src.Snapshot(); cur != nil && cur.Epoch() != ans.Epoch {
+		s.stale.Add(1)
+	}
+	return ans, nil
+}
+
+// cacheKey renders the (epoch, origin, query) cache key. Query.String is
+// injective enough: schema name, op kinds, attributes and literals all
+// appear verbatim.
+func cacheKey(epoch uint64, origin graph.PeerID, q query.Query) string {
+	return fmt.Sprintf("%d\x00%s\x00%s", epoch, origin, q.String())
+}
+
+// computeAnswer performs the uncached snapshot walk: route, rewrite along
+// each surviving chain, execute, merge.
+func computeAnswer(snap *core.RoutingSnapshot, origin graph.PeerID, q query.Query) (Answer, error) {
+	route, err := snap.RouteQuery(origin, q)
+	if err != nil {
+		return Answer{}, err
+	}
+	ans := Answer{
+		Epoch:       snap.Epoch(),
+		Origin:      origin,
+		Peers:       len(route.Visits),
+		Blocked:     route.Blocked,
+		DroppedAttr: route.DroppedAttr,
+	}
+	var merged []xmldb.Record
+	var chain []*schema.Mapping
+	for _, v := range route.Visits {
+		st, ok := snap.Store(v.Peer)
+		if !ok {
+			continue
+		}
+		chain = chain[:0]
+		for _, eid := range v.Via {
+			m, ok := snap.Mapping(eid)
+			if !ok {
+				return Answer{}, fmt.Errorf("serve: epoch %d: route to %q crosses unknown mapping %q",
+					snap.Epoch(), v.Peer, eid)
+			}
+			chain = append(chain, m)
+		}
+		rewritten, dropped := q.RewriteChain(chain...)
+		if len(dropped) > 0 || !rewritten.Equal(v.Query) {
+			// RouteQuery only crosses mappings that preserve every query
+			// attribute, and rewrites hop by hop with the same mappings —
+			// any disagreement here means the snapshot is torn.
+			return Answer{}, fmt.Errorf("serve: epoch %d: chain rewrite to %q disagrees with the route (%v dropped)",
+				snap.Epoch(), v.Peer, dropped)
+		}
+		recs, err := st.Execute(rewritten)
+		if err != nil {
+			return Answer{}, fmt.Errorf("serve: epoch %d: executing at %q: %w", snap.Epoch(), v.Peer, err)
+		}
+		if len(recs) > 0 {
+			ans.Answered++
+			merged = append(merged, recs...)
+		}
+	}
+	ans.Records = Canonical(merged)
+	return ans, nil
+}
+
+// Canonical deduplicates records and orders them canonically: each record
+// is rendered with xmldb.Record.CanonicalString (attributes sorted, values
+// in stored order) and records sort by that rendering. The input is not
+// mutated.
+func Canonical(records []xmldb.Record) []xmldb.Record {
+	type keyed struct {
+		key string
+		rec xmldb.Record
+	}
+	ks := make([]keyed, 0, len(records))
+	for _, r := range records {
+		ks = append(ks, keyed{key: r.CanonicalString(), rec: r})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]xmldb.Record, 0, len(ks))
+	last := ""
+	for i, k := range ks {
+		if i > 0 && k.key == last {
+			continue
+		}
+		out = append(out, k.rec)
+		last = k.key
+	}
+	return out
+}
+
+// CanonicalBytes renders a canonical record set to one stable byte string.
+func CanonicalBytes(records []xmldb.Record) []byte {
+	var b strings.Builder
+	for _, r := range Canonical(records) {
+		b.WriteString(r.CanonicalString())
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,238 @@
+package serve_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/internal/xmldb"
+)
+
+// lineNet builds p1→p2→p3 over shared attributes a, b with one record per
+// peer, and publishes a snapshot with every mapping passing θ.
+func lineNet(t *testing.T) (*core.Network, *core.RoutingSnapshot) {
+	t.Helper()
+	n := core.NewNetwork(true)
+	mk := func(name string) *schema.Schema { return schema.MustNew(name, "a", "b") }
+	for _, p := range []graph.PeerID{"p1", "p2", "p3"} {
+		peer := n.MustAddPeer(p, mk("S"+string(p[1])))
+		st, err := xmldb.NewStore(peer.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Insert(xmldb.Record{"a": []string{"hit " + string(p)}, "b": []string{"bee"}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := peer.AttachStore(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := map[schema.Attribute]schema.Attribute{"a": "a", "b": "b"}
+	n.MustAddMapping("m12", "p1", "p2", id)
+	n.MustAddMapping("m23", "p2", "p3", id)
+	det := core.DetectResult{Posteriors: map[graph.EdgeID]map[schema.Attribute]float64{
+		"m12": {"a": 0.9, "b": 0.9},
+		"m23": {"a": 0.9, "b": 0.9},
+	}}
+	return n, n.PublishSnapshot(det, core.SnapshotOptions{})
+}
+
+func projA(t *testing.T, n *core.Network, origin graph.PeerID) query.Query {
+	t.Helper()
+	p, ok := n.Peer(origin)
+	if !ok {
+		t.Fatalf("no peer %q", origin)
+	}
+	return query.MustNew(p.Schema(), query.Op{Kind: query.Project, Attr: "a"})
+}
+
+// TestAnswerEndToEnd: an answer reaches every θ-passing peer, executes the
+// rewritten query at each store and merges the records canonically.
+func TestAnswerEndToEnd(t *testing.T) {
+	n, snap := lineNet(t)
+	srv := serve.New(n, serve.Options{})
+	ans, err := srv.Answer("p1", projA(t, n, "p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Epoch != snap.Epoch() {
+		t.Errorf("answer epoch %d, want %d", ans.Epoch, snap.Epoch())
+	}
+	if ans.Peers != 3 || ans.Answered != 3 {
+		t.Errorf("reached %d peers, %d answered; want 3, 3", ans.Peers, ans.Answered)
+	}
+	vals := xmldb.Values(ans.Records, "a")
+	want := []string{"hit p1", "hit p2", "hit p3"}
+	if strings.Join(vals, "|") != strings.Join(want, "|") {
+		t.Errorf("answer values %v, want %v", vals, want)
+	}
+	// Projection answers must not leak non-projected attributes.
+	for _, r := range ans.Records {
+		if _, ok := r["b"]; ok {
+			t.Errorf("projection leaked attribute b: %v", r)
+		}
+	}
+}
+
+// TestAnswerCaching: the second identical query is a cache hit with the
+// same answer; a republication changes the key and forces a recompute.
+func TestAnswerCaching(t *testing.T) {
+	n, _ := lineNet(t)
+	srv := serve.New(n, serve.Options{})
+	q := projA(t, n, "p1")
+	a1, err := srv.Answer("p1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := srv.Answer("p1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Fingerprint() != a2.Fingerprint() {
+		t.Error("cached answer differs from computed one")
+	}
+	st := srv.Stats()
+	if st.Served != 2 || st.Computed != 1 || st.CacheHits != 1 {
+		t.Errorf("stats %+v, want served 2, computed 1, hits 1", st)
+	}
+
+	// New epoch, same posteriors: recompute under the new key.
+	n.PublishSnapshot(core.DetectResult{Posteriors: map[graph.EdgeID]map[schema.Attribute]float64{
+		"m12": {"a": 0.9, "b": 0.9},
+		"m23": {"a": 0.9, "b": 0.9},
+	}}, core.SnapshotOptions{})
+	a3, err := srv.Answer("p1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Epoch == a1.Epoch {
+		t.Error("answer after republication kept the old epoch")
+	}
+	if got := srv.Stats(); got.Computed != 2 {
+		t.Errorf("republication did not force a recompute: %+v", got)
+	}
+}
+
+// TestAnswerErrors: serving before any publication, from an unknown origin,
+// or with a mismatched schema fails cleanly and counts as an error.
+func TestAnswerErrors(t *testing.T) {
+	n, _ := lineNet(t)
+	empty := core.NewNetwork(true)
+	srvEmpty := serve.New(empty, serve.Options{})
+	if _, err := srvEmpty.Answer("p1", projA(t, n, "p1")); err == nil {
+		t.Error("no snapshot: want error")
+	}
+
+	srv := serve.New(n, serve.Options{})
+	if _, err := srv.Answer("nope", projA(t, n, "p1")); err == nil {
+		t.Error("unknown origin: want error")
+	}
+	if _, err := srv.Answer("p2", projA(t, n, "p1")); err == nil {
+		t.Error("schema mismatch: want error")
+	}
+	if st := srv.Stats(); st.Errors != 2 || st.Served != 0 {
+		t.Errorf("stats %+v, want 2 errors, 0 served", st)
+	}
+}
+
+// TestAnswerUncached: a negative cache size disables caching; every query
+// is computed.
+func TestAnswerUncached(t *testing.T) {
+	n, _ := lineNet(t)
+	srv := serve.New(n, serve.Options{CacheSize: -1})
+	q := projA(t, n, "p1")
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Answer("p1", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := srv.Stats(); st.Computed != 3 || st.CacheHits != 0 {
+		t.Errorf("stats %+v, want 3 computed, 0 hits", st)
+	}
+}
+
+// TestThetaGateBlocksServing: sub-θ posteriors keep the answer local.
+func TestThetaGateBlocksServing(t *testing.T) {
+	n, _ := lineNet(t)
+	n.PublishSnapshot(core.DetectResult{Posteriors: map[graph.EdgeID]map[schema.Attribute]float64{
+		"m12": {"a": 0.2, "b": 0.9}, // a is the queried attribute: blocked
+		"m23": {"a": 0.9, "b": 0.9},
+	}}, core.SnapshotOptions{})
+	srv := serve.New(n, serve.Options{})
+	ans, err := srv.Answer("p1", projA(t, n, "p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Peers != 1 || ans.Blocked != 1 {
+		t.Errorf("answer reached %d peers with %d blocked, want 1 and 1", ans.Peers, ans.Blocked)
+	}
+	if got := xmldb.Values(ans.Records, "a"); len(got) != 1 || got[0] != "hit p1" {
+		t.Errorf("blocked answer carries %v, want only the origin's record", got)
+	}
+}
+
+// TestCanonicalDedup: Canonical sorts and deduplicates record sets,
+// CanonicalBytes is order-insensitive, and inputs are not mutated.
+func TestCanonicalDedup(t *testing.T) {
+	a := xmldb.Record{"x": []string{"1"}, "y": []string{"2", "3"}}
+	b := xmldb.Record{"x": []string{"0"}}
+	dupA := a.Clone()
+	in1 := []xmldb.Record{a, b, dupA}
+	in2 := []xmldb.Record{b, dupA, a}
+	if string(serve.CanonicalBytes(in1)) != string(serve.CanonicalBytes(in2)) {
+		t.Error("canonical bytes depend on input order")
+	}
+	out := serve.Canonical(in1)
+	if len(out) != 2 {
+		t.Fatalf("canonical kept %d records, want 2 after dedup", len(out))
+	}
+	if len(in1) != 3 {
+		t.Error("canonical mutated its input")
+	}
+	// Values keep their stored order: y=2,3 is distinct from y=3,2.
+	c := xmldb.Record{"y": []string{"3", "2"}}
+	if string(serve.CanonicalBytes([]xmldb.Record{a})) == string(serve.CanonicalBytes([]xmldb.Record{c})) {
+		t.Error("value order ignored in canonical rendering")
+	}
+}
+
+// TestCacheCoalescing: concurrent misses on one key compute once; everyone
+// gets the same answer.
+func TestCacheCoalescing(t *testing.T) {
+	n, _ := lineNet(t)
+	srv := serve.New(n, serve.Options{})
+	q := projA(t, n, "p1")
+	const goroutines = 16
+	var wg sync.WaitGroup
+	fps := make([]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ans, err := srv.Answer("p1", q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fps[g] = ans.Fingerprint()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if fps[g] != fps[0] {
+			t.Fatalf("goroutine %d got a different answer", g)
+		}
+	}
+	st := srv.Stats()
+	if st.Computed != 1 {
+		t.Errorf("computed %d times, want exactly 1 (coalesced)", st.Computed)
+	}
+	if st.Served != goroutines {
+		t.Errorf("served %d, want %d", st.Served, goroutines)
+	}
+}

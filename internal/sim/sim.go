@@ -381,7 +381,12 @@ func (s *Simulation) discoverCfg() core.DiscoverConfig {
 	}
 }
 
-func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
+// advanceEpoch performs the state-changing first half of one epoch — churn,
+// (incremental) evidence discovery and re-detection — shared by the scenario
+// replay (runEpoch) and the serving-plane workload engine (RunWorkload). It
+// fills the structural and detection fields of the trace and returns the
+// detection result plus the effective delivery probability.
+func (s *Simulation) advanceEpoch(i int) (EpochTrace, core.DetectResult, float64, error) {
 	ep := s.sc.Epochs[i]
 	tr := EpochTrace{Epoch: i + 1, Events: len(ep.Events)}
 
@@ -390,7 +395,7 @@ func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
 	added := make(map[graph.EdgeID]bool)
 	for _, ev := range ep.Events {
 		if err := s.applyEvent(ev); err != nil {
-			return tr, err
+			return tr, core.DetectResult{}, 0, err
 		}
 		for _, id := range installedEdges(ev) {
 			added[id] = true
@@ -422,7 +427,7 @@ func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
 		rep, err = s.net.DiscoverIncremental(cfg, changed...)
 	}
 	if err != nil {
-		return tr, err
+		return tr, core.DetectResult{}, 0, err
 	}
 	tr.Discovery = DiscoveryTrace{
 		Structures: rep.Structures,
@@ -447,7 +452,7 @@ func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
 		Shards:    s.sc.Shards,
 	})
 	if err != nil {
-		return tr, err
+		return tr, core.DetectResult{}, 0, err
 	}
 	tr.Detection = DetectionTrace{
 		Rounds:    det.Rounds,
@@ -455,6 +460,15 @@ func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
 		Messages:  det.RemoteMessages,
 		Delivered: det.Transport.Delivered,
 		Dropped:   det.Transport.Dropped,
+	}
+	return tr, det, psend, nil
+}
+
+func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
+	ep := s.sc.Epochs[i]
+	tr, det, psend, err := s.advanceEpoch(i)
+	if err != nil {
+		return tr, err
 	}
 
 	// 4. Posterior statistics and invariants.

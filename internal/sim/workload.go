@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/internal/xmldb"
+)
+
+// This file drives the query-serving plane (internal/serve) with a seeded,
+// concurrent workload: N client goroutines hammer a serve.Server with mixed
+// query templates under hot-key skew while the scenario's churn timeline
+// advances between query phases. Each epoch is a barrier: churn, discovery
+// and detection run single-threaded, a fresh RoutingSnapshot is published,
+// and only then do the clients serve that epoch's queries concurrently.
+// Because every client draws its own query stream from the seed and the
+// cache coalesces concurrent misses per key, the aggregate trace — answers
+// served, cache hits, per-epoch answer digests — is deterministic however
+// the goroutines interleave, which is what the cmd/pdmsload golden pins
+// down. Wall-clock latency and throughput are reported separately
+// (WorkloadPerf) and are, of course, not deterministic.
+
+// Workload parameterizes the client side of a load run.
+type Workload struct {
+	// Seed drives store contents and every client's query stream. 0 uses
+	// the scenario seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Clients is the number of concurrent serving clients (default 4).
+	Clients int `json:"clients,omitempty"`
+	// QueriesPerEpoch is the total number of queries served per epoch,
+	// spread across the clients (default 1000).
+	QueriesPerEpoch int `json:"queriesPerEpoch,omitempty"`
+	// Hot is the fraction of traffic drawn from the hot key set (default
+	// 0.8; pass a negative value for an all-cold workload — 0 means
+	// unset): hot queries use the first HotKeys live peers as origins, the
+	// analysis attribute and a 4-literal vocabulary, giving the cache its
+	// skew.
+	Hot float64 `json:"hot,omitempty"`
+	// HotKeys is the size of the hot origin set (default 16).
+	HotKeys int `json:"hotKeys,omitempty"`
+	// QPS caps aggregate client throughput (0 = unlimited).
+	QPS int `json:"qps,omitempty"`
+	// CacheSize is the server's LRU capacity (default 1<<16). The cache is
+	// sharded 16 ways with per-shard eviction, so if the trace is
+	// golden-pinned keep CacheSize at 16× the distinct-key count per epoch
+	// (the worst case where every key lands in one shard): mid-epoch
+	// eviction makes cache-hit counts timing-dependent.
+	CacheSize int `json:"cacheSize,omitempty"`
+	// Records is the number of documents seeded into every peer's store
+	// (default 4) and Vocab the value vocabulary size (default 8).
+	Records int `json:"records,omitempty"`
+	Vocab   int `json:"vocab,omitempty"`
+}
+
+func (w Workload) withDefaults(scenarioSeed int64) Workload {
+	if w.Seed == 0 {
+		w.Seed = scenarioSeed
+	}
+	if w.Clients == 0 {
+		w.Clients = 4
+	}
+	if w.QueriesPerEpoch == 0 {
+		w.QueriesPerEpoch = 1000
+	}
+	if w.Hot == 0 {
+		w.Hot = 0.8
+	} else if w.Hot < 0 {
+		w.Hot = 0
+	}
+	if w.HotKeys == 0 {
+		w.HotKeys = 16
+	}
+	if w.CacheSize == 0 {
+		w.CacheSize = 1 << 16
+	}
+	if w.Records == 0 {
+		w.Records = 4
+	}
+	if w.Vocab == 0 {
+		w.Vocab = 8
+	}
+	return w
+}
+
+func (w Workload) check() error {
+	if w.Clients < 1 {
+		return fmt.Errorf("sim: workload needs at least one client, got %d", w.Clients)
+	}
+	if w.QueriesPerEpoch < 0 {
+		return fmt.Errorf("sim: negative queriesPerEpoch")
+	}
+	if w.Hot < 0 || w.Hot > 1 {
+		return fmt.Errorf("sim: hot fraction %v out of [0,1]", w.Hot)
+	}
+	if w.QPS < 0 {
+		return fmt.Errorf("sim: negative qps")
+	}
+	if w.Records < 1 || w.Vocab < 1 {
+		return fmt.Errorf("sim: workload needs at least one record and one vocabulary entry")
+	}
+	if w.Vocab > 100 {
+		return fmt.Errorf("sim: vocab %d too large (literals are two digits)", w.Vocab)
+	}
+	return nil
+}
+
+// LoadSpec is a complete, declarative, reproducible load experiment: a churn
+// scenario plus the workload that serves queries against it.
+type LoadSpec struct {
+	Scenario Scenario `json:"scenario"`
+	Workload Workload `json:"workload"`
+}
+
+// ParseLoadSpec decodes a load spec from JSON, rejecting unknown fields.
+func ParseLoadSpec(data []byte) (LoadSpec, error) {
+	var spec LoadSpec
+	dec := json.NewDecoder(bytesReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return LoadSpec{}, fmt.Errorf("sim: parsing load spec: %w", err)
+	}
+	return spec, nil
+}
+
+// WorkloadEpochTrace is the deterministic aggregate record of one epoch's
+// serving phase.
+type WorkloadEpochTrace struct {
+	Epoch         int    `json:"epoch"`
+	Peers         int    `json:"peers"`
+	Mappings      int    `json:"mappings"`
+	SnapshotEpoch uint64 `json:"snapshotEpoch"`
+	Queries       int    `json:"queries"`
+	Served        int    `json:"served"`
+	Errors        int    `json:"errors,omitempty"`
+	// CacheHits counts answers served from the result cache (including
+	// coalesced concurrent misses); Computed counts snapshot walks. Their
+	// sum is Served, and both are deterministic because the cache computes
+	// each distinct (origin, query, epoch) key exactly once.
+	CacheHits int `json:"cacheHits"`
+	Computed  int `json:"computed"`
+	// StaleReads counts answers whose snapshot was superseded before the
+	// answer completed (always 0 in the barriered engine; nonzero only
+	// when serving overlaps publication, as in the race tests).
+	StaleReads int `json:"staleReads"`
+	// Visits and Records sum the peers reached and result records returned
+	// across the epoch's answers.
+	Visits  int `json:"visits"`
+	Records int `json:"records"`
+	// Digest fingerprints every answer of the epoch: SHA-256 over the
+	// per-client digest chain (origin, query, snapshot epoch and canonical
+	// result bytes of every answer, in client order).
+	Digest string `json:"digest"`
+}
+
+// WorkloadResult is the reproducible aggregate trace of a load run.
+type WorkloadResult struct {
+	Name           string               `json:"name"`
+	Seed           int64                `json:"seed"`
+	Clients        int                  `json:"clients"`
+	Epochs         []WorkloadEpochTrace `json:"epochs"`
+	TotalServed    int                  `json:"totalServed"`
+	TotalCacheHits int                  `json:"totalCacheHits"`
+	// Digest chains the epoch digests.
+	Digest string `json:"digest"`
+}
+
+// WorkloadPerf carries the wall-clock side of a run — everything that is
+// real but not reproducible.
+type WorkloadPerf struct {
+	Elapsed    time.Duration
+	Served     int
+	Throughput float64 // answers per second
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+}
+
+// Observer, if non-nil, receives every served answer (concurrently, from
+// the client goroutines) together with the epoch's detection result — the
+// hook the snapshot/serial differential oracle uses.
+type Observer func(epoch int, det core.DetectResult, origin graph.PeerID, q query.Query, ans serve.Answer)
+
+// RunWorkload replays the scenario's epochs and serves the workload's query
+// stream against each epoch's published snapshot with concurrent clients.
+// The returned WorkloadResult depends only on the spec; WorkloadPerf holds
+// the wall-clock measurements.
+func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *WorkloadPerf, error) {
+	w = w.withDefaults(s.sc.Seed)
+	if err := w.check(); err != nil {
+		return nil, nil, err
+	}
+	srv := serve.New(s.net, serve.Options{CacheSize: w.CacheSize})
+	res := &WorkloadResult{Name: s.sc.Name, Seed: w.Seed, Clients: w.Clients}
+	perf := &WorkloadPerf{}
+	var latencies []time.Duration
+	runDigest := sha256.New()
+	start := time.Now()
+
+	for i := range s.sc.Epochs {
+		tr, det, _, err := s.advanceEpoch(i)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: epoch %d: %w", i+1, err)
+		}
+		s.ensureStores(w)
+		snap := s.net.PublishSnapshot(det, core.SnapshotOptions{DefaultTheta: s.sc.Theta})
+
+		wtr := WorkloadEpochTrace{
+			Epoch:         tr.Epoch,
+			Peers:         tr.Peers,
+			Mappings:      tr.Mappings,
+			SnapshotEpoch: snap.Epoch(),
+			Queries:       w.QueriesPerEpoch,
+		}
+		before := srv.Stats()
+		lats := s.servePhase(i, w, srv, snap, det, obs, &wtr)
+		after := srv.Stats()
+		wtr.Served = int(after.Served - before.Served)
+		wtr.Errors = int(after.Errors - before.Errors)
+		wtr.CacheHits = int(after.CacheHits - before.CacheHits)
+		wtr.Computed = int(after.Computed - before.Computed)
+		wtr.StaleReads = int(after.StaleEpochReads - before.StaleEpochReads)
+		latencies = append(latencies, lats...)
+
+		res.Epochs = append(res.Epochs, wtr)
+		res.TotalServed += wtr.Served
+		res.TotalCacheHits += wtr.CacheHits
+		runDigest.Write([]byte(wtr.Digest))
+	}
+
+	perf.Elapsed = time.Since(start)
+	perf.Served = res.TotalServed
+	if perf.Elapsed > 0 {
+		perf.Throughput = float64(res.TotalServed) / perf.Elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	if n := len(latencies); n > 0 {
+		perf.P50 = latencies[n/2]
+		perf.P95 = latencies[n*95/100]
+		perf.P99 = latencies[n*99/100]
+		perf.Max = latencies[n-1]
+	}
+	res.Digest = hex.EncodeToString(runDigest.Sum(nil))
+	return res, perf, nil
+}
+
+// servePhase runs one epoch's concurrent client phase and fills the
+// answer-derived trace fields. It returns the observed latencies.
+func (s *Simulation) servePhase(epoch int, w Workload, srv *serve.Server, snap *core.RoutingSnapshot,
+	det core.DetectResult, obs Observer, wtr *WorkloadEpochTrace) []time.Duration {
+	if w.QueriesPerEpoch == 0 {
+		sum := sha256.Sum256(nil)
+		wtr.Digest = hex.EncodeToString(sum[:])
+		return nil
+	}
+	live := s.livePeers()
+	hot := w.HotKeys
+	if hot > len(live) {
+		hot = len(live)
+	}
+	var interval time.Duration
+	if w.QPS > 0 {
+		interval = time.Duration(int64(time.Second) * int64(w.Clients) / int64(w.QPS))
+	}
+
+	type clientOut struct {
+		digest          []byte
+		visits, records int
+		lats            []time.Duration
+	}
+	outs := make([]clientOut, w.Clients)
+	var wg sync.WaitGroup
+	base, rem := w.QueriesPerEpoch/w.Clients, w.QueriesPerEpoch%w.Clients
+	for c := 0; c < w.Clients; c++ {
+		quota := base
+		if c < rem {
+			quota++
+		}
+		wg.Add(1)
+		go func(c, quota int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(w.Seed*31 ^ int64(epoch+1)*1_000_003 ^ int64(c+1)*7919))
+			h := sha256.New()
+			out := &outs[c]
+			out.lats = make([]time.Duration, 0, quota)
+			for qi := 0; qi < quota; qi++ {
+				origin, qry := s.drawQuery(rng, w, live, hot, snap)
+				t0 := time.Now()
+				ans, err := srv.Answer(origin, qry)
+				out.lats = append(out.lats, time.Since(t0))
+				if err != nil {
+					fmt.Fprintf(h, "err|%s|%s|%v\n", origin, qry, err)
+					continue
+				}
+				fmt.Fprintf(h, "ans|%s|%s|%d|%s\n", origin, qry, ans.Epoch, ans.Fingerprint())
+				out.visits += ans.Peers
+				out.records += len(ans.Records)
+				if obs != nil {
+					obs(epoch, det, origin, qry, ans)
+				}
+				if interval > 0 {
+					time.Sleep(interval)
+				}
+			}
+			out.digest = h.Sum(nil)
+		}(c, quota)
+	}
+	wg.Wait()
+
+	var lats []time.Duration
+	epochDigest := sha256.New()
+	for c := range outs {
+		epochDigest.Write(outs[c].digest)
+		wtr.Visits += outs[c].visits
+		wtr.Records += outs[c].records
+		lats = append(lats, outs[c].lats...)
+	}
+	wtr.Digest = hex.EncodeToString(epochDigest.Sum(nil))
+	return lats
+}
+
+// drawQuery draws one (origin, query) pair from the workload mixture: hot
+// traffic concentrates on the first `hot` live peers, the analysis attribute
+// and a 4-literal vocabulary; cold traffic spreads over everything.
+func (s *Simulation) drawQuery(rng *rand.Rand, w Workload, live []string, hot int, snap *core.RoutingSnapshot) (graph.PeerID, query.Query) {
+	isHot := rng.Float64() < w.Hot && hot > 0
+	var origin graph.PeerID
+	var attr schema.Attribute
+	var lit string
+	if isHot {
+		origin = graph.PeerID(live[rng.Intn(hot)])
+		attr = schema.Attribute(s.sc.AnalysisAttr)
+		v := w.Vocab
+		if v > 4 {
+			v = 4
+		}
+		lit = fmt.Sprintf("w%02d", rng.Intn(v))
+	} else {
+		origin = graph.PeerID(live[rng.Intn(len(live))])
+		attr = s.attrs[rng.Intn(len(s.attrs))]
+		lit = fmt.Sprintf("w%02d", rng.Intn(w.Vocab))
+	}
+	sch, _ := snap.Schema(origin)
+	var ops []query.Op
+	switch rng.Intn(3) {
+	case 0: // pure projection
+		ops = []query.Op{{Kind: query.Project, Attr: attr}}
+	case 1: // select + project
+		ops = []query.Op{
+			{Kind: query.Select, Attr: attr, Literal: lit},
+			{Kind: query.Project, Attr: attr},
+		}
+	default: // pure selection (full records)
+		ops = []query.Op{{Kind: query.Select, Attr: attr, Literal: lit}}
+	}
+	return origin, query.MustNew(sch, ops...)
+}
+
+// ensureStores attaches a deterministic document store to every store-less
+// peer (including peers that joined through churn). Contents derive from the
+// workload seed and the peer name only, so they are identical across runs
+// whatever order peers appear in.
+func (s *Simulation) ensureStores(w Workload) {
+	for _, p := range s.net.Peers() {
+		if _, ok := p.Store(); ok {
+			continue
+		}
+		st, err := xmldb.NewStore(p.Schema())
+		if err != nil {
+			panic(err) // peer schemas are never nil
+		}
+		h := fnv.New64a()
+		h.Write([]byte(p.ID()))
+		rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ w.Seed*1_000_003))
+		for i := 0; i < w.Records; i++ {
+			rec := make(xmldb.Record, len(s.attrs))
+			for _, a := range s.attrs {
+				vals := []string{fmt.Sprintf("w%02d %s r%d", rng.Intn(w.Vocab), p.ID(), i)}
+				if rng.Intn(4) == 0 {
+					vals = append(vals, fmt.Sprintf("w%02d %s extra", rng.Intn(w.Vocab), p.ID()))
+				}
+				rec[a] = vals
+			}
+			if err := st.Insert(rec); err != nil {
+				panic(err)
+			}
+		}
+		if err := p.AttachStore(st); err != nil {
+			panic(err)
+		}
+	}
+}

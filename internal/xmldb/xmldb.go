@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/query"
@@ -35,6 +36,35 @@ func (r Record) Clone() Record {
 		out[k] = append([]string(nil), v...)
 	}
 	return out
+}
+
+// CanonicalString renders the record in its canonical form — attributes
+// sorted, values in stored order — the stable representation the serving
+// plane's result mergers, digests and golden traces compare records by.
+// Attribute names and values are quoted, so the rendering is injective:
+// two records are answer-equal iff their canonical strings are equal, even
+// when values contain the delimiter characters.
+func (r Record) CanonicalString() string {
+	attrs := make([]string, 0, len(r))
+	for a := range r {
+		attrs = append(attrs, string(a))
+	}
+	sort.Strings(attrs)
+	var b strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.Quote(a))
+		b.WriteByte('=')
+		for j, v := range r[schema.Attribute(a)] {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(v))
+		}
+	}
+	return b.String()
 }
 
 // Store is a collection of records conforming to a schema.

@@ -203,3 +203,31 @@ func TestRecordClone(t *testing.T) {
 		t.Error("Clone shares backing array")
 	}
 }
+
+func TestRecordCanonicalString(t *testing.T) {
+	r := Record{"b": {"2", "3"}, "a": {"1"}}
+	if got, want := r.CanonicalString(), `"a"="1";"b"="2","3"`; got != want {
+		t.Errorf("CanonicalString = %q, want %q", got, want)
+	}
+	// Attribute order is canonicalized; value order is preserved (it is
+	// part of the answer).
+	swapped := Record{"a": {"1"}, "b": {"3", "2"}}
+	if r.CanonicalString() == swapped.CanonicalString() {
+		t.Error("value order ignored by CanonicalString")
+	}
+	if (Record{}).CanonicalString() != "" {
+		t.Error("empty record should render empty")
+	}
+	// Injectivity: values containing the delimiters must not collide with
+	// structurally different records.
+	collisions := [][2]Record{
+		{{"a": {"1,2"}}, {"a": {"1", "2"}}},
+		{{"a": {"1;b=2"}}, {"a": {"1"}, "b": {"2"}}},
+		{{"a=b": {"1"}}, {"a": {"b=1"}}},
+	}
+	for _, c := range collisions {
+		if c[0].CanonicalString() == c[1].CanonicalString() {
+			t.Errorf("distinct records collide: %v vs %v → %q", c[0], c[1], c[0].CanonicalString())
+		}
+	}
+}

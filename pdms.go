@@ -48,6 +48,15 @@
 // cross-transport golden tests pin down. Scenario.Transport threads the
 // same choice through the replay engine and cmd/pdmssim's -transport flag.
 //
+// On top of detection sits the query-serving plane: Network.PublishSnapshot
+// (or DetectOptions.Publish) freezes the posteriors and the θ-gated overlay
+// into an immutable, epoch-stamped RoutingSnapshot behind an atomic pointer,
+// and NewServer answers queries end-to-end against the current snapshot —
+// routing, per-path rewriting, store execution, canonical merge — from any
+// number of goroutines, with a coalescing LRU result cache keyed by (origin,
+// query, snapshot epoch). cmd/pdmsload drives the plane with seeded
+// concurrent workloads and emits deterministic aggregate traces.
+//
 // Quickstart:
 //
 //	s := pdms.MustNewSchema("S1", "Creator", "Title")
@@ -70,6 +79,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/query"
 	"repro/internal/schema"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/xmldb"
 )
@@ -158,6 +168,49 @@ type (
 	// GenConfig parameterizes random scenario generation.
 	GenConfig = sim.GenConfig
 )
+
+// Query-serving plane types (see TESTING.md, "Serving plane"): detection
+// publishes immutable, epoch-stamped RoutingSnapshots via an atomic pointer
+// swap (Network.PublishSnapshot / DetectOptions.Publish), and a Server
+// answers queries end-to-end against the current snapshot — θ-gated routing,
+// per-path rewriting, store execution at every reachable peer, canonical
+// merge — with an LRU result cache keyed by (origin, query, snapshot epoch).
+type (
+	// RoutingSnapshot is an immutable, epoch-stamped serving view.
+	RoutingSnapshot = core.RoutingSnapshot
+	// SnapshotOptions fixes the routing policy a snapshot is published
+	// under (θ thresholds, default posterior, hop bound).
+	SnapshotOptions = core.SnapshotOptions
+	// Server is the concurrent query-serving plane.
+	Server = serve.Server
+	// ServeOptions configures a Server (result-cache size).
+	ServeOptions = serve.Options
+	// Answer is one served query result, consistent with one epoch.
+	Answer = serve.Answer
+	// ServeStats are a Server's monotone counters.
+	ServeStats = serve.Stats
+)
+
+// Workload simulation types (cmd/pdmsload).
+type (
+	// LoadSpec is a declarative, reproducible load experiment: a churn
+	// scenario plus the concurrent workload served against it.
+	LoadSpec = sim.LoadSpec
+	// Workload parameterizes the client side of a load run.
+	Workload = sim.Workload
+	// WorkloadResult is the deterministic aggregate trace of a load run.
+	WorkloadResult = sim.WorkloadResult
+	// WorkloadPerf carries the wall-clock latency/throughput measurements.
+	WorkloadPerf = sim.WorkloadPerf
+)
+
+// NewServer builds a query server reading snapshots from the network.
+// Publish a snapshot (Network.PublishSnapshot or DetectOptions.Publish)
+// before the first Answer call.
+func NewServer(n *Network, opts ServeOptions) *Server { return serve.New(n, opts) }
+
+// ParseLoadSpec decodes a load spec from JSON, rejecting unknown fields.
+func ParseLoadSpec(data []byte) (LoadSpec, error) { return sim.ParseLoadSpec(data) }
 
 // TransportKind selects the message substrate a detection run uses (see
 // DetectOptions.Transport and Scenario-level "transport").

@@ -1,0 +1,86 @@
+package pdms_test
+
+import (
+	"testing"
+
+	pdms "repro"
+)
+
+// TestPublicServingSurface drives the query-serving plane through the
+// public API alone: build a network with stores, discover evidence, run
+// detection with snapshot publication enabled, and serve a query
+// concurrently-safely through NewServer.
+func TestPublicServingSurface(t *testing.T) {
+	s := pdms.MustNewSchema("S", "Creator", "Title")
+	net := pdms.NewNetwork(true)
+	for _, p := range []pdms.PeerID{"p1", "p2", "p3"} {
+		peer := net.MustAddPeer(p, s)
+		st, err := pdms.NewStore(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Insert(pdms.Record{"Creator": []string{"Robi " + string(p)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := peer.AttachStore(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs := pdms.IdentityPairs(s)
+	net.MustAddMapping("m12", "p1", "p2", pairs)
+	net.MustAddMapping("m23", "p2", "p3", pairs)
+	net.MustAddMapping("m31", "p3", "p1", pairs)
+	if _, err := net.DiscoverStructural([]pdms.Attribute{"Creator"}, 6, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.RunDetection(pdms.DetectOptions{Publish: &pdms.SnapshotOptions{}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := net.Snapshot()
+	if snap == nil {
+		t.Fatal("detection did not publish a snapshot")
+	}
+
+	srv := pdms.NewServer(net, pdms.ServeOptions{})
+	q := pdms.MustNewQuery(s, pdms.Op{Kind: pdms.Select, Attr: "Creator", Literal: "Robi"})
+	ans, err := srv.Answer("p1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Epoch != snap.Epoch() {
+		t.Errorf("answer epoch %d, want %d", ans.Epoch, snap.Epoch())
+	}
+	if ans.Peers != 3 || len(ans.Records) != 3 {
+		t.Errorf("answer reached %d peers with %d records, want 3 and 3", ans.Peers, len(ans.Records))
+	}
+	if _, err := srv.Answer("p1", q); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Served != 2 || st.CacheHits != 1 {
+		t.Errorf("stats %+v, want 2 served / 1 hit", st)
+	}
+}
+
+// TestPublicWorkloadSurface runs a small load spec through the public
+// re-exports, as cmd/pdmsload does.
+func TestPublicWorkloadSurface(t *testing.T) {
+	sc, err := pdms.GenerateScenario(pdms.GenConfig{Seed: 3, Peers: 8, Epochs: 1, Events: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := pdms.LoadSpec{Scenario: sc, Workload: pdms.Workload{Clients: 2, QueriesPerEpoch: 40}}
+	sim, err := pdms.NewSimulation(spec.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, perf, err := sim.RunWorkload(spec.Workload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalServed != 40 || perf.Served != 40 {
+		t.Errorf("served %d (perf %d), want 40", res.TotalServed, perf.Served)
+	}
+	if _, err := pdms.ParseLoadSpec([]byte(`{"workload": {"zzz": true}}`)); err == nil {
+		t.Error("unknown load-spec field: want error")
+	}
+}
