@@ -14,10 +14,16 @@
 //	pdmsload -spec load.json -perf         # also print the latency table (stderr)
 //	pdmsload -gen -seed 7 -peers 1000 -queries 250000 -clients 8
 //	                                       # generate a load spec instead
+//	pdmsload -gen -seed 5 -feedback -noise 0.1
+//	                                       # ... with the feedback loop closed
 //
 // A load spec is a churn scenario (the same format cmd/pdmssim replays)
 // plus a workload section: client count, queries per epoch, hot-key skew,
-// QPS cap, cache size and store seeding parameters.
+// QPS cap, cache size, store seeding parameters, and optionally the
+// result-feedback loop (every answer is judged by a ground-truth oracle
+// with configurable verdict noise, the observations become evidence, and a
+// bounded incremental re-detection republishes the snapshot per epoch — the
+// per-epoch trace then carries a posterior-convergence record).
 package main
 
 import (
@@ -54,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	hot := fs.Float64("hot", 0, "generation: hot-key traffic fraction")
 	qps := fs.Int("qps", 0, "generation: aggregate QPS cap (0 = unlimited)")
 	cache := fs.Int("cache", 0, "generation: server result-cache size")
+	fb := fs.Bool("feedback", false, "generation: close the loop (serve → feedback → incremental re-detect → republish)")
+	noise := fs.Float64("noise", 0, "generation: feedback verdict flip probability (with -feedback)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Hot:             *hot,
 				QPS:             *qps,
 				CacheSize:       *cache,
+				Feedback:        *fb,
+				FeedbackNoise:   *noise,
 			},
 		}
 	case *specPath != "":

@@ -160,3 +160,54 @@ func TestMillionQueryAcceptance(t *testing.T) {
 	t.Logf("served %d answers (%d cache hits) in %v: %.0f answers/sec, p50 %v p99 %v",
 		res.TotalServed, res.TotalCacheHits, perf.Elapsed, perf.Throughput, perf.P50, perf.P99)
 }
+
+// TestMillionQueryFeedbackAcceptance re-runs the 1M-query workload with the
+// feedback loop closed: 2% of answers are judged by the ground-truth oracle
+// (10% verdict noise), ingested, incrementally re-detected and republished
+// every epoch. Serving throughput must stay within 20% of the feedback-off
+// baseline above (both numbers are recorded in PERFORMANCE.md), and the
+// posteriors must end strictly better than they started.
+func TestMillionQueryFeedbackAcceptance(t *testing.T) {
+	if !*million {
+		t.Skip("pass -million to run the 1M-query feedback workload")
+	}
+	spec := sim.LoadSpec{
+		Workload: sim.Workload{
+			Clients:           8,
+			QueriesPerEpoch:   250_000,
+			HotKeys:           64,
+			Feedback:          true,
+			FeedbackRate:      0.02,
+			FeedbackNoise:     0.1,
+			FeedbackMaxRounds: 60,
+		},
+	}
+	sc, err := sim.Generate(sim.GenConfig{Seed: 1, Peers: 1000, Epochs: 4, Events: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sc.Epochs {
+		sc.Epochs[i].Queries = 0
+	}
+	spec.Scenario = sc
+	s, err := sim.New(spec.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, perf, err := s.RunWorkload(spec.Workload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalServed < 1_000_000 {
+		t.Fatalf("served %d answers, want >= 1,000,000", res.TotalServed)
+	}
+	first, last := res.Epochs[0].Feedback, res.Epochs[len(res.Epochs)-1].Feedback
+	if first == nil || last == nil {
+		t.Fatal("missing feedback traces")
+	}
+	if last.ErrAfter >= first.ErrBefore {
+		t.Errorf("posterior error did not improve: %.4f -> %.4f", first.ErrBefore, last.ErrAfter)
+	}
+	t.Logf("served %d answers in %v: %.0f answers/sec (feedback on), posterior error %.4f -> %.4f",
+		res.TotalServed, perf.Elapsed, perf.Throughput, first.ErrBefore, last.ErrAfter)
+}

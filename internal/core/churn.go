@@ -77,6 +77,7 @@ func (n *Network) dropEvidenceFor(removed map[graph.EdgeID]bool) {
 			p.varKeys = nil
 		}
 	}
+	n.dropFeedbackFor(removed)
 	keptRecs := n.pinRecs[:0]
 	for _, rec := range n.pinRecs {
 		if !touches(rec.edges) {

@@ -41,6 +41,12 @@ type Network struct {
 	// pinRecs remembers which structure justified each ⊥ pin so churn can
 	// retract pins whose structures dissolved (see churn.go).
 	pinRecs []pinRecord
+	// fbFactors indexes the installed query-feedback factors by canonical
+	// observation key, and fbDirty marks the variables touched by feedback
+	// since the last detection — the scope of the next incremental
+	// re-detect (see feedback_ingest.go).
+	fbFactors map[string]*fbFactor
+	fbDirty   map[varKey]bool
 
 	// Serving plane (snapshot.go): the current published snapshot and the
 	// monotone epoch counter stamping each publication.

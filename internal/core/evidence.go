@@ -497,4 +497,6 @@ func (n *Network) resetInference() {
 		p.varKeys = nil
 	}
 	n.pinRecs = nil
+	n.fbFactors = nil
+	n.fbDirty = nil
 }

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/feedback"
+	"repro/internal/graph"
+	"repro/internal/schema"
+)
+
+// This file closes the paper's serve → evidence → inference loop (§3.2/§4):
+// query results observed by the serving plane come back as probabilistic
+// evidence. Each classified observation — the mapping chain a served answer
+// traversed plus a confirm/contradict/lost verdict — becomes (or strengthens)
+// a counting factor over the chain's correctness variables, installed through
+// the same replica machinery structural discovery uses, so churn retraction,
+// incremental re-detection and the scratch differential all treat query
+// feedback exactly like cycle and parallel-path feedback.
+
+// QueryFeedback is one classified query-result observation handed back by
+// the serving plane: the attribute the query referenced (in the origin
+// peer's schema, matching the keying convention of structural evidence), the
+// mapping chain the answer traversed, and the polarity the verdict mapped
+// to. The chain slice is treated as immutable.
+type QueryFeedback struct {
+	Attr     schema.Attribute
+	Chain    []graph.EdgeID
+	Polarity feedback.Polarity
+}
+
+// FeedbackOptions parameterizes feedback ingestion.
+type FeedbackOptions struct {
+	// Delta is Δ, the compensating-error probability of §4.5. 0 derives it
+	// per chain from the origin schema as 1/(size−1).
+	Delta float64
+	// Noise is the assumed verdict error rate ε: the probability that a
+	// confirm/contradict verdict is flipped (a user blessing a wrong answer
+	// or rejecting a right one). It keeps every factor value strictly
+	// positive, so noisy feedback can never pin a posterior to an absolute
+	// 0 or 1 the way hard structural evidence can. 0 selects the default
+	// 0.02; values must stay below 0.5 (an oracle worse than a coin flip
+	// carries no signal).
+	Noise float64
+}
+
+func (o FeedbackOptions) withDefaults() (FeedbackOptions, error) {
+	if o.Delta < 0 || o.Delta > 1 {
+		return o, fmt.Errorf("core: feedback delta %v out of [0,1]", o.Delta)
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.02
+	}
+	if o.Noise < 0 || o.Noise >= 0.5 {
+		return o, fmt.Errorf("core: feedback noise %v out of [0,0.5)", o.Noise)
+	}
+	return o, nil
+}
+
+// FeedbackReport summarizes one ingestion pass.
+type FeedbackReport struct {
+	// Observations is the number of observations processed.
+	Observations int
+	// Positive/Negative/Neutral count observations by polarity. Neutral
+	// observations (lost results) are counted but install no factor: unlike
+	// a structural ⊥, a lost query result does not identify the mapping
+	// that lost it.
+	Positive, Negative, Neutral int
+	// NewFactors counts freshly installed feedback factors; Bumped counts
+	// observations folded into an existing factor by raising its count.
+	NewFactors, Bumped int
+	// Stale counts observations whose chain crosses a mapping that no
+	// longer exists (answers served from a snapshot that churn has since
+	// overtaken). They are skipped: the evidence judged a revision that is
+	// gone.
+	Stale int
+	// DirtyVars is the number of (mapping, attribute) variables marked for
+	// the next incremental re-detection.
+	DirtyVars int
+}
+
+// maxFeedbackWeight caps the per-factor total observation weight: beyond it
+// the factor is numerically indistinguishable from certainty and further
+// powers only risk underflow. The cap scales the confirm and contradict
+// counts proportionally — capping each side independently would erase the
+// evidence ratio (a hot clean chain with 90% confirms and 10% noisy
+// contradicts must never degenerate to 50/50, where the combined conditional
+// would favour "two or more wrong" and invert every posterior on the chain).
+const maxFeedbackWeight = 64
+
+// fbFactor tracks one installed feedback factor per (attribute, chain): the
+// shared evidence reference (whose Vals all replicas read), the
+// single-observation conditionals of both polarities, and how many
+// observations of each were folded in.
+type fbFactor struct {
+	ref              *evidenceRef
+	posBase, negBase []float64
+	pos, neg         int
+}
+
+// refresh recomputes the factor's values from the current counts —
+// elementwise posBase^p · negBase^n with (p, n) the counts scaled onto the
+// weight cap — and its dominant polarity.
+func (ff *fbFactor) refresh() {
+	p, n := float64(ff.pos), float64(ff.neg)
+	if total := p + n; total > maxFeedbackWeight {
+		scale := maxFeedbackWeight / total
+		p, n = p*scale, n*scale
+	}
+	for k := range ff.ref.Vals {
+		ff.ref.Vals[k] = math.Pow(ff.posBase[k], p) * math.Pow(ff.negBase[k], n)
+	}
+	if ff.pos >= ff.neg {
+		ff.ref.Polarity = feedback.Positive
+	} else {
+		ff.ref.Polarity = feedback.Negative
+	}
+}
+
+// fbKey is the canonical aggregation key of an observation: attribute plus
+// chain. Both polarities of the same chain share one factor.
+func fbKey(o QueryFeedback) string {
+	var b strings.Builder
+	b.WriteString("q!")
+	b.WriteString(string(o.Attr))
+	for _, e := range o.Chain {
+		b.WriteByte('|')
+		b.WriteString(string(e))
+	}
+	return b.String()
+}
+
+// IngestFeedback installs classified query-result observations as counting
+// factors over the traversed mapping chains, incrementally: all
+// observations of the same (attribute, chain) fold into one factor — its
+// conditional is the product of the confirm and contradict conditionals
+// raised to their observation counts — new chains install a fresh factor
+// replica at every owner along the chain, and every touched
+// (mapping, attribute) variable is marked dirty for the next bounded
+// re-detection (DetectOptions.Incremental). Ingestion mutates the network
+// and must be called from the goroutine that owns it — the one running
+// detection and churn — never concurrently with serving reads (which only
+// touch published snapshots).
+func (n *Network) IngestFeedback(opts FeedbackOptions, obs ...QueryFeedback) (FeedbackReport, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return FeedbackReport{}, err
+	}
+	rep := FeedbackReport{Observations: len(obs)}
+
+	// Aggregate the batch by canonical key first: the final factor state
+	// must not depend on the (concurrent, nondeterministic) order the
+	// serving clients enqueued their observations in.
+	type group struct {
+		obs      QueryFeedback
+		pos, neg int
+	}
+	groups := make(map[string]*group)
+	for _, o := range obs {
+		switch o.Polarity {
+		case feedback.Positive:
+			rep.Positive++
+		case feedback.Negative:
+			rep.Negative++
+		default:
+			rep.Neutral++
+			continue
+		}
+		if len(o.Chain) == 0 {
+			continue // local answer: no mapping to judge
+		}
+		key := fbKey(o)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{obs: o}
+			groups[key] = g
+		}
+		if o.Polarity == feedback.Positive {
+			g.pos++
+		} else {
+			g.neg++
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	if n.fbFactors == nil {
+		n.fbFactors = make(map[string]*fbFactor)
+	}
+	if n.fbDirty == nil {
+		n.fbDirty = make(map[varKey]bool)
+	}
+	for _, key := range keys {
+		g := groups[key]
+		stale := false
+		for _, e := range g.obs.Chain {
+			if _, ok := n.topo.Edge(e); !ok {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			rep.Stale += g.pos + g.neg
+			continue
+		}
+		ff, ok := n.fbFactors[key]
+		if !ok {
+			dd := opts.Delta
+			if dd == 0 {
+				if owner, ok := n.Owner(g.obs.Chain[0]); ok {
+					dd = feedback.Delta(owner.schema.Len())
+				} else {
+					dd = feedback.Delta(2)
+				}
+			}
+			arity := len(g.obs.Chain)
+			posBase, _ := feedback.Evidence{Polarity: feedback.Positive}.NoisyCountingVals(dd, opts.Noise, arity)
+			negBase, _ := feedback.Evidence{Polarity: feedback.Negative}.NoisyCountingVals(dd, opts.Noise, arity)
+			ref := &evidenceRef{
+				ID:       key,
+				Attr:     g.obs.Attr,
+				Mappings: append([]graph.EdgeID(nil), g.obs.Chain...),
+				Vals:     make([]float64, arity+1),
+				Owners:   make([]graph.PeerID, arity),
+			}
+			for i, e := range g.obs.Chain {
+				edge, _ := n.topo.Edge(e)
+				ref.Owners[i] = edge.From
+			}
+			ff = &fbFactor{ref: ref, posBase: posBase, negBase: negBase}
+			ff.pos, ff.neg = g.pos, g.neg
+			ff.refresh()
+			n.fbFactors[key] = ff
+			n.installEvidence(ref)
+			rep.NewFactors++
+		} else {
+			rep.Bumped += g.pos + g.neg
+			ff.pos += g.pos
+			ff.neg += g.neg
+			ff.refresh()
+			// The replicas cache their outgoing messages against the old
+			// values; every owner must recompute on the next read.
+			for _, o := range ff.ref.Owners {
+				if p := n.peers[o]; p != nil {
+					if r, ok := p.evs[key]; ok {
+						r.dirty = true
+					}
+				}
+			}
+		}
+		for _, e := range ff.ref.Mappings {
+			n.fbDirty[varKey{Mapping: e, Attr: ff.ref.Attr}] = true
+		}
+	}
+	rep.DirtyVars = len(n.fbDirty)
+	return rep, nil
+}
+
+// FeedbackFactors returns the number of installed query-feedback factors and
+// the total observation weight folded into them (the conditionals saturate
+// at the per-factor cap; the counts keep accumulating so the confirm/
+// contradict ratio stays exact).
+func (n *Network) FeedbackFactors() (factors, weight int) {
+	for _, ff := range n.fbFactors {
+		factors++
+		weight += ff.pos + ff.neg
+	}
+	return factors, weight
+}
+
+// DirtyFeedbackVars returns how many (mapping, attribute) variables are
+// marked for the next incremental re-detection.
+func (n *Network) DirtyFeedbackVars() int { return len(n.fbDirty) }
+
+// dropFeedbackFor retracts the feedback bookkeeping derived from removed
+// mappings: the aggregation index entries (so later identical observations
+// install a fresh factor instead of bumping a ghost) and the dirty marks.
+// The factor replicas and variable references themselves are retracted by
+// dropEvidenceFor, which treats feedback factors like any other evidence.
+func (n *Network) dropFeedbackFor(removed map[graph.EdgeID]bool) {
+	for key, ff := range n.fbFactors {
+		for _, e := range ff.ref.Mappings {
+			if removed[e] {
+				delete(n.fbFactors, key)
+				break
+			}
+		}
+	}
+	for k := range n.fbDirty {
+		if removed[k.Mapping] {
+			delete(n.fbDirty, k)
+		}
+	}
+}

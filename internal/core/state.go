@@ -103,7 +103,24 @@ func (vs *varState) addFactor(r *evReplica, pos int) {
 			return
 		}
 	}
-	vs.factors = append(vs.factors, &factorRef{replica: r, pos: pos, toVar: factorgraph.Unit()})
+	// Keep the adjacency in canonical (evidence ID, position) order: message
+	// products then accumulate in the same floating-point order however the
+	// factors arrived — one scratch discovery pass, incremental epochs, or
+	// query-feedback ingestion. Append order would let two structurally
+	// identical networks drift visibly whenever belief propagation does not
+	// converge (oscillation amplifies the non-associativity of a reordered
+	// product), breaking the incremental-vs-scratch differentials.
+	nf := &factorRef{replica: r, pos: pos, toVar: factorgraph.Unit()}
+	at := len(vs.factors)
+	for i, f := range vs.factors {
+		if r.ev.ID < f.replica.ev.ID || (r.ev.ID == f.replica.ev.ID && pos < f.pos) {
+			at = i
+			break
+		}
+	}
+	vs.factors = append(vs.factors, nil)
+	copy(vs.factors[at+1:], vs.factors[at:])
+	vs.factors[at] = nf
 }
 
 // outgoing computes the variable→factor message for the factor at index fi:

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FeedbackPoint is one row of the feedback-convergence figure: the state of
+// the posteriors (mean absolute error against the corruption ground truth)
+// before and after one epoch's serve → feedback → incremental-re-detect
+// cycle, against the cumulative number of queries served and fed back.
+type FeedbackPoint struct {
+	Epoch          int
+	QueriesServed  int // cumulative across epochs
+	Observations   int
+	NewFactors     int
+	Bumped         int
+	IncrRounds     int
+	TouchedVars    int
+	ErrBefore      float64
+	ErrAfter       float64
+	SnapshotEpochs uint64 // snapshots published so far (serve + republish)
+}
+
+// FeedbackConvergence runs the closed loop end to end: a churny generated
+// overlay serves queriesPerEpoch queries per epoch with concurrent clients,
+// every answer path is judged by the ground-truth oracle (flipping verdicts
+// at the given noise rate), the observations are ingested as evidence and a
+// bounded incremental re-detection republishes the snapshot. The returned
+// points trace how the posterior error falls as served traffic accumulates —
+// the system learning from its own queries.
+func FeedbackConvergence(peers, epochs, queriesPerEpoch int, noise float64, seed int64) ([]FeedbackPoint, error) {
+	sc, err := sim.Generate(sim.GenConfig{Seed: seed, Peers: peers, Epochs: epochs})
+	if err != nil {
+		return nil, err
+	}
+	for i := range sc.Epochs {
+		sc.Epochs[i].Queries = 0 // the workload serves the queries
+	}
+	s, err := sim.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := s.RunWorkload(sim.Workload{
+		Clients:         4,
+		QueriesPerEpoch: queriesPerEpoch,
+		Feedback:        true,
+		FeedbackNoise:   noise,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []FeedbackPoint
+	served := 0
+	for _, ep := range res.Epochs {
+		served += ep.Served
+		if ep.Feedback == nil {
+			return nil, fmt.Errorf("experiments: epoch %d has no feedback trace", ep.Epoch)
+		}
+		ft := ep.Feedback
+		out = append(out, FeedbackPoint{
+			Epoch:          ep.Epoch,
+			QueriesServed:  served,
+			Observations:   ft.Observations,
+			NewFactors:     ft.NewFactors,
+			Bumped:         ft.Bumped,
+			IncrRounds:     ft.Rounds,
+			TouchedVars:    ft.TouchedVars,
+			ErrBefore:      ft.ErrBefore,
+			ErrAfter:       ft.ErrAfter,
+			SnapshotEpochs: ft.SnapshotEpoch,
+		})
+	}
+	return out, nil
+}

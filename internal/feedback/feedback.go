@@ -212,6 +212,40 @@ func (e Evidence) CountingVals(delta float64, n int) ([]float64, bool) {
 	}
 }
 
+// NoisyCountingVals returns the counting-factor values for query-result
+// feedback observed through a noisy channel: the verdict behind the evidence
+// is assumed to be flipped with probability eps (a user confirming a wrong
+// answer or contradicting a right one), so no conditional is ever exactly
+// zero and repeated observations can be folded into one factor by raising
+// the values elementwise to the observation count. With eps = 0 this reduces
+// to CountingVals. Neutral evidence yields no factor (nil, false).
+func (e Evidence) NoisyCountingVals(delta, eps float64, n int) ([]float64, bool) {
+	if e.Polarity == Neutral {
+		return nil, false
+	}
+	// P(true verdict = confirm | k incorrect): 1 for k = 0, 0 for k = 1,
+	// Δ for k ≥ 2 (§3.2.1), then pushed through the eps-flip channel.
+	confirm := func(k int) float64 {
+		switch {
+		case k == 0:
+			return 1 - eps
+		case k == 1:
+			return eps
+		default:
+			return (1-eps)*delta + eps*(1-delta)
+		}
+	}
+	vals := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		if e.Polarity == Positive {
+			vals[k] = confirm(k)
+		} else {
+			vals[k] = 1 - confirm(k)
+		}
+	}
+	return vals, true
+}
+
 // Analysis is the complete per-attribute evidence set for a PDMS: the
 // feedback gathered from every cycle and parallel pair that carries the
 // attribute, plus the mappings pinned to zero because they lack a

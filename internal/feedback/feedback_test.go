@@ -260,6 +260,43 @@ func TestCountingVals(t *testing.T) {
 	}
 }
 
+func TestNoisyCountingVals(t *testing.T) {
+	// eps = 0 degenerates to the hard structural conditional.
+	for _, pol := range []Polarity{Positive, Negative} {
+		e := Evidence{Polarity: pol}
+		hard, _ := e.CountingVals(0.1, 4)
+		soft, ok := e.NoisyCountingVals(0.1, 0, 4)
+		if !ok {
+			t.Fatalf("%v: want factor", pol)
+		}
+		for i := range hard {
+			if math.Abs(hard[i]-soft[i]) > 1e-12 {
+				t.Errorf("%v eps=0 vals[%d] = %v, want %v", pol, i, soft[i], hard[i])
+			}
+		}
+	}
+	// eps > 0 keeps every value strictly inside (0,1) — noisy feedback can
+	// never pin a posterior absolutely — and positive/negative conditionals
+	// stay complementary.
+	pos, _ := Evidence{Polarity: Positive}.NoisyCountingVals(0.1, 0.1, 3)
+	neg, _ := Evidence{Polarity: Negative}.NoisyCountingVals(0.1, 0.1, 3)
+	want := []float64{0.9, 0.1, 0.18, 0.18} // (1−ε), ε, (1−ε)Δ+ε(1−Δ)
+	for k := range pos {
+		if math.Abs(pos[k]-want[k]) > 1e-12 {
+			t.Errorf("noisy positive vals[%d] = %v, want %v", k, pos[k], want[k])
+		}
+		if math.Abs(pos[k]+neg[k]-1) > 1e-12 {
+			t.Errorf("vals[%d]: positive %v + negative %v != 1", k, pos[k], neg[k])
+		}
+		if pos[k] <= 0 || pos[k] >= 1 {
+			t.Errorf("noisy vals[%d] = %v not strictly inside (0,1)", k, pos[k])
+		}
+	}
+	if _, ok := (Evidence{Polarity: Neutral}).NoisyCountingVals(0.1, 0.1, 3); ok {
+		t.Error("neutral evidence should yield no factor")
+	}
+}
+
 func TestAnalyzeFig5(t *testing.T) {
 	g, maps := fig5Network()
 	a, err := Analyze("c0", g, resolver(maps), 6)

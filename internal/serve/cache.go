@@ -3,8 +3,8 @@ package serve
 import (
 	"container/list"
 	"fmt"
-	"hash/fnv"
 	"sync"
+	"sync/atomic"
 )
 
 // cache is a sharded LRU result cache with in-flight coalescing: concurrent
@@ -12,15 +12,19 @@ import (
 // instead of recomputing, so the number of computations per key is exactly
 // one as long as the entry is not evicted. Keys embed the snapshot epoch
 // (see Server.Answer), which makes a snapshot swap the only invalidation the
-// cache ever needs — old epochs age out of the LRU naturally. Capacity is
-// enforced per shard (ceil(size/16) each), so a pathological key
-// distribution can evict while the cache as a whole is under `size`;
-// callers that depend on eviction-free epochs (the deterministic workload
-// goldens) must budget 16× their distinct-key count.
+// cache ever needs — old epochs age out of the LRU naturally. The size
+// budget is global: a resident count shared by the shards admits every key
+// distribution up to `size` completed entries, and eviction only starts once
+// the cache as a whole is over budget (scanning shards round-robin from the
+// inserter's, least recent entry of each shard first), so a skewed
+// distribution can never evict while the cache is globally under capacity.
 type cache struct {
 	shards []cacheShard
-	// perShard is the LRU capacity of each shard.
-	perShard int
+	// size is the global budget; total counts completed resident entries
+	// across all shards (in-flight computations are not evictable and not
+	// counted).
+	size  int
+	total atomic.Int64
 }
 
 const cacheShards = 16
@@ -41,13 +45,12 @@ type cacheEntry struct {
 	elem  *list.Element // nil while in flight
 }
 
-// newCache builds a cache with roughly `size` total entries (0 disables).
+// newCache builds a cache with `size` total entries (0 disables).
 func newCache(size int) *cache {
 	if size <= 0 {
 		return nil
 	}
-	per := (size + cacheShards - 1) / cacheShards
-	c := &cache{shards: make([]cacheShard, cacheShards), perShard: per}
+	c := &cache{shards: make([]cacheShard, cacheShards), size: size}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*cacheEntry)
 		c.shards[i].lru = list.New()
@@ -55,10 +58,20 @@ func newCache(size int) *cache {
 	return c
 }
 
-func (c *cache) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%cacheShards]
+// shardIndex hashes the key with FNV-1a, inlined: the hash sits on the
+// serving hot path (every cache lookup), where a hash.Hash32 allocation and
+// a string→[]byte conversion per call would dominate the hit cost.
+func shardIndex(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % cacheShards)
 }
 
 // getOrCompute returns the cached answer for key, waiting on an in-flight
@@ -69,7 +82,8 @@ func (c *cache) shard(key string) *cacheShard {
 // finalized and its ready channel closed, or every later request for the
 // key would block on it forever.
 func (c *cache) getOrCompute(key string, compute func() (Answer, error)) (Answer, bool, error) {
-	s := c.shard(key)
+	si := shardIndex(key)
+	s := &c.shards[si]
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
 		if e.elem != nil {
@@ -93,18 +107,39 @@ func (c *cache) getOrCompute(key string, compute func() (Answer, error)) (Answer
 				delete(s.entries, key)
 			} else {
 				e.elem = s.lru.PushFront(e)
-				for s.lru.Len() > c.perShard {
-					old := s.lru.Back()
-					s.lru.Remove(old)
-					delete(s.entries, old.Value.(*cacheEntry).key)
-				}
+				c.total.Add(1)
 			}
 			s.mu.Unlock()
 			close(e.ready)
+			c.enforceBudget(si)
 		}()
 		e.ans, e.err = compute()
 	}()
 	return e.ans, false, e.err
+}
+
+// enforceBudget evicts least-recent entries while the cache is over its
+// global size, scanning shards round-robin starting at the inserter's
+// successor — the inserter's own shard comes last, so a freshly inserted
+// entry that is its shard's only resident never evicts itself while older
+// entries elsewhere survive. At most one shard lock is held at a time, so
+// concurrent inserters can never deadlock; a full round of empty shards
+// ends the sweep (another goroutine already evicted on our behalf).
+func (c *cache) enforceBudget(start int) {
+	empty := 0
+	for i := 1; c.total.Load() > int64(c.size) && empty < cacheShards; i++ {
+		s := &c.shards[(start+i)%cacheShards]
+		s.mu.Lock()
+		if old := s.lru.Back(); old != nil {
+			s.lru.Remove(old)
+			delete(s.entries, old.Value.(*cacheEntry).key)
+			c.total.Add(-1)
+			empty = 0
+		} else {
+			empty++
+		}
+		s.mu.Unlock()
+	}
 }
 
 // len returns the number of completed resident entries (for tests).

@@ -33,9 +33,9 @@ func TestCachePanicRecovery(t *testing.T) {
 }
 
 // TestCacheErrorNotCached: failed computations are retried, successful ones
-// stick, and eviction keeps each shard bounded.
+// stick, and eviction holds the global budget.
 func TestCacheErrorNotCached(t *testing.T) {
-	c := newCache(16) // 1 entry per shard
+	c := newCache(16)
 	calls := 0
 	for i := 0; i < 2; i++ {
 		_, _, err := c.getOrCompute("k", func() (Answer, error) {
@@ -49,14 +49,101 @@ func TestCacheErrorNotCached(t *testing.T) {
 	if calls != 2 {
 		t.Errorf("error was cached: %d calls, want 2", calls)
 	}
-	// Overflow a shard: keys beyond the per-shard bound evict the oldest.
+	// Overflow the budget: insertions beyond the global size evict the
+	// least recent entries, never more.
 	for i := 0; i < 64; i++ {
 		key := fmt.Sprintf("key-%d", i)
 		if _, _, err := c.getOrCompute(key, func() (Answer, error) { return Answer{}, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := c.len(); got > cacheShards {
-		t.Errorf("cache holds %d entries, want at most %d (1 per shard)", got, cacheShards)
+	if got := c.len(); got != 16 {
+		t.Errorf("cache holds %d entries, want exactly the 16-entry budget", got)
+	}
+}
+
+// skewedKeys returns n distinct keys that all hash into the same shard — the
+// adversarial distribution that used to evict at size/16 residency.
+func skewedKeys(n int) []string {
+	target := shardIndex("skew-0")
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("skew-%d", i)
+		if shardIndex(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestCacheGlobalBudgetUnderSkew: with every key landing in one shard, the
+// cache must keep all of them resident up to the global size — the exact
+// hot-key skew the workload engine generates. (The old per-shard capacity of
+// ceil(size/16) evicted after 4 keys here.)
+func TestCacheGlobalBudgetUnderSkew(t *testing.T) {
+	const size = 64
+	c := newCache(size)
+	keys := skewedKeys(size)
+	for _, k := range keys {
+		if _, _, err := c.getOrCompute(k, func() (Answer, error) { return Answer{}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.len(); got != size {
+		t.Fatalf("one-shard skew: %d resident entries, want the full budget of %d", got, size)
+	}
+	for _, k := range keys {
+		_, cached, err := c.getOrCompute(k, func() (Answer, error) {
+			t.Errorf("key %q was evicted while the cache was within budget", k)
+			return Answer{}, nil
+		})
+		if err != nil || !cached {
+			t.Fatalf("key %q: cached=%v err=%v", k, cached, err)
+		}
+	}
+	// One key past the budget evicts exactly the least recent entry.
+	extra := skewedKeys(size + 1)[size]
+	if _, _, err := c.getOrCompute(extra, func() (Answer, error) { return Answer{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.len(); got != size {
+		t.Errorf("after overflow: %d resident entries, want %d", got, size)
+	}
+	if _, cached, _ := c.getOrCompute(keys[0], func() (Answer, error) { return Answer{}, nil }); cached {
+		t.Error("least recent key survived an over-budget insertion")
+	}
+}
+
+// TestCacheHitZeroAlloc: the hit path — shard hash, lookup, LRU touch — must
+// not allocate; an allocation per lookup would dominate the µs-scale serving
+// hot path.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	c := newCache(64)
+	if _, _, err := c.getOrCompute("hot", func() (Answer, error) { return Answer{Epoch: 1}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		ans, cached, err := c.getOrCompute("hot", nil)
+		if err != nil || !cached || ans.Epoch != 1 {
+			t.Fatalf("hit path broke: %+v %v %v", ans, cached, err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkCacheHit measures the hot lookup (run with -benchmem: 0 allocs/op).
+func BenchmarkCacheHit(b *testing.B) {
+	c := newCache(1024)
+	if _, _, err := c.getOrCompute("hot", func() (Answer, error) { return Answer{Epoch: 1}, nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, cached, _ := c.getOrCompute("hot", nil); !cached {
+			b.Fatal("miss on the hit benchmark")
+		}
 	}
 }

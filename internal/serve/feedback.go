@@ -1,0 +1,192 @@
+package serve
+
+// This file is the write half of the serving plane's learning loop.
+// Serving goroutines classify user verdicts on answers into polar
+// observations over the traversed mapping chains and enqueue them here; the
+// goroutine that owns the network periodically drains the queue, installs
+// the observations as counting factors (core.Network.IngestFeedback), runs a
+// bounded incremental re-detection and republishes the snapshot — closing
+// serve → evidence → belief propagation → snapshot → serve.
+
+import (
+	"repro/internal/core"
+	"repro/internal/feedback"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/xmldb"
+)
+
+// FeedbackStats count the verdicts a Server has classified.
+type FeedbackStats struct {
+	// Confirmed/Contradicted/Lost count verdicts by kind.
+	Confirmed, Contradicted, Lost uint64
+	// Queued is the number of observations produced and enqueued (one
+	// verdict can yield several: one per traversed chain per query
+	// attribute).
+	Queued uint64
+	// Unattributed counts verdicts that produced no observation because the
+	// answer crossed no mapping (purely local results) or named an unknown
+	// path.
+	Unattributed uint64
+	// Pending is the current queue length (drained by DrainFeedback).
+	Pending int
+}
+
+// Feedback classifies a result verdict for the query as served right now:
+// the answer (usually a cache hit) is recomputed from the current snapshot
+// so the verdict attaches to the routes the caller actually saw, then
+// handled like FeedbackAnswer. The served-query counters tick exactly as for
+// Answer. It returns the number of observations enqueued.
+func (s *Server) Feedback(origin graph.PeerID, q query.Query, v xmldb.Verdict) (int, error) {
+	ans, err := s.Answer(origin, q)
+	if err != nil {
+		return 0, err
+	}
+	return s.FeedbackAnswer(ans, v), nil
+}
+
+// FeedbackAnswer classifies a whole-answer verdict against the answer's
+// provenance:
+//
+//   - Confirm: every contributing chain carries positive feedback — the
+//     user's acceptance vouches for each path independently.
+//   - Contradict: the user cannot say which path produced the wrong
+//     records, so one negative observation ranges over the union of the
+//     contributing chains ("at least one of these mappings is wrong" —
+//     exactly the counting-factor semantics of §3.2.1).
+//   - Lost: neutral observations on every traversed chain; they are counted
+//     but install no factor (a lost result does not identify the mapping
+//     that lost it).
+//
+// Safe for concurrent use; returns the number of observations enqueued.
+func (s *Server) FeedbackAnswer(ans Answer, v xmldb.Verdict) int {
+	var obs []core.QueryFeedback
+	switch v {
+	case xmldb.VerdictConfirm:
+		for _, p := range ans.Paths {
+			if p.Records == 0 || len(p.Via) == 0 {
+				continue
+			}
+			obs = appendObs(obs, ans.Attrs, p.Via, feedback.Positive)
+		}
+	case xmldb.VerdictContradict:
+		union := contributingUnion(ans.Paths)
+		if len(union) > 0 {
+			obs = appendObs(obs, ans.Attrs, union, feedback.Negative)
+		}
+	case xmldb.VerdictLost:
+		for _, p := range ans.Paths {
+			if len(p.Via) == 0 {
+				continue
+			}
+			obs = appendObs(obs, ans.Attrs, p.Via, feedback.Neutral)
+		}
+	}
+	s.enqueueFeedback(v, obs)
+	return len(obs)
+}
+
+// FeedbackPath classifies a verdict the user can attribute to one specific
+// peer's contribution — the finest-grained feedback, producing evidence over
+// exactly the chain that reached the peer. Returns the number of
+// observations enqueued (zero if the peer is not part of the answer or was
+// reached without crossing a mapping).
+func (s *Server) FeedbackPath(ans Answer, peer graph.PeerID, v xmldb.Verdict) int {
+	var obs []core.QueryFeedback
+	for _, p := range ans.Paths {
+		if p.Peer != peer {
+			continue
+		}
+		if len(p.Via) > 0 {
+			obs = appendObs(obs, ans.Attrs, p.Via, VerdictPolarity(v))
+		}
+		break
+	}
+	s.enqueueFeedback(v, obs)
+	return len(obs)
+}
+
+// DrainFeedback hands the queued observations to the caller and empties the
+// queue. The network-owning goroutine calls it before
+// core.Network.IngestFeedback; observation order is irrelevant (ingestion
+// aggregates canonically), so concurrent enqueues racing a drain simply land
+// in the next batch.
+func (s *Server) DrainFeedback() []core.QueryFeedback {
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	out := s.fbQueue
+	s.fbQueue = nil
+	return out
+}
+
+// FeedbackStats returns a point-in-time copy of the feedback counters.
+func (s *Server) FeedbackStats() FeedbackStats {
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	st := s.fbStats
+	st.Pending = len(s.fbQueue)
+	return st
+}
+
+// enqueueFeedback appends the classified observations and ticks the verdict
+// counters.
+func (s *Server) enqueueFeedback(v xmldb.Verdict, obs []core.QueryFeedback) {
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	switch v {
+	case xmldb.VerdictConfirm:
+		s.fbStats.Confirmed++
+	case xmldb.VerdictContradict:
+		s.fbStats.Contradicted++
+	case xmldb.VerdictLost:
+		s.fbStats.Lost++
+	}
+	if len(obs) == 0 {
+		s.fbStats.Unattributed++
+		return
+	}
+	s.fbStats.Queued += uint64(len(obs))
+	s.fbQueue = append(s.fbQueue, obs...)
+}
+
+// appendObs emits one observation per query attribute over the chain.
+func appendObs(obs []core.QueryFeedback, attrs []schema.Attribute, chain []graph.EdgeID, pol feedback.Polarity) []core.QueryFeedback {
+	for _, a := range attrs {
+		obs = append(obs, core.QueryFeedback{Attr: a, Chain: chain, Polarity: pol})
+	}
+	return obs
+}
+
+// VerdictPolarity maps a verdict to evidence polarity — the single source
+// of truth for the classification (the simulator's ground-truth oracle uses
+// it too): confirm → positive, contradict → negative, lost → neutral.
+func VerdictPolarity(v xmldb.Verdict) feedback.Polarity {
+	switch v {
+	case xmldb.VerdictConfirm:
+		return feedback.Positive
+	case xmldb.VerdictContradict:
+		return feedback.Negative
+	default:
+		return feedback.Neutral
+	}
+}
+
+// contributingUnion collects the distinct mapping edges of every
+// record-contributing chain, in first-traversal order.
+func contributingUnion(paths []Path) []graph.EdgeID {
+	seen := make(map[graph.EdgeID]bool)
+	var union []graph.EdgeID
+	for _, p := range paths {
+		if p.Records == 0 {
+			continue
+		}
+		for _, e := range p.Via {
+			if !seen[e] {
+				seen[e] = true
+				union = append(union, e)
+			}
+		}
+	}
+	return union
+}

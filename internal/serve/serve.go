@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -73,6 +74,25 @@ type Answer struct {
 	// order: every record rendered with sorted attributes, records sorted
 	// by that rendering.
 	Records []xmldb.Record
+	// Attrs are the attributes the original query referenced, in the
+	// origin schema — recorded so result feedback can be classified
+	// without re-parsing the query.
+	Attrs []schema.Attribute
+	// Paths is the answer's provenance: one entry per reached peer that
+	// held a store, carrying the mapping chain the query traversed to get
+	// there (already validated against query.RewriteChain during the walk)
+	// and how many records the peer contributed. Answers are shared via the
+	// cache; Paths and everything it references must never be mutated.
+	Paths []Path
+}
+
+// Path is the provenance of one answered peer: the surviving mapping chain
+// the query traversed from the origin, and the peer's contribution to the
+// merged result set. An empty Via means the origin itself.
+type Path struct {
+	Peer    graph.PeerID
+	Via     []graph.EdgeID
+	Records int
 }
 
 // Fingerprint returns a stable SHA-256 hex digest of the answer's canonical
@@ -107,6 +127,12 @@ type Server struct {
 	cache *cache
 
 	served, errors, hits, computed, stale atomic.Uint64
+
+	// Result-feedback queue (see feedback.go): classified observations wait
+	// here until the network-owning goroutine drains them for ingestion.
+	fbMu    sync.Mutex
+	fbQueue []core.QueryFeedback
+	fbStats FeedbackStats
 }
 
 // New builds a Server reading snapshots from src (typically a
@@ -185,6 +211,7 @@ func computeAnswer(snap *core.RoutingSnapshot, origin graph.PeerID, q query.Quer
 		Peers:       len(route.Visits),
 		Blocked:     route.Blocked,
 		DroppedAttr: route.DroppedAttr,
+		Attrs:       q.Attributes(),
 	}
 	var merged []xmldb.Record
 	var chain []*schema.Mapping
@@ -218,6 +245,7 @@ func computeAnswer(snap *core.RoutingSnapshot, origin graph.PeerID, q query.Quer
 			ans.Answered++
 			merged = append(merged, recs...)
 		}
+		ans.Paths = append(ans.Paths, Path{Peer: v.Peer, Via: v.Via, Records: len(recs)})
 	}
 	ans.Records = Canonical(merged)
 	return ans, nil

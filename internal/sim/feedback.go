@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/internal/xmldb"
+)
+
+// This file closes the loop inside the simulator: served (or routed) query
+// results are judged by a ground-truth oracle — the simulator knows exactly
+// which mappings are corrupted — optionally flipped by a configurable noise
+// rate, ingested as evidence (core.Network.IngestFeedback), and followed by
+// a bounded incremental re-detection. Both engines share it: RunWorkload
+// interleaves churn → detect → publish → serve → feedback → incremental
+// detect → republish, and the scenario replay (Epoch.FeedbackQueries) runs
+// the same cycle against routed queries so the invariant suite and the
+// scratch differential cover feedback state too.
+
+// FeedbackTrace is the reproducible record of one epoch's feedback cycle.
+type FeedbackTrace struct {
+	// Queries is the routed feedback burst size (scenario replay only; the
+	// workload engine feeds back the serving phase's answers instead).
+	Queries int `json:"queries,omitempty"`
+	// Observations is the number of classified observations ingested, split
+	// into Positive/Negative/Neutral polarities; Stale counts observations
+	// whose chain churn had already dissolved.
+	Observations int `json:"observations"`
+	Positive     int `json:"positive"`
+	Negative     int `json:"negative"`
+	Neutral      int `json:"neutral,omitempty"`
+	Stale        int `json:"stale,omitempty"`
+	// NewFactors/Bumped count freshly installed feedback factors and
+	// observations folded into existing ones.
+	NewFactors int `json:"newFactors"`
+	Bumped     int `json:"bumped"`
+	// Rounds and TouchedVars describe the bounded incremental re-detection:
+	// how many BP rounds ran, over how many variables (the dirty-component
+	// closure, not the whole network).
+	Rounds      int `json:"rounds"`
+	TouchedVars int `json:"touchedVars"`
+	// SnapshotEpoch is the republished routing snapshot's epoch (workload
+	// engine only; the replay engine does not publish).
+	SnapshotEpoch uint64 `json:"snapshotEpoch,omitempty"`
+	// ErrBefore/ErrAfter is the mean absolute posterior error against
+	// ground truth (corrupted mappings should post 0, clean ones 1) over
+	// the covered mappings, before ingestion and after the re-detection —
+	// the posterior-convergence trace of the feedback loop.
+	ErrBefore float64 `json:"errBefore"`
+	ErrAfter  float64 `json:"errAfter"`
+}
+
+// feedbackSeedSalt decorrelates the oracle's noise stream from the client's
+// query stream.
+const feedbackSeedSalt = 0x5eedfeedbac4
+
+// pathVerdict is the ground-truth oracle: follow every query attribute
+// through the chain's corrupted swaps; any displaced image means the records
+// served over this path were values of the wrong concept.
+func (s *Simulation) pathVerdict(attrs []schema.Attribute, via []graph.EdgeID) xmldb.Verdict {
+	for _, a := range attrs {
+		cur := a
+		for _, e := range via {
+			if s.corrupted[e] {
+				cur = s.swapPairs[cur]
+			}
+		}
+		if cur != a {
+			return xmldb.VerdictContradict
+		}
+	}
+	return xmldb.VerdictConfirm
+}
+
+// noisyVerdict flips the oracle's confirm/contradict verdict with
+// probability noise.
+func noisyVerdict(v xmldb.Verdict, noise float64, rng *rand.Rand) xmldb.Verdict {
+	if noise > 0 && rng.Float64() < noise {
+		if v == xmldb.VerdictConfirm {
+			return xmldb.VerdictContradict
+		}
+		return xmldb.VerdictConfirm
+	}
+	return v
+}
+
+// feedbackAnswer judges one served answer path by path and enqueues the
+// verdicts on the server — the client side of the workload feedback policy.
+func (s *Simulation) feedbackAnswer(srv *serve.Server, ans serve.Answer, noise float64, rng *rand.Rand) {
+	for _, p := range ans.Paths {
+		if p.Records == 0 || len(p.Via) == 0 {
+			continue
+		}
+		v := noisyVerdict(s.pathVerdict(ans.Attrs, p.Via), noise, rng)
+		srv.FeedbackPath(ans, p.Peer, v)
+	}
+}
+
+// posteriorError is the mean absolute posterior error against ground truth
+// on the analysis attribute, over the mappings the detection result covers.
+func (s *Simulation) posteriorError(det core.DetectResult) float64 {
+	attr := schema.Attribute(s.sc.AnalysisAttr)
+	sum, n := 0.0, 0
+	for _, id := range s.liveMappings() {
+		m := graph.EdgeID(id)
+		p := det.Posterior(m, attr, -1)
+		if p < 0 {
+			continue
+		}
+		truth := 1.0
+		if s.corrupted[m] {
+			truth = 0
+		}
+		sum += math.Abs(p - truth)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ingestAndRedetect performs the network-owning half of a feedback cycle:
+// install the observations as counting factors, then re-run belief
+// propagation over the dirty components only, within the given round budget
+// (0 = the scenario's MaxRounds). The observations are also accumulated
+// (and pruned on churn) so the scratch differential can replay them into a
+// rebuilt network.
+func (s *Simulation) ingestAndRedetect(obs []core.QueryFeedback, noise float64, maxRounds int, seed int64) (*FeedbackTrace, core.DetectResult, error) {
+	ft := &FeedbackTrace{Observations: len(obs)}
+	if s.sc.Verify {
+		// Only the scratch differential reads the replay log; without it,
+		// accumulating every observation of a long workload run would pin
+		// memory for nothing.
+		s.fedback = append(s.fedback, obs...)
+	}
+	rep, err := s.net.IngestFeedback(core.FeedbackOptions{Delta: s.sc.Delta, Noise: noise}, obs...)
+	if err != nil {
+		return nil, core.DetectResult{}, err
+	}
+	ft.Positive, ft.Negative, ft.Neutral, ft.Stale = rep.Positive, rep.Negative, rep.Neutral, rep.Stale
+	ft.NewFactors, ft.Bumped = rep.NewFactors, rep.Bumped
+	if maxRounds == 0 {
+		maxRounds = s.sc.MaxRounds
+	}
+	det, err := s.net.RunDetection(core.DetectOptions{
+		Incremental: true,
+		MaxRounds:   maxRounds,
+		Tolerance:   1e-9,
+		Seed:        seed,
+		Transport:   network.Kind(s.sc.Transport),
+		Shards:      s.sc.Shards,
+	})
+	if err != nil {
+		return nil, core.DetectResult{}, err
+	}
+	ft.Rounds = det.Rounds
+	ft.TouchedVars = det.TouchedVars
+	ft.ErrAfter = s.posteriorError(det)
+	return ft, det, nil
+}
+
+// collectFeedbackObs routes n queries on the given posteriors and judges
+// every traversed path with the (noisy) ground-truth oracle, returning the
+// classified observations.
+func (s *Simulation) collectFeedbackObs(n int, det core.DetectResult, seed int64) ([]core.QueryFeedback, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	live := s.livePeers()
+	attr := schema.Attribute(s.sc.AnalysisAttr)
+	attrs := []schema.Attribute{attr}
+	var obs []core.QueryFeedback
+	var viol []string
+	for q := 0; q < n; q++ {
+		origin := graph.PeerID(live[rng.Intn(len(live))])
+		op, _ := s.net.Peer(origin)
+		qry := query.MustNew(op.Schema(), query.Op{Kind: query.Project, Attr: attr})
+		res, err := s.net.RouteQuery(origin, qry, core.RouteOptions{
+			DefaultTheta: s.sc.Theta,
+			Posteriors:   det,
+		})
+		if err != nil {
+			viol = append(viol, fmt.Sprintf("feedback query %d from %s failed: %v", q, origin, err))
+			continue
+		}
+		for _, v := range res.Visits {
+			if len(v.Via) == 0 {
+				continue
+			}
+			verdict := noisyVerdict(s.pathVerdict(attrs, v.Via), s.sc.FeedbackNoise, rng)
+			obs = append(obs, core.QueryFeedback{Attr: attr, Chain: v.Via, Polarity: serve.VerdictPolarity(verdict)})
+		}
+	}
+	return obs, viol
+}
+
+// feedbackBurst is the scenario replay's feedback epoch: route n queries on
+// the fresh posteriors, judge every traversed path with the (noisy) oracle,
+// ingest, and re-detect incrementally.
+func (s *Simulation) feedbackBurst(n int, det core.DetectResult, seed int64) (*FeedbackTrace, core.DetectResult, []string, error) {
+	obs, viol := s.collectFeedbackObs(n, det, seed)
+	errBefore := s.posteriorError(det)
+	ft, det2, err := s.ingestAndRedetect(obs, s.sc.FeedbackNoise, 0, seed+1)
+	if err != nil {
+		return nil, core.DetectResult{}, viol, err
+	}
+	ft.Queries = n
+	ft.ErrBefore = errBefore
+	return ft, det2, viol, nil
+}
+
+// pruneFeedback drops accumulated observations whose chain crosses a
+// removed mapping — mirroring core's eager evidence retraction so the
+// scratch differential's replay stays exactly equivalent to the maintained
+// state.
+func (s *Simulation) pruneFeedback(removed ...graph.EdgeID) {
+	if len(s.fedback) == 0 || len(removed) == 0 {
+		return
+	}
+	rm := make(map[graph.EdgeID]bool, len(removed))
+	for _, e := range removed {
+		rm[e] = true
+	}
+	kept := s.fedback[:0]
+	for _, o := range s.fedback {
+		touches := false
+		for _, e := range o.Chain {
+			if rm[e] {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			kept = append(kept, o)
+		}
+	}
+	s.fedback = kept
+}

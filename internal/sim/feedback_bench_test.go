@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+)
+
+// BenchmarkRedetect1000Peers compares the two ways to refresh posteriors
+// after a feedback batch on a 1000-peer overlay whose evidence spans four
+// per-attribute factor-graph instances (§4.1 fine granularity): a full
+// re-detection (ResetMessages + belief propagation over every factor) versus
+// the bounded incremental re-detection (reset and iterate only the
+// components the batch dirtied — here the analysis attribute's instance;
+// the other attributes' instances keep their converged state). The recorded
+// numbers are the PERFORMANCE.md "incremental re-detect vs full detect" row.
+// When a batch's closure spans the whole graph — e.g. evidence over a single
+// attribute on one giant component — incremental degrades gracefully to
+// full-detect cost.
+func BenchmarkRedetect1000Peers(b *testing.B) {
+	build := func(b *testing.B) (*Simulation, []core.QueryFeedback) {
+		b.Helper()
+		sc, err := Generate(GenConfig{Seed: 3, Peers: 1000, Epochs: 1, Events: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := New(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		attrs := make([]schema.Attribute, 0, s.sc.Attrs)
+		for _, a := range s.attrs {
+			attrs = append(attrs, a)
+		}
+		if _, err := s.net.Discover(core.DiscoverConfig{Attrs: attrs, MaxLen: s.sc.MaxLen, Delta: s.sc.Delta}); err != nil {
+			b.Fatal(err)
+		}
+		det, err := s.net.RunDetection(core.DetectOptions{MaxRounds: s.sc.MaxRounds, Tolerance: 1e-9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// One feedback batch: 40 routed queries on the analysis attribute,
+		// ground-truth verdicts at 10% noise. Re-ingesting the same batch
+		// each iteration bumps the same factors (counts saturate), so the
+		// dirty scope is steady across iterations.
+		obs, viol := s.collectFeedbackObs(40, det, 99)
+		if len(obs) == 0 || len(viol) != 0 {
+			b.Fatalf("feedback batch: %d observations, violations %v", len(obs), viol)
+		}
+		return s, obs
+	}
+
+	b.Run("full", func(b *testing.B) {
+		s, obs := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.net.IngestFeedback(core.FeedbackOptions{Delta: s.sc.Delta, Noise: 0.1}, obs...); err != nil {
+				b.Fatal(err)
+			}
+			s.net.ResetMessages()
+			if _, err := s.net.RunDetection(core.DetectOptions{MaxRounds: s.sc.MaxRounds, Tolerance: 1e-9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		s, obs := build(b)
+		b.ResetTimer()
+		var touched int
+		for i := 0; i < b.N; i++ {
+			if _, err := s.net.IngestFeedback(core.FeedbackOptions{Delta: s.sc.Delta, Noise: 0.1}, obs...); err != nil {
+				b.Fatal(err)
+			}
+			det, err := s.net.RunDetection(core.DetectOptions{Incremental: true, MaxRounds: s.sc.MaxRounds, Tolerance: 1e-9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			touched = det.TouchedVars
+		}
+		b.ReportMetric(float64(touched), "touched-vars")
+	})
+}

@@ -190,7 +190,9 @@ func (s *Simulation) rebuild() (*core.Network, error) {
 
 // checkScratchDifferential is the churn oracle: the incrementally maintained
 // evidence state must be structurally identical to a from-scratch rebuild +
-// full rediscovery of the current topology, and (on reliable epochs) a
+// full rediscovery of the current topology — with the accumulated query
+// feedback replayed in one batch, pinning the incremental ingest/retract
+// path to a single from-scratch ingestion — and (on reliable epochs) a
 // detection run over the rebuilt network must land on the same posteriors.
 func (s *Simulation) checkScratchDifferential(det core.DetectResult, psend float64) []string {
 	fresh, err := s.rebuild()
@@ -199,6 +201,14 @@ func (s *Simulation) checkScratchDifferential(det core.DetectResult, psend float
 	}
 	if _, err := fresh.Discover(s.discoverCfg()); err != nil {
 		return []string{fmt.Sprintf("scratch discovery failed: %v", err)}
+	}
+	if len(s.fedback) > 0 {
+		if _, err := fresh.IngestFeedback(core.FeedbackOptions{
+			Delta: s.sc.Delta,
+			Noise: s.sc.FeedbackNoise,
+		}, s.fedback...); err != nil {
+			return []string{fmt.Sprintf("scratch feedback replay failed: %v", err)}
+		}
 	}
 	a, b := s.net.InferenceDigest(), fresh.InferenceDigest()
 	if len(a) != len(b) {

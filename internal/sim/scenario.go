@@ -64,6 +64,13 @@ type Epoch struct {
 	// Queries is the size of the θ-gated query burst routed after
 	// detection (origins drawn deterministically from the scenario seed).
 	Queries int `json:"queries,omitempty"`
+	// FeedbackQueries closes the loop for this epoch: that many queries are
+	// routed on the fresh posteriors, every traversed path is judged by the
+	// ground-truth oracle (flipped with Scenario.FeedbackNoise), the
+	// observations are ingested as evidence and a bounded incremental
+	// re-detection runs — all covered by the invariant suite and the
+	// scratch differential.
+	FeedbackQueries int `json:"feedbackQueries,omitempty"`
 }
 
 // Scenario is a complete, declarative, reproducible experiment description.
@@ -98,6 +105,10 @@ type Scenario struct {
 	Delta        float64 `json:"delta,omitempty"`        // Δ of §4.5, default 0.1
 	Theta        float64 `json:"theta,omitempty"`        // routing threshold, default 0.5
 	MaxRounds    int     `json:"maxRounds,omitempty"`    // detection rounds bound, default 300
+	// FeedbackNoise is the verdict flip probability of the ground-truth
+	// feedback oracle (and the assumed error rate passed to ingestion);
+	// only meaningful for epochs with FeedbackQueries. Must be below 0.5.
+	FeedbackNoise float64 `json:"feedbackNoise,omitempty"`
 
 	// Transport selects the message substrate detection runs on: "sim"
 	// (default, the single-threaded deterministic simulator), "sharded"
@@ -181,12 +192,18 @@ func (sc Scenario) check() error {
 	if sc.Shards < 0 {
 		return fmt.Errorf("sim: negative shard count %d", sc.Shards)
 	}
+	if sc.FeedbackNoise < 0 || sc.FeedbackNoise >= 0.5 {
+		return fmt.Errorf("sim: feedback noise %v out of [0,0.5)", sc.FeedbackNoise)
+	}
 	for i, ep := range sc.Epochs {
 		if ep.PSend < 0 || ep.PSend > 1 {
 			return fmt.Errorf("sim: epoch %d: psend %v out of [0,1]", i+1, ep.PSend)
 		}
 		if ep.Queries < 0 {
 			return fmt.Errorf("sim: epoch %d: negative query burst", i+1)
+		}
+		if ep.FeedbackQueries < 0 {
+			return fmt.Errorf("sim: epoch %d: negative feedback burst", i+1)
 		}
 	}
 	return nil
@@ -216,6 +233,11 @@ type GenConfig struct {
 	Queries int     // query burst per epoch (default 8)
 	PSend   float64 // per-epoch delivery probability (default reliable)
 	Verify  bool    // enable the scratch differential
+	// FeedbackQueries enables a result-feedback cycle per epoch (routed
+	// queries judged by the ground-truth oracle with FeedbackNoise, then
+	// ingested and incrementally re-detected). Default 0 = off.
+	FeedbackQueries int
+	FeedbackNoise   float64
 }
 
 func (cfg GenConfig) withDefaults() GenConfig {
@@ -253,13 +275,14 @@ func (cfg GenConfig) withDefaults() GenConfig {
 func Generate(cfg GenConfig) (Scenario, error) {
 	cfg = cfg.withDefaults()
 	sc := Scenario{
-		Name:    fmt.Sprintf("gen-%d", cfg.Seed),
-		Seed:    cfg.Seed,
-		Peers:   cfg.Peers,
-		Attach:  cfg.Attach,
-		Attrs:   cfg.Attrs,
-		Corrupt: cfg.Corrupt,
-		Verify:  cfg.Verify,
+		Name:          fmt.Sprintf("gen-%d", cfg.Seed),
+		Seed:          cfg.Seed,
+		Peers:         cfg.Peers,
+		Attach:        cfg.Attach,
+		Attrs:         cfg.Attrs,
+		Corrupt:       cfg.Corrupt,
+		Verify:        cfg.Verify,
+		FeedbackNoise: cfg.FeedbackNoise,
 	}
 	shadow, err := New(sc)
 	if err != nil {
@@ -267,7 +290,7 @@ func Generate(cfg GenConfig) (Scenario, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
 	for e := 0; e < cfg.Epochs; e++ {
-		ep := Epoch{PSend: cfg.PSend, Queries: cfg.Queries}
+		ep := Epoch{PSend: cfg.PSend, Queries: cfg.Queries, FeedbackQueries: cfg.FeedbackQueries}
 		for i := 0; i < cfg.Events; i++ {
 			evs := shadow.randomEvents(rng)
 			for _, ev := range evs {

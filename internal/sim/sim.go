@@ -39,6 +39,11 @@ type Simulation struct {
 	discovered bool
 	nextPeer   int
 	nextEdge   int
+
+	// fedback accumulates every ingested query-feedback observation (pruned
+	// when churn removes a chain's mapping, mirroring core's retraction) so
+	// the scratch differential can replay them into a rebuilt network.
+	fedback []core.QueryFeedback
 }
 
 // New builds the scenario's initial network: a preferential-attachment
@@ -226,10 +231,12 @@ func (s *Simulation) applyEvent(ev Event) error {
 		if _, ok := s.net.Peer(graph.PeerID(ev.Peer)); !ok {
 			return fmt.Errorf("sim: leave of unknown peer %q", ev.Peer)
 		}
-		for _, id := range s.net.RemovePeer(graph.PeerID(ev.Peer)) {
+		removed := s.net.RemovePeer(graph.PeerID(ev.Peer))
+		for _, id := range removed {
 			delete(s.specs, id)
 			delete(s.corrupted, id)
 		}
+		s.pruneFeedback(removed...)
 	case OpAddMapping:
 		id := graph.EdgeID(ev.Mapping)
 		if _, err := s.net.AddMapping(id, graph.PeerID(ev.From), graph.PeerID(ev.To), s.idPairs); err != nil {
@@ -245,6 +252,7 @@ func (s *Simulation) applyEvent(ev Event) error {
 		s.net.RemoveMapping(id)
 		delete(s.specs, id)
 		delete(s.corrupted, id)
+		s.pruneFeedback(id)
 	case OpCorrupt, OpFix:
 		id := graph.EdgeID(ev.Mapping)
 		spec, ok := s.specs[id]
@@ -256,7 +264,11 @@ func (s *Simulation) applyEvent(ev Event) error {
 		if ev.Op == OpFix {
 			pairs = s.idPairs
 		}
+		// A revision replaces the mapping object: feedback that judged the
+		// old revision is retracted with it (core drops the factors; the
+		// accumulated replay log must follow).
 		s.net.RemoveMapping(id)
+		s.pruneFeedback(id)
 		if _, err := s.net.AddMapping(id, spec.from, spec.to, pairs); err != nil {
 			return err
 		}
@@ -325,6 +337,10 @@ type EpochTrace struct {
 	MeanClean      float64      `json:"meanClean"`
 	MeanCorrupt    float64      `json:"meanCorrupt"`
 	Routing        RoutingTrace `json:"routing"`
+	// Feedback records the epoch's result-feedback cycle (routed queries
+	// judged by the ground-truth oracle, ingested, incrementally
+	// re-detected); nil unless the epoch sets FeedbackQueries.
+	Feedback *FeedbackTrace `json:"feedback,omitempty"`
 	// Posteriors ("mapping/attr" → P(correct)) is recorded only when the
 	// scenario sets RecordPosteriors.
 	Posteriors map[string]float64 `json:"posteriors,omitempty"`
@@ -482,6 +498,26 @@ func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
 	rt, viol := s.queryBurst(ep.Queries, det, s.epochSeed(i+1)+1)
 	tr.Routing = rt
 	tr.Violations = append(tr.Violations, viol...)
+
+	// 6. Result-feedback cycle: judge routed answers against ground truth,
+	// ingest the observations, re-detect incrementally, and hold the
+	// updated posteriors to the same invariants (and, with Verify, to the
+	// scratch differential — the rebuilt network replays the accumulated
+	// feedback, so incremental maintenance of feedback factors is pinned to
+	// a from-scratch ingest + full detection).
+	if ep.FeedbackQueries > 0 {
+		ftr, det2, fviol, err := s.feedbackBurst(ep.FeedbackQueries, det, s.epochSeed(i+1)+2)
+		if err != nil {
+			return tr, err
+		}
+		tr.Feedback = ftr
+		tr.Violations = append(tr.Violations, fviol...)
+		tr.Violations = append(tr.Violations, s.checkInvariants(det2)...)
+		if s.sc.Verify {
+			tr.Violations = append(tr.Violations, s.checkScratchDifferential(det2, psend)...)
+		}
+		det = det2
+	}
 
 	if s.sc.RecordPosteriors {
 		tr.Posteriors = flattenPosteriors(det)

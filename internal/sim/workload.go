@@ -52,12 +52,33 @@ type Workload struct {
 	HotKeys int `json:"hotKeys,omitempty"`
 	// QPS caps aggregate client throughput (0 = unlimited).
 	QPS int `json:"qps,omitempty"`
-	// CacheSize is the server's LRU capacity (default 1<<16). The cache is
-	// sharded 16 ways with per-shard eviction, so if the trace is
-	// golden-pinned keep CacheSize at 16× the distinct-key count per epoch
-	// (the worst case where every key lands in one shard): mid-epoch
-	// eviction makes cache-hit counts timing-dependent.
+	// CacheSize is the server's LRU capacity (default 1<<16). The budget is
+	// global across the cache's shards, so golden-pinned traces only need
+	// CacheSize at or above the distinct-key count per epoch — whatever the
+	// key skew — to keep cache-hit counts eviction-free and deterministic.
 	CacheSize int `json:"cacheSize,omitempty"`
+	// Feedback closes the loop: after each epoch's serving phase the
+	// clients' ground-truth verdicts on their answers are ingested as
+	// evidence, a bounded incremental re-detection runs, and an
+	// epoch-bumped snapshot is republished — the serve → evidence → BP →
+	// snapshot → serve cycle of the paper, §3.2/§4.
+	Feedback bool `json:"feedback,omitempty"`
+	// FeedbackNoise is the probability the ground-truth oracle flips a
+	// verdict (a user confirming a wrong answer or rejecting a right one).
+	// It is also passed to evidence ingestion as the assumed verdict error
+	// rate. Must stay below 0.5.
+	FeedbackNoise float64 `json:"feedbackNoise,omitempty"`
+	// FeedbackRate is the fraction of served answers the clients judge
+	// (default 1 — every answer). Real users rate a sliver of their
+	// queries; at large scale a few percent is plenty of evidence and keeps
+	// the observation volume (answers × contributing paths) bounded.
+	FeedbackRate float64 `json:"feedbackRate,omitempty"`
+	// FeedbackMaxRounds bounds the incremental re-detection of the feedback
+	// phase (default: the scenario's MaxRounds). Feedback posteriors are
+	// refreshed every epoch anyway, so on very large networks a tight round
+	// budget trades a sliver of per-epoch accuracy for keeping the barrier
+	// short next to the serving phase.
+	FeedbackMaxRounds int `json:"feedbackMaxRounds,omitempty"`
 	// Records is the number of documents seeded into every peer's store
 	// (default 4) and Vocab the value vocabulary size (default 8).
 	Records int `json:"records,omitempty"`
@@ -91,6 +112,9 @@ func (w Workload) withDefaults(scenarioSeed int64) Workload {
 	if w.Vocab == 0 {
 		w.Vocab = 8
 	}
+	if w.FeedbackRate == 0 {
+		w.FeedbackRate = 1
+	}
 	return w
 }
 
@@ -113,7 +137,37 @@ func (w Workload) check() error {
 	if w.Vocab > 100 {
 		return fmt.Errorf("sim: vocab %d too large (literals are two digits)", w.Vocab)
 	}
+	if w.FeedbackNoise < 0 || w.FeedbackNoise >= 0.5 {
+		return fmt.Errorf("sim: feedback noise %v out of [0,0.5)", w.FeedbackNoise)
+	}
+	if w.FeedbackRate < 0 || w.FeedbackRate > 1 {
+		return fmt.Errorf("sim: feedback rate %v out of [0,1]", w.FeedbackRate)
+	}
+	if w.FeedbackMaxRounds < 0 {
+		return fmt.Errorf("sim: negative feedbackMaxRounds")
+	}
 	return nil
+}
+
+// splitmix64 is the 64-bit finalizer of the SplitMix64 generator — a strong
+// mixing function, so seeds derived from nearby inputs share no structure.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// clientSeed derives the per-(epoch, client) RNG seed by hashing the inputs
+// through chained splitmix64 steps. The previous derivation —
+// Seed*31 ^ (epoch+1)*1_000_003 ^ (client+1)*7919 — XOR-combined two small
+// multiples and collided across (epoch, client) pairs, silently handing two
+// clients identical query streams.
+func clientSeed(seed int64, epoch, client int) int64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(epoch))
+	h = splitmix64(h ^ uint64(client))
+	return int64(h)
 }
 
 // LoadSpec is a complete, declarative, reproducible load experiment: a churn
@@ -154,6 +208,9 @@ type WorkloadEpochTrace struct {
 	// answer completed (always 0 in the barriered engine; nonzero only
 	// when serving overlaps publication, as in the race tests).
 	StaleReads int `json:"staleReads"`
+	// Feedback records the epoch's serve → evidence → incremental-detect →
+	// republish cycle; nil unless the workload enables feedback.
+	Feedback *FeedbackTrace `json:"feedback,omitempty"`
 	// Visits and Records sum the peers reached and result records returned
 	// across the epoch's answers.
 	Visits  int `json:"visits"`
@@ -234,6 +291,12 @@ func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *Wo
 		wtr.StaleReads = int(after.StaleEpochReads - before.StaleEpochReads)
 		latencies = append(latencies, lats...)
 
+		if w.Feedback {
+			if err := s.feedbackPhase(i, w, srv, det, &wtr); err != nil {
+				return nil, nil, fmt.Errorf("sim: epoch %d feedback: %w", i+1, err)
+			}
+		}
+
 		res.Epochs = append(res.Epochs, wtr)
 		res.TotalServed += wtr.Served
 		res.TotalCacheHits += wtr.CacheHits
@@ -291,7 +354,13 @@ func (s *Simulation) servePhase(epoch int, w Workload, srv *serve.Server, snap *
 		wg.Add(1)
 		go func(c, quota int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(w.Seed*31 ^ int64(epoch+1)*1_000_003 ^ int64(c+1)*7919))
+			rng := rand.New(rand.NewSource(clientSeed(w.Seed, epoch, c)))
+			var fbRng *rand.Rand
+			if w.Feedback {
+				// A separate stream: the feedback policy must not perturb
+				// the client's query draws.
+				fbRng = rand.New(rand.NewSource(clientSeed(w.Seed, epoch, c) ^ feedbackSeedSalt))
+			}
 			h := sha256.New()
 			out := &outs[c]
 			out.lats = make([]time.Duration, 0, quota)
@@ -307,6 +376,9 @@ func (s *Simulation) servePhase(epoch int, w Workload, srv *serve.Server, snap *
 				fmt.Fprintf(h, "ans|%s|%s|%d|%s\n", origin, qry, ans.Epoch, ans.Fingerprint())
 				out.visits += ans.Peers
 				out.records += len(ans.Records)
+				if fbRng != nil && fbRng.Float64() < w.FeedbackRate {
+					s.feedbackAnswer(srv, ans, w.FeedbackNoise, fbRng)
+				}
 				if obs != nil {
 					obs(epoch, det, origin, qry, ans)
 				}
@@ -329,6 +401,25 @@ func (s *Simulation) servePhase(epoch int, w Workload, srv *serve.Server, snap *
 	}
 	wtr.Digest = hex.EncodeToString(epochDigest.Sum(nil))
 	return lats
+}
+
+// feedbackPhase is the barrier step after an epoch's serving phase: drain
+// the verdict-derived observations every client enqueued on the server,
+// ingest them as counting factors, re-run belief propagation over the dirty
+// components only, and republish an epoch-bumped snapshot — so the next
+// epoch (and any concurrent reader) routes on posteriors that learned from
+// this epoch's traffic.
+func (s *Simulation) feedbackPhase(epoch int, w Workload, srv *serve.Server, det core.DetectResult, wtr *WorkloadEpochTrace) error {
+	errBefore := s.posteriorError(det)
+	ft, det2, err := s.ingestAndRedetect(srv.DrainFeedback(), w.FeedbackNoise, w.FeedbackMaxRounds, s.epochSeed(epoch+1)+2)
+	if err != nil {
+		return err
+	}
+	ft.ErrBefore = errBefore
+	snap := s.net.PublishSnapshot(det2, core.SnapshotOptions{DefaultTheta: s.sc.Theta})
+	ft.SnapshotEpoch = snap.Epoch()
+	wtr.Feedback = ft
+	return nil
 }
 
 // drawQuery draws one (origin, query) pair from the workload mixture: hot

@@ -213,6 +213,65 @@ func matches(rec Record, q query.Query) bool {
 	return true
 }
 
+// Verdict is a consumer's judgment of a served result set — the observation
+// the serving plane's feedback loop classifies into probabilistic evidence
+// about the mapping chains the answer traversed (serve.Server.Feedback).
+type Verdict int
+
+const (
+	// VerdictConfirm: the records were semantically what the query asked
+	// for (positive feedback on the traversed mappings).
+	VerdictConfirm Verdict = iota
+	// VerdictContradict: the records were wrong — values of some other
+	// concept (negative feedback: at least one traversed mapping is
+	// incorrect).
+	VerdictContradict
+	// VerdictLost: an expected result never arrived. Like the ⊥ case of
+	// structural feedback this carries no counting factor — unlike a ⊥ it
+	// does not identify the mapping that lost the result.
+	VerdictLost
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictConfirm:
+		return "confirm"
+	case VerdictContradict:
+		return "contradict"
+	case VerdictLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Judge derives a verdict by comparing served records against a reference
+// set (both compared as canonical record sets): any spurious record
+// contradicts, otherwise any missing record means the result was lost,
+// otherwise the answer is confirmed. It is the record-level oracle tests and
+// ground-truth feedback policies build on.
+func Judge(got, want []Record) Verdict {
+	wantSet := make(map[string]bool, len(want))
+	for _, r := range want {
+		wantSet[r.CanonicalString()] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, r := range got {
+		key := r.CanonicalString()
+		gotSet[key] = true
+		if !wantSet[key] {
+			return VerdictContradict
+		}
+	}
+	for key := range wantSet {
+		if !gotSet[key] {
+			return VerdictLost
+		}
+	}
+	return VerdictConfirm
+}
+
 // Values collects the distinct values of attribute a across a result set,
 // sorted — convenient for asserting query answers in examples and tests.
 func Values(records []Record, a schema.Attribute) []string {

@@ -57,6 +57,16 @@
 // query, snapshot epoch). cmd/pdmsload drives the plane with seeded
 // concurrent workloads and emits deterministic aggregate traces.
 //
+// Serving feeds back into inference: every Answer carries its provenance
+// (the mapping chain each surviving path traversed), consumers judge results
+// with Server.Feedback (confirm / contradict / lost), and the network-owning
+// goroutine drains the classified observations into Network.IngestFeedback —
+// counting factors over the traversed chains, aggregated per chain with an
+// assumed verdict-noise rate. DetectOptions.Incremental then re-runs belief
+// propagation only over the factor-graph components the feedback touched and
+// republishes an epoch-bumped snapshot, closing the paper's serve → evidence
+// → inference → serve cycle while the serving plane keeps answering.
+//
 // Quickstart:
 //
 //	s := pdms.MustNewSchema("S1", "Creator", "Title")
@@ -187,9 +197,52 @@ type (
 	ServeOptions = serve.Options
 	// Answer is one served query result, consistent with one epoch.
 	Answer = serve.Answer
+	// AnswerPath is one answer's provenance entry: the mapping chain the
+	// query traversed to a contributing peer.
+	AnswerPath = serve.Path
 	// ServeStats are a Server's monotone counters.
 	ServeStats = serve.Stats
 )
+
+// Result-feedback types (the serve → evidence → BP → snapshot → serve loop):
+// consumers judge served answers (Server.Feedback / FeedbackAnswer /
+// FeedbackPath), the network ingests the classified observations as counting
+// factors (Network.IngestFeedback), and a bounded re-detection
+// (DetectOptions.Incremental) updates only the factor-graph components the
+// feedback touched before the snapshot is republished.
+type (
+	// Verdict is a consumer's judgment of a served result set.
+	Verdict = xmldb.Verdict
+	// QueryFeedback is one classified observation over a mapping chain.
+	QueryFeedback = core.QueryFeedback
+	// FeedbackOptions parameterizes feedback ingestion (Δ and the assumed
+	// verdict error rate).
+	FeedbackOptions = core.FeedbackOptions
+	// FeedbackReport summarizes one ingestion pass.
+	FeedbackReport = core.FeedbackReport
+	// ServeFeedbackStats count the verdicts a Server has classified.
+	ServeFeedbackStats = serve.FeedbackStats
+	// FeedbackTrace records one simulated epoch's feedback cycle.
+	FeedbackTrace = sim.FeedbackTrace
+)
+
+// Verdict kinds for Server.Feedback.
+const (
+	// VerdictConfirm: the records were semantically right (positive
+	// feedback on every contributing chain).
+	VerdictConfirm = xmldb.VerdictConfirm
+	// VerdictContradict: the records were wrong (negative feedback — at
+	// least one traversed mapping is incorrect).
+	VerdictContradict = xmldb.VerdictContradict
+	// VerdictLost: an expected result never arrived (neutral; counted but
+	// installs no factor).
+	VerdictLost = xmldb.VerdictLost
+)
+
+// Judge derives a verdict by comparing served records against a reference
+// set: spurious records contradict, missing records mean the result was
+// lost, an exact canonical match confirms.
+func Judge(got, want []Record) Verdict { return xmldb.Judge(got, want) }
 
 // Workload simulation types (cmd/pdmsload).
 type (

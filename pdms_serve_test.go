@@ -61,6 +61,75 @@ func TestPublicServingSurface(t *testing.T) {
 	}
 }
 
+// TestPublicFeedbackSurface closes the loop through the public API alone:
+// serve, judge the answer, drain the classified observations into
+// IngestFeedback, re-detect incrementally with republication, and observe
+// the posteriors move.
+func TestPublicFeedbackSurface(t *testing.T) {
+	s := pdms.MustNewSchema("S", "Creator", "Title")
+	net := pdms.NewNetwork(true)
+	for _, p := range []pdms.PeerID{"p1", "p2", "p3"} {
+		peer := net.MustAddPeer(p, s)
+		st, err := pdms.NewStore(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Insert(pdms.Record{"Creator": []string{"Robi " + string(p)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := peer.AttachStore(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs := pdms.IdentityPairs(s)
+	net.MustAddMapping("m12", "p1", "p2", pairs)
+	net.MustAddMapping("m23", "p2", "p3", pairs)
+	// A line topology carries no structural evidence (no cycles, no
+	// parallel paths): query feedback is the only evidence source, and
+	// uncovered mappings route on an optimistic default posterior.
+	pub := &pdms.SnapshotOptions{DefaultPosterior: 0.9}
+	if _, err := net.RunDetection(pdms.DetectOptions{Publish: pub}); err != nil {
+		t.Fatal(err)
+	}
+	srv := pdms.NewServer(net, pdms.ServeOptions{})
+	q := pdms.MustNewQuery(s, pdms.Op{Kind: pdms.Select, Attr: "Creator", Literal: "Robi"})
+	ans, err := srv.Answer("p1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Paths) != 3 || len(ans.Attrs) != 1 {
+		t.Fatalf("answer provenance %+v", ans)
+	}
+	// The user vouches for everything that arrived; the record-level oracle
+	// agrees with itself.
+	if v := pdms.Judge(ans.Records, ans.Records); v != pdms.VerdictConfirm {
+		t.Fatalf("Judge(x, x) = %v, want confirm", v)
+	}
+	if n, err := srv.Feedback("p1", q, pdms.VerdictConfirm); err != nil || n != 2 {
+		t.Fatalf("Feedback = %d, %v; want 2 observations", n, err)
+	}
+	rep, err := net.IngestFeedback(pdms.FeedbackOptions{Delta: 0.1}, srv.DrainFeedback()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NewFactors != 2 {
+		t.Fatalf("ingest report %+v, want 2 new factors", rep)
+	}
+	det, err := net.RunDetection(pdms.DetectOptions{Incremental: true, Publish: pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := det.Posterior("m23", "Creator", -1); p <= 0.5 {
+		t.Errorf("confirmed mapping posts %v, want > 0.5", p)
+	}
+	if net.Snapshot().Epoch() != 2 {
+		t.Errorf("republished epoch %d, want 2", net.Snapshot().Epoch())
+	}
+	if st := srv.FeedbackStats(); st.Confirmed != 1 || st.Queued != 2 {
+		t.Errorf("feedback stats %+v", st)
+	}
+}
+
 // TestPublicWorkloadSurface runs a small load spec through the public
 // re-exports, as cmd/pdmsload does.
 func TestPublicWorkloadSurface(t *testing.T) {
