@@ -14,15 +14,22 @@
 //	pdmsbench -fig engine   # compiled BP kernel throughput at scale
 //	pdmsbench -fig serving  # query-serving plane throughput under churn
 //	pdmsbench -fig feedback # posterior error vs queries served-and-fed-back
+//	pdmsbench -fig wal      # durability cost: fsync policy vs answers/s, recovery time
 //	pdmsbench -fig all      # everything
+//
+// With -json <file>, the wal figure additionally writes its raw points as
+// JSON (the repo records one such run as BENCH_wal.json, the first point of
+// the perf trajectory).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/experiments"
@@ -32,7 +39,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdmsbench: ")
-	fig := flag.String("fig", "all", "experiment to run: 7, 9, 10, 11, 12, intro, overhead, topology, scale, ablation, schedules, priors, churn, engine, transport, all")
+	fig := flag.String("fig", "all", "experiment to run: 7, 9, 10, 11, 12, intro, overhead, topology, scale, ablation, schedules, priors, churn, engine, transport, serving, feedback, wal, all")
+	flag.StringVar(&jsonOut, "json", "", "also write the figure's raw points as JSON to this file (wal only)")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -53,9 +61,10 @@ func main() {
 		"transport": transport,
 		"serving":   serving,
 		"feedback":  feedbackFig,
+		"wal":       walFig,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"intro", "7", "9", "10", "11", "12", "overhead", "topology", "scale", "ablation", "schedules", "priors", "churn", "engine", "transport", "serving", "feedback"} {
+		for _, k := range []string{"intro", "7", "9", "10", "11", "12", "overhead", "topology", "scale", "ablation", "schedules", "priors", "churn", "engine", "transport", "serving", "feedback", "wal"} {
 			if err := runners[k](); err != nil {
 				log.Fatal(err)
 			}
@@ -474,4 +483,78 @@ func feedbackFig() error {
 	fmt.Println("republish. The error falls as served traffic accumulates — the network learns from")
 	fmt.Println("its own queries (serve → evidence → BP → snapshot → serve, closed).")
 	return nil
+}
+
+// jsonOut is the -json flag: where walFig dumps its raw points.
+var jsonOut string
+
+func walFig() error {
+	header("wal — durability cost of the write-ahead log (1000-peer churny overlay, feedback on)")
+	over, err := experiments.WALOverhead(1000, 3, 30000, 11)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(over))
+	for _, p := range over {
+		commit := "—"
+		if p.Records > 0 {
+			commit = fmt.Sprintf("%.1fµs", float64(p.MeanCommitNs)/1e3)
+		}
+		rows = append(rows, []string{
+			p.Policy, fmt.Sprint(p.Served), fmt.Sprintf("%.0f", p.AnswersPerSec),
+			fmt.Sprintf("%.2f×", p.Relative), fmt.Sprint(p.Records),
+			fmt.Sprint(p.Syncs), commit,
+		})
+	}
+	fmt.Println(eval.Table(
+		[]string{"fsync", "answers", "answers/sec", "vs no WAL", "records", "syncs", "mean commit"},
+		rows))
+	fmt.Println("mutations journal at the epoch barrier (churn, discovery, feedback), so the fsync")
+	fmt.Println("policy prices the commit path without touching the lock-free serving fast path.")
+
+	header("wal — recovery time vs log length (200-peer overlay, checkpoints off)")
+	rec, ck, err := experiments.WALRecovery(200, []int{2, 4, 8}, 11)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range rec {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Epochs), fmt.Sprint(p.LogRecords), fmt.Sprint(p.CheckpointRecords),
+			fmt.Sprint(p.Bytes), fmt.Sprintf("%.1fms", p.RecoverMs),
+		})
+	}
+	rows = append(rows, []string{
+		fmt.Sprintf("%d (ckpt)", ck.Epochs), fmt.Sprint(ck.LogRecords), fmt.Sprint(ck.CheckpointRecords),
+		fmt.Sprint(ck.Bytes), fmt.Sprintf("%.1fms", ck.RecoverMs),
+	})
+	fmt.Println(eval.Table(
+		[]string{"epochs", "log records", "ckpt records", "log bytes", "recover"},
+		rows))
+	fmt.Println("recovery replays the compacted history through the public mutation API; a checkpoint")
+	fmt.Println("folds the log into a snapshot, so the last row recovers from the checkpoint + tail.")
+
+	if jsonOut != "" {
+		payload := struct {
+			Date       string                      `json:"date"`
+			Overhead   []experiments.WALPoint      `json:"walOverhead"`
+			Recovery   []experiments.RecoveryPoint `json:"walRecovery"`
+			Checkpoint *experiments.RecoveryPoint  `json:"walRecoveryCheckpointed"`
+		}{Date: benchDate(), Overhead: over, Recovery: rec, Checkpoint: ck}
+		enc, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		if err := os.WriteFile(jsonOut, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("raw points written to %s\n", jsonOut)
+	}
+	return nil
+}
+
+// benchDate stamps the JSON dump (day precision is plenty for a trajectory).
+func benchDate() string {
+	return time.Now().UTC().Format("2006-01-02")
 }

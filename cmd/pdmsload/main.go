@@ -16,6 +16,10 @@
 //	                                       # generate a load spec instead
 //	pdmsload -gen -seed 5 -feedback -noise 0.1
 //	                                       # ... with the feedback loop closed
+//	pdmsload -spec load.json -wal ./wal -fsync group -perf
+//	                                       # journal every mutation to a durable
+//	                                       # write-ahead log (fsync: always,
+//	                                       # group or off) and report its cost
 //
 // A load spec is a churn scenario (the same format cmd/pdmssim replays)
 // plus a workload section: client count, queries per epoch, hot-key skew,
@@ -35,6 +39,7 @@ import (
 	"os"
 
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -62,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cache := fs.Int("cache", 0, "generation: server result-cache size")
 	fb := fs.Bool("feedback", false, "generation: close the loop (serve → feedback → incremental re-detect → republish)")
 	noise := fs.Float64("noise", 0, "generation: feedback verdict flip probability (with -feedback)")
+	walDir := fs.String("wal", "", "journal every network mutation to a write-ahead log in this directory")
+	fsync := fs.String("fsync", "group", "WAL fsync policy: always, group or off (with -wal)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "WAL records between checkpoints (0 = default, negative disables; with -wal)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,16 +109,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		s, err := sim.New(spec.Scenario)
-		if err != nil {
-			return err
+		var s *sim.Simulation
+		var lg *wal.Log
+		if *walDir != "" {
+			st, err := wal.NewDirStorage(*walDir)
+			if err != nil {
+				return err
+			}
+			policy, err := wal.ParseSyncPolicy(*fsync)
+			if err != nil {
+				return err
+			}
+			lg, err = wal.Open(st, wal.Options{
+				Sync:            policy,
+				CheckpointEvery: *ckptEvery,
+				Logf:            log.Printf,
+			})
+			if err != nil {
+				return err
+			}
+			defer lg.Close()
+			s, err = sim.NewDurable(spec.Scenario, lg)
+			if err != nil {
+				return err
+			}
+		} else {
+			s, err = sim.New(spec.Scenario)
+			if err != nil {
+				return err
+			}
 		}
 		res, p, err := s.RunWorkload(spec.Workload, nil)
 		if err != nil {
 			return err
 		}
+		if lg != nil {
+			if err := lg.Sync(); err != nil {
+				return err
+			}
+		}
 		if *perf {
 			printPerf(stderr, p)
+			if lg != nil {
+				printWALStats(stderr, lg.Stats())
+			}
 		}
 		payload = res
 	default:
@@ -143,4 +185,15 @@ func trimQueryBursts(eps []sim.Epoch) []sim.Epoch {
 func printPerf(w io.Writer, p *sim.WorkloadPerf) {
 	fmt.Fprintf(w, "served     %d answers in %v (%.0f answers/sec)\n", p.Served, p.Elapsed.Round(1e6), p.Throughput)
 	fmt.Fprintf(w, "latency    p50 %v  p95 %v  p99 %v  max %v\n", p.P50, p.P95, p.P99, p.Max)
+}
+
+// printWALStats renders the durability-side counters (stderr, with -perf).
+func printWALStats(w io.Writer, st wal.Stats) {
+	mean := int64(0)
+	if st.Records > 0 {
+		mean = st.AppendNs / int64(st.Records)
+	}
+	fmt.Fprintf(w, "wal        %d records, %d bytes, %d syncs, %d checkpoints (%d failed)\n",
+		st.Records, st.Bytes, st.Syncs, st.Checkpoints, st.CheckpointFailures)
+	fmt.Fprintf(w, "wal commit mean %dns  max %dns\n", mean, st.MaxAppendNs)
 }

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 var update = flag.Bool("update", false, "rewrite golden trace files")
@@ -94,6 +95,55 @@ func TestGenerateReproducible(t *testing.T) {
 	}
 	if res.TotalServed != 160 {
 		t.Errorf("served %d answers, want 160", res.TotalServed)
+	}
+}
+
+// TestWALRunMatchesInMemory: journaling to a durable on-disk WAL must not
+// perturb the aggregate trace, and the log left behind must recover to a
+// live network of the final epoch's shape.
+func TestWALRunMatchesInMemory(t *testing.T) {
+	spec := filepath.Join("testdata", "feedback.load.json")
+	dir := t.TempDir()
+	var walTrace bytes.Buffer
+	if err := run([]string{"-spec", spec, "-wal", dir, "-fsync", "group"}, &walTrace, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "feedback.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(walTrace.Bytes(), want) {
+		t.Error("WAL-on trace differs from the committed in-memory trace")
+	}
+
+	st, err := wal.NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := wal.Open(st, wal.Options{})
+	if err != nil {
+		t.Fatalf("reopening the run's log: %v", err)
+	}
+	defer lg.Close()
+	net, _, err := lg.Recover()
+	if err != nil {
+		t.Fatalf("recovering the run's log: %v", err)
+	}
+	var res sim.WorkloadResult
+	if err := json.Unmarshal(walTrace.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	final := res.Epochs[len(res.Epochs)-1]
+	if net.NumPeers() != final.Peers {
+		t.Errorf("recovered %d peers, want %d (the final epoch's)", net.NumPeers(), final.Peers)
+	}
+	if net.Topology().NumEdges() != final.Mappings {
+		t.Errorf("recovered %d mappings, want %d", net.Topology().NumEdges(), final.Mappings)
+	}
+
+	// An unknown fsync policy is rejected.
+	if err := run([]string{"-spec", spec, "-wal", t.TempDir(), "-fsync", "sometimes"}, &walTrace, io.Discard); err == nil {
+		t.Error("bad -fsync value: want error")
 	}
 }
 
@@ -210,4 +260,68 @@ func TestMillionQueryFeedbackAcceptance(t *testing.T) {
 	}
 	t.Logf("served %d answers in %v: %.0f answers/sec (feedback on), posterior error %.4f -> %.4f",
 		res.TotalServed, perf.Elapsed, perf.Throughput, first.ErrBefore, last.ErrAfter)
+}
+
+// TestMillionQueryWALAcceptance re-runs the 1M-query feedback-on workload
+// with every network mutation journaled to a durable on-disk write-ahead
+// log under group commit. Gated behind -million; the throughput it logs is
+// compared against the in-memory feedback-on run in PERFORMANCE.md (the
+// acceptance bar is ≥0.9×).
+func TestMillionQueryWALAcceptance(t *testing.T) {
+	if !*million {
+		t.Skip("pass -million to run the 1M-query WAL workload")
+	}
+	spec := sim.LoadSpec{
+		Workload: sim.Workload{
+			Clients:           8,
+			QueriesPerEpoch:   250_000,
+			HotKeys:           64,
+			Feedback:          true,
+			FeedbackRate:      0.02,
+			FeedbackNoise:     0.1,
+			FeedbackMaxRounds: 60,
+		},
+	}
+	sc, err := sim.Generate(sim.GenConfig{Seed: 1, Peers: 1000, Epochs: 4, Events: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sc.Epochs {
+		sc.Epochs[i].Queries = 0
+	}
+	spec.Scenario = sc
+	st, err := wal.NewDirStorage(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := wal.Open(st, wal.Options{Sync: wal.SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	s, err := sim.NewDurable(spec.Scenario, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, perf, err := s.RunWorkload(spec.Workload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalServed < 1_000_000 {
+		t.Fatalf("served %d answers, want >= 1,000,000", res.TotalServed)
+	}
+	for _, ep := range res.Epochs {
+		if ep.Errors != 0 {
+			t.Errorf("epoch %d: %d serving errors", ep.Epoch, ep.Errors)
+		}
+	}
+	ws := lg.Stats()
+	t.Logf("served %d answers in %v: %.0f answers/sec (feedback on, durable WAL)",
+		res.TotalServed, perf.Elapsed, perf.Throughput)
+	records := ws.Records
+	if records == 0 {
+		records = 1
+	}
+	t.Logf("wal: %d records, %d bytes, %d syncs, %d checkpoints, mean commit %dns",
+		ws.Records, ws.Bytes, ws.Syncs, ws.Checkpoints, ws.AppendNs/int64(records))
 }

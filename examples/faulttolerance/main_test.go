@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestCrashRecoverContinue drives the example's kill → recover → continue
+// arc; crashRecoverContinue itself asserts the invariants (recovered digest
+// and posterior match the pre-crash network exactly, the post-recovery fix
+// raises the posterior, and a second recovery reproduces the fixed network).
+func TestCrashRecoverContinue(t *testing.T) {
+	if err := crashRecoverContinue(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -102,6 +102,7 @@ func (n *Network) RemovePeer(id graph.PeerID) []graph.EdgeID {
 	if _, ok := n.peers[id]; !ok {
 		return nil
 	}
+	n.journal(Mutation{Kind: MutRemovePeer, Peer: id})
 	removedEdges := n.topo.RemovePeer(id)
 	rm := make(map[graph.EdgeID]bool, len(removedEdges))
 	for _, e := range removedEdges {
@@ -149,6 +150,14 @@ func (n *Network) DiscoverIncremental(cfg DiscoverConfig, changed ...graph.EdgeI
 	var rep DiscoveryReport
 	if len(chg) == 0 {
 		return rep, nil
+	}
+	cfgCopy := cfg
+	if err := n.journal(Mutation{
+		Kind:    MutDiscoverInc,
+		Cfg:     &cfgCopy,
+		Changed: append([]graph.EdgeID(nil), changed...),
+	}); err != nil {
+		return DiscoveryReport{}, err
 	}
 	var cycles []graph.Cycle
 	for _, c := range n.topo.Cycles(cfg.MaxLen) {

@@ -52,6 +52,11 @@ type Network struct {
 	// monotone epoch counter stamping each publication.
 	snap      atomic.Pointer[RoutingSnapshot]
 	snapEpoch atomic.Uint64
+
+	// Durability plane (mutation.go): the attached write-ahead journal, if
+	// any, and the first append failure seen by a void mutator.
+	wal    Journal
+	walErr error
 }
 
 // NewNetwork creates an empty PDMS. directed selects directed mappings
@@ -87,6 +92,14 @@ func (n *Network) AddPeer(id graph.PeerID, s *schema.Schema) (*Peer, error) {
 	}
 	if _, dup := n.peers[id]; dup {
 		return nil, fmt.Errorf("core: duplicate peer %q", id)
+	}
+	if err := n.journal(Mutation{
+		Kind:       MutAddPeer,
+		Peer:       id,
+		SchemaName: s.Name(),
+		Attrs:      s.Attributes(),
+	}); err != nil {
+		return nil, err
 	}
 	p := &Peer{
 		id:     id,
@@ -161,6 +174,16 @@ func (n *Network) AddMapping(id graph.EdgeID, from, to graph.PeerID, pairs map[s
 	if err := n.topo.AddEdge(id, from, to); err != nil {
 		return nil, err
 	}
+	if err := n.journal(Mutation{
+		Kind:  MutAddMapping,
+		Edge:  id,
+		From:  from,
+		To:    to,
+		Pairs: sortedPairs(pairs),
+	}); err != nil {
+		n.topo.RemoveEdge(id)
+		return nil, err
+	}
 	n.mappings[id] = m
 	pf.out[id] = m
 	return m, nil
@@ -194,6 +217,9 @@ func (n *Network) RemoveMapping(id graph.EdgeID) {
 	if !ok {
 		return
 	}
+	// Journal failure is sticky (JournalError); the removal still proceeds
+	// so the in-memory network never wedges on a sick log.
+	n.journal(Mutation{Kind: MutRemoveMapping, Edge: id})
 	n.topo.RemoveEdge(id)
 	delete(n.mappings, id)
 	if p, ok := n.peers[e.From]; ok {

@@ -499,6 +499,12 @@ func (n *Network) CommitPriors(result DetectResult, defPrior float64) int {
 	if defPrior == 0 {
 		defPrior = 0.5
 	}
+	// Collect the exact samples the pass will append — including the seed
+	// sample a freshly tracked variable gets — journal them as one record,
+	// then apply. Journaling the resolved samples (rather than the trigger)
+	// keeps replay exact even when later churn changes which variables a
+	// re-run of the pass would see.
+	var entries []PriorSample
 	updated := 0
 	for _, p := range n.Peers() {
 		for _, key := range p.sortedVarKeys() {
@@ -506,23 +512,27 @@ func (n *Network) CommitPriors(result DetectResult, defPrior float64) int {
 			if !ok {
 				continue
 			}
-			if p.samples == nil {
-				p.samples = make(map[varKey][]float64)
-			}
-			if p.priors == nil {
-				p.priors = make(map[varKey]float64)
-			}
 			if _, seeded := p.samples[key]; !seeded {
-				p.samples[key] = []float64{p.PriorFor(key.Mapping, key.Attr, defPrior)}
+				entries = append(entries, PriorSample{
+					Peer:    p.id,
+					Mapping: key.Mapping,
+					Attr:    key.Attr,
+					Sample:  p.PriorFor(key.Mapping, key.Attr, defPrior),
+				})
 			}
-			p.samples[key] = append(p.samples[key], post)
-			sum := 0.0
-			for _, s := range p.samples[key] {
-				sum += s
-			}
-			p.priors[key] = sum / float64(len(p.samples[key]))
+			entries = append(entries, PriorSample{
+				Peer:    p.id,
+				Mapping: key.Mapping,
+				Attr:    key.Attr,
+				Sample:  post,
+			})
 			updated++
 		}
 	}
+	if updated == 0 {
+		return 0
+	}
+	n.journal(Mutation{Kind: MutPriorSamples, Samples: entries})
+	n.ApplyPriorSamples(entries)
 	return updated
 }

@@ -127,6 +127,10 @@ func (n *Network) Discover(cfg DiscoverConfig) (DiscoveryReport, error) {
 	if err := cfg.check(); err != nil {
 		return DiscoveryReport{}, err
 	}
+	cfgCopy := cfg
+	if err := n.journal(Mutation{Kind: MutDiscover, Cfg: &cfgCopy}); err != nil {
+		return DiscoveryReport{}, err
+	}
 	n.resetInference()
 
 	var rep DiscoveryReport

@@ -144,28 +144,19 @@ func fbKey(o QueryFeedback) string {
 // detection and churn — never concurrently with serving reads (which only
 // touch published snapshots).
 func (n *Network) IngestFeedback(opts FeedbackOptions, obs ...QueryFeedback) (FeedbackReport, error) {
-	opts, err := opts.withDefaults()
-	if err != nil {
-		return FeedbackReport{}, err
-	}
-	rep := FeedbackReport{Observations: len(obs)}
-
 	// Aggregate the batch by canonical key first: the final factor state
 	// must not depend on the (concurrent, nondeterministic) order the
 	// serving clients enqueued their observations in.
-	type group struct {
-		obs      QueryFeedback
-		pos, neg int
-	}
-	groups := make(map[string]*group)
+	var pos, neg, neutral int
+	groups := make(map[string]*FeedbackGroup)
 	for _, o := range obs {
 		switch o.Polarity {
 		case feedback.Positive:
-			rep.Positive++
+			pos++
 		case feedback.Negative:
-			rep.Negative++
+			neg++
 		default:
-			rep.Neutral++
+			neutral++
 			continue
 		}
 		if len(o.Chain) == 0 {
@@ -174,13 +165,13 @@ func (n *Network) IngestFeedback(opts FeedbackOptions, obs ...QueryFeedback) (Fe
 		key := fbKey(o)
 		g, ok := groups[key]
 		if !ok {
-			g = &group{obs: o}
+			g = &FeedbackGroup{Attr: o.Attr, Chain: append([]graph.EdgeID(nil), o.Chain...)}
 			groups[key] = g
 		}
 		if o.Polarity == feedback.Positive {
-			g.pos++
+			g.Pos++
 		} else {
-			g.neg++
+			g.Neg++
 		}
 	}
 	keys := make([]string, 0, len(groups))
@@ -188,6 +179,43 @@ func (n *Network) IngestFeedback(opts FeedbackOptions, obs ...QueryFeedback) (Fe
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	batch := make([]FeedbackGroup, 0, len(groups))
+	for _, k := range keys {
+		batch = append(batch, *groups[k])
+	}
+
+	rep, err := n.IngestFeedbackGroups(opts, batch...)
+	if err != nil {
+		return rep, err
+	}
+	rep.Observations = len(obs)
+	rep.Positive, rep.Negative, rep.Neutral = pos, neg, neutral
+	return rep, nil
+}
+
+// IngestFeedbackGroups is the aggregated (and journaled) form of
+// IngestFeedback: each group carries one (attribute, chain) with its folded
+// confirm/contradict counts, sorted by canonical key. This is the entry
+// point WAL recovery replays — the journal records groups, not raw
+// observations, because the group is what deterministically mutates the
+// factor state.
+func (n *Network) IngestFeedbackGroups(opts FeedbackOptions, batch ...FeedbackGroup) (FeedbackReport, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return FeedbackReport{}, err
+	}
+	var rep FeedbackReport
+	for _, g := range batch {
+		rep.Observations += g.Pos + g.Neg
+		rep.Positive += g.Pos
+		rep.Negative += g.Neg
+	}
+	if len(batch) > 0 {
+		optsCopy := opts
+		if err := n.journal(Mutation{Kind: MutFeedback, FbOpts: &optsCopy, Groups: batch}); err != nil {
+			return FeedbackReport{}, err
+		}
+	}
 
 	if n.fbFactors == nil {
 		n.fbFactors = make(map[string]*fbFactor)
@@ -195,53 +223,53 @@ func (n *Network) IngestFeedback(opts FeedbackOptions, obs ...QueryFeedback) (Fe
 	if n.fbDirty == nil {
 		n.fbDirty = make(map[varKey]bool)
 	}
-	for _, key := range keys {
-		g := groups[key]
+	for _, g := range batch {
+		key := fbKey(QueryFeedback{Attr: g.Attr, Chain: g.Chain})
 		stale := false
-		for _, e := range g.obs.Chain {
+		for _, e := range g.Chain {
 			if _, ok := n.topo.Edge(e); !ok {
 				stale = true
 				break
 			}
 		}
 		if stale {
-			rep.Stale += g.pos + g.neg
+			rep.Stale += g.Pos + g.Neg
 			continue
 		}
 		ff, ok := n.fbFactors[key]
 		if !ok {
 			dd := opts.Delta
 			if dd == 0 {
-				if owner, ok := n.Owner(g.obs.Chain[0]); ok {
+				if owner, ok := n.Owner(g.Chain[0]); ok {
 					dd = feedback.Delta(owner.schema.Len())
 				} else {
 					dd = feedback.Delta(2)
 				}
 			}
-			arity := len(g.obs.Chain)
+			arity := len(g.Chain)
 			posBase, _ := feedback.Evidence{Polarity: feedback.Positive}.NoisyCountingVals(dd, opts.Noise, arity)
 			negBase, _ := feedback.Evidence{Polarity: feedback.Negative}.NoisyCountingVals(dd, opts.Noise, arity)
 			ref := &evidenceRef{
 				ID:       key,
-				Attr:     g.obs.Attr,
-				Mappings: append([]graph.EdgeID(nil), g.obs.Chain...),
+				Attr:     g.Attr,
+				Mappings: append([]graph.EdgeID(nil), g.Chain...),
 				Vals:     make([]float64, arity+1),
 				Owners:   make([]graph.PeerID, arity),
 			}
-			for i, e := range g.obs.Chain {
+			for i, e := range g.Chain {
 				edge, _ := n.topo.Edge(e)
 				ref.Owners[i] = edge.From
 			}
 			ff = &fbFactor{ref: ref, posBase: posBase, negBase: negBase}
-			ff.pos, ff.neg = g.pos, g.neg
+			ff.pos, ff.neg = g.Pos, g.Neg
 			ff.refresh()
 			n.fbFactors[key] = ff
 			n.installEvidence(ref)
 			rep.NewFactors++
 		} else {
-			rep.Bumped += g.pos + g.neg
-			ff.pos += g.pos
-			ff.neg += g.neg
+			rep.Bumped += g.Pos + g.Neg
+			ff.pos += g.Pos
+			ff.neg += g.Neg
 			ff.refresh()
 			// The replicas cache their outgoing messages against the old
 			// values; every owner must recompute on the next read.

@@ -220,6 +220,7 @@ func (p *Peer) PriorFor(mapping graph.EdgeID, attr schema.Attribute, def float64
 // for an attribute (§4.4: e.g. an expert-validated mapping gets prior 1).
 // The prior seeds the evidence-sample sequence used by learned updates.
 func (p *Peer) SetPrior(mapping graph.EdgeID, attr schema.Attribute, prior float64) {
+	p.net.journal(Mutation{Kind: MutSetPrior, Peer: p.id, Edge: mapping, Attr: attr, Prior: prior})
 	if p.priors == nil {
 		p.priors = make(map[varKey]float64)
 	}

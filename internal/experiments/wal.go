@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// WALPoint is one row of the durability-cost figure: the same feedback-on
+// serving workload run with one write-ahead-log configuration.
+type WALPoint struct {
+	// Policy is "none" (no WAL attached — the in-memory baseline) or a
+	// fsync policy of the attached on-disk log: "off", "group", "always".
+	Policy        string  `json:"policy"`
+	Served        int     `json:"served"`
+	AnswersPerSec float64 `json:"answersPerSec"`
+	// Relative is the throughput ratio against the no-WAL baseline.
+	Relative float64 `json:"relative"`
+	// Journal volume and commit cost (zero for the baseline).
+	Records      int   `json:"records"`
+	Bytes        int64 `json:"bytes"`
+	Syncs        int   `json:"syncs"`
+	MeanCommitNs int64 `json:"meanCommitNs"`
+	MaxCommitNs  int64 `json:"maxCommitNs"`
+}
+
+// WALOverhead measures what durability costs the serving plane: a generated
+// churny overlay serves the same feedback-on workload four times — without a
+// WAL, and journaling to an on-disk log under each fsync policy — and
+// reports answers/s plus the per-record commit latency. Mutations are
+// journaled at the epoch barrier (churn, discovery, feedback ingestion), so
+// the log sits on the serving path exactly where a real deployment would put
+// it.
+func WALOverhead(peers, epochs, queriesPerEpoch int, seed int64) ([]WALPoint, error) {
+	sc, err := sim.Generate(sim.GenConfig{Seed: seed, Peers: peers, Epochs: epochs, Events: 6})
+	if err != nil {
+		return nil, err
+	}
+	for i := range sc.Epochs {
+		sc.Epochs[i].Queries = 0
+	}
+	w := sim.Workload{
+		Clients:           8,
+		QueriesPerEpoch:   queriesPerEpoch,
+		HotKeys:           64,
+		Feedback:          true,
+		FeedbackRate:      0.02,
+		FeedbackNoise:     0.1,
+		FeedbackMaxRounds: 60,
+	}
+
+	var out []WALPoint
+	var baseline float64
+	for _, policy := range []string{"none", "off", "group", "always"} {
+		var s *sim.Simulation
+		var lg *wal.Log
+		if policy == "none" {
+			s, err = sim.New(sc)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			dir, err := os.MkdirTemp("", "pdms-walbench-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			st, err := wal.NewDirStorage(dir)
+			if err != nil {
+				return nil, err
+			}
+			pol, err := wal.ParseSyncPolicy(policy)
+			if err != nil {
+				return nil, err
+			}
+			lg, err = wal.Open(st, wal.Options{Sync: pol})
+			if err != nil {
+				return nil, err
+			}
+			s, err = sim.NewDurable(sc, lg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res, perf, err := s.RunWorkload(w, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: wal %s: %w", policy, err)
+		}
+		for _, ep := range res.Epochs {
+			if ep.Errors != 0 {
+				return nil, fmt.Errorf("experiments: wal %s epoch %d: %d serving errors", policy, ep.Epoch, ep.Errors)
+			}
+		}
+		pt := WALPoint{Policy: policy, Served: res.TotalServed, AnswersPerSec: perf.Throughput}
+		if lg != nil {
+			st := lg.Stats()
+			pt.Records, pt.Bytes, pt.Syncs = st.Records, st.Bytes, st.Syncs
+			pt.MaxCommitNs = st.MaxAppendNs
+			if st.Records > 0 {
+				pt.MeanCommitNs = st.AppendNs / int64(st.Records)
+			}
+			if err := lg.Close(); err != nil {
+				return nil, err
+			}
+		}
+		if policy == "none" {
+			baseline = perf.Throughput
+		}
+		if baseline > 0 {
+			pt.Relative = perf.Throughput / baseline
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RecoveryPoint is one row of the recovery-time figure: the wall time to
+// rebuild a network from a log of the given length.
+type RecoveryPoint struct {
+	Epochs            int     `json:"epochs"`
+	LogRecords        int     `json:"logRecords"`
+	CheckpointRecords int     `json:"checkpointRecords"`
+	Bytes             int64   `json:"bytes"`
+	RecoverMs         float64 `json:"recoverMs"`
+}
+
+// WALRecovery measures recovery time against log length: churny feedback
+// scenarios of increasing epoch counts are replayed with every mutation
+// journaled (checkpoints disabled so the log keeps the full history), then
+// the network is rebuilt from the log alone, timed. The second return value
+// repeats the longest run with periodic checkpoints enabled — the
+// compaction counterpoint the table prints last.
+func WALRecovery(peers int, epochSteps []int, seed int64) ([]RecoveryPoint, *RecoveryPoint, error) {
+	measure := func(epochs, checkpointEvery int) (RecoveryPoint, error) {
+		sc, err := sim.Generate(sim.GenConfig{
+			Seed: seed, Peers: peers, Epochs: epochs, Events: 4,
+			FeedbackQueries: 16, FeedbackNoise: 0.1,
+		})
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		for i := range sc.Epochs {
+			sc.Epochs[i].Queries = 0
+		}
+		dir, err := os.MkdirTemp("", "pdms-walrec-*")
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := wal.NewDirStorage(dir)
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		lg, err := wal.Open(st, wal.Options{CheckpointEvery: checkpointEvery})
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		s, err := sim.NewDurable(sc, lg)
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		if _, err := s.Run(); err != nil {
+			return RecoveryPoint{}, err
+		}
+		bytes := lg.Stats().Bytes
+		if err := lg.Close(); err != nil {
+			return RecoveryPoint{}, err
+		}
+		t0 := time.Now()
+		lg2, err := wal.Open(st, wal.Options{})
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		_, rep, err := lg2.Recover()
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		elapsed := time.Since(t0)
+		lg2.Close()
+		return RecoveryPoint{
+			Epochs:            epochs,
+			LogRecords:        rep.LogRecords,
+			CheckpointRecords: rep.CheckpointRecords,
+			Bytes:             bytes,
+			RecoverMs:         float64(elapsed.Microseconds()) / 1000,
+		}, nil
+	}
+
+	var out []RecoveryPoint
+	for _, e := range epochSteps {
+		pt, err := measure(e, -1) // checkpoints off: the log is the history
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pt)
+	}
+	last := epochSteps[len(epochSteps)-1]
+	ck, err := measure(last, 256)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &ck, nil
+}

@@ -71,6 +71,13 @@ type Epoch struct {
 	// re-detection runs — all covered by the invariant suite and the
 	// scratch differential.
 	FeedbackQueries int `json:"feedbackQueries,omitempty"`
+	// CrashAt kills the process at this belief-propagation round of the
+	// epoch's detection run (after churn and discovery have been journaled):
+	// the epoch's in-flight detection is lost, the write-ahead log is cut at
+	// a seeded, possibly frame-tearing offset, the network is rebuilt from
+	// checkpoint + log replay, and the epoch continues on the recovered
+	// network. 0 disables; requires Scenario.WAL.
+	CrashAt int `json:"crashAt,omitempty"`
 }
 
 // Scenario is a complete, declarative, reproducible experiment description.
@@ -120,6 +127,18 @@ type Scenario struct {
 	// Shards is the worker count for the sharded transport (0 picks
 	// GOMAXPROCS; the trace does not depend on it).
 	Shards int `json:"shards,omitempty"`
+
+	// WAL journals every network state mutation — churn, discovery,
+	// feedback, prior learning — to an in-memory write-ahead log with an
+	// explicit fsync watermark, the substrate of the deterministic crash
+	// injector (Epoch.CrashAt). Detection messages are not journaled:
+	// detection is deterministic from the journaled state and the epoch
+	// seed, so recovery re-runs it and lands on identical posteriors.
+	WAL bool `json:"wal,omitempty"`
+	// CheckpointEvery compacts the log into a checkpoint after that many
+	// records (0 = the wal package default; negative disables periodic
+	// checkpoints). Requires WAL.
+	CheckpointEvery int `json:"checkpointEvery,omitempty"`
 
 	// RecordPosteriors includes the full posterior map in every epoch
 	// trace (keep scenarios small when enabling it).
@@ -195,6 +214,9 @@ func (sc Scenario) check() error {
 	if sc.FeedbackNoise < 0 || sc.FeedbackNoise >= 0.5 {
 		return fmt.Errorf("sim: feedback noise %v out of [0,0.5)", sc.FeedbackNoise)
 	}
+	if sc.CheckpointEvery != 0 && !sc.WAL {
+		return fmt.Errorf("sim: checkpointEvery requires wal")
+	}
 	for i, ep := range sc.Epochs {
 		if ep.PSend < 0 || ep.PSend > 1 {
 			return fmt.Errorf("sim: epoch %d: psend %v out of [0,1]", i+1, ep.PSend)
@@ -204,6 +226,12 @@ func (sc Scenario) check() error {
 		}
 		if ep.FeedbackQueries < 0 {
 			return fmt.Errorf("sim: epoch %d: negative feedback burst", i+1)
+		}
+		if ep.CrashAt < 0 {
+			return fmt.Errorf("sim: epoch %d: negative crashAt", i+1)
+		}
+		if ep.CrashAt > 0 && !sc.WAL {
+			return fmt.Errorf("sim: epoch %d: crashAt requires wal", i+1)
 		}
 	}
 	return nil

@@ -15,6 +15,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/query"
 	"repro/internal/schema"
+	"repro/internal/wal"
 )
 
 func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
@@ -44,12 +45,42 @@ type Simulation struct {
 	// when churn removes a chain's mapping, mirroring core's retraction) so
 	// the scratch differential can replay them into a rebuilt network.
 	fedback []core.QueryFeedback
+
+	// Durability plane (Scenario.WAL): every mutation of net is journaled to
+	// wlog over wstore; Epoch.CrashAt cuts the log mid-detection and rebuilds
+	// net from recovery. The log is opened SyncAlways so only the injected
+	// torn tail — never a group-commit window — separates the journal from
+	// the network, keeping the crash differential exact.
+	wlog   *wal.Log
+	wstore *wal.MemStorage
 }
 
 // New builds the scenario's initial network: a preferential-attachment
 // overlay over a shared schema with the seeded fraction of mappings
 // corrupted. Events have not been applied yet; Run replays the epochs.
 func New(sc Scenario) (*Simulation, error) {
+	return build(sc, nil)
+}
+
+// NewDurable builds the scenario over an externally owned write-ahead log —
+// typically one opened on wal.DirStorage — so every mutation of the run is
+// journaled durably. The log must be fresh (nothing to recover), and the
+// scenario must not also request the in-memory injector WAL: crash
+// injection (Epoch.CrashAt) is the in-memory log's job.
+func NewDurable(sc Scenario, lg *wal.Log) (*Simulation, error) {
+	if sc.WAL {
+		return nil, fmt.Errorf("sim: scenario wal and an external log are mutually exclusive")
+	}
+	if lg == nil {
+		return nil, fmt.Errorf("sim: NewDurable needs a log")
+	}
+	if !lg.Empty() {
+		return nil, fmt.Errorf("sim: NewDurable needs a fresh log, this one holds recovered state")
+	}
+	return build(sc, lg)
+}
+
+func build(sc Scenario, ext *wal.Log) (*Simulation, error) {
 	sc = sc.withDefaults()
 	if err := sc.check(); err != nil {
 		return nil, err
@@ -87,6 +118,20 @@ func New(sc Scenario) (*Simulation, error) {
 		return nil, err
 	}
 	s.net = core.NewNetwork(sc.Directed)
+	if sc.WAL {
+		s.wstore = wal.NewMemStorage()
+		lg, err := wal.Open(s.wstore, s.walOpts())
+		if err != nil {
+			return nil, err
+		}
+		ext = lg
+	}
+	if ext != nil {
+		if err := ext.AttachTo(s.net); err != nil {
+			return nil, err
+		}
+		s.wlog = ext
+	}
 	for _, p := range topo.Peers() {
 		s.net.MustAddPeer(p, s.schemaFor(p))
 	}
@@ -172,6 +217,13 @@ func necklace(n int) (*graph.Graph, error) {
 // Network exposes the simulation's live network (shared; do not mutate
 // outside applyEvent).
 func (s *Simulation) Network() *core.Network { return s.net }
+
+// WAL exposes the simulation's write-ahead log (nil unless Scenario.WAL).
+func (s *Simulation) WAL() *wal.Log { return s.wlog }
+
+func (s *Simulation) walOpts() wal.Options {
+	return wal.Options{Sync: wal.SyncAlways, CheckpointEvery: s.sc.CheckpointEvery}
+}
 
 // Scenario returns the defaulted scenario being replayed.
 func (s *Simulation) Scenario() Scenario { return s.sc }
@@ -312,6 +364,24 @@ type DetectionTrace struct {
 	Dropped   int  `json:"dropped"`
 }
 
+// CrashTrace records one epoch's injected crash and recovery.
+type CrashTrace struct {
+	// Round is the belief-propagation round the process died at.
+	Round int `json:"round"`
+	// Cut is how many unsynced bytes the simulated kernel kept — a value
+	// inside the final frame leaves a torn tail on the log.
+	Cut int `json:"cut"`
+	// TornBytes is the torn-tail length recovery discarded.
+	TornBytes int `json:"tornBytes"`
+	// CheckpointRecords and LogRecords count the mutations replayed from
+	// the checkpoint and the log suffix.
+	CheckpointRecords int `json:"checkpointRecords"`
+	LogRecords        int `json:"logRecords"`
+	// DigestMatch reports whether the recovered network's inference digest
+	// equals the pre-crash network's — false is an invariant violation.
+	DigestMatch bool `json:"digestMatch"`
+}
+
 // RoutingTrace summarizes one epoch's θ-gated query burst.
 type RoutingTrace struct {
 	Queries     int `json:"queries"`
@@ -337,6 +407,9 @@ type EpochTrace struct {
 	MeanClean      float64      `json:"meanClean"`
 	MeanCorrupt    float64      `json:"meanCorrupt"`
 	Routing        RoutingTrace `json:"routing"`
+	// Crash records the epoch's injected crash and WAL recovery; nil unless
+	// the epoch sets CrashAt.
+	Crash *CrashTrace `json:"crash,omitempty"`
 	// Feedback records the epoch's result-feedback cycle (routed queries
 	// judged by the ground-truth oracle, ingested, incrementally
 	// re-detected); nil unless the epoch sets FeedbackQueries.
@@ -458,6 +531,21 @@ func (s *Simulation) advanceEpoch(i int) (EpochTrace, core.DetectResult, float64
 	if psend == 0 {
 		psend = 1
 	}
+
+	// 3a. Crash injection: the process dies CrashAt rounds into detection,
+	// the log is cut at a seeded offset, and the epoch continues on the
+	// network recovered from checkpoint + replay. Because detection is not
+	// journaled and is deterministic from the journaled state and the epoch
+	// seed, the full re-run below lands on exactly the posteriors the
+	// never-crashed run computes.
+	if ep.CrashAt > 0 && s.wlog != nil {
+		ct, err := s.crashRecover(i, ep.CrashAt, psend)
+		if err != nil {
+			return tr, core.DetectResult{}, 0, err
+		}
+		tr.Crash = ct
+	}
+
 	s.net.ResetMessages()
 	det, err := s.net.RunDetection(core.DetectOptions{
 		MaxRounds: s.sc.MaxRounds,
@@ -477,7 +565,64 @@ func (s *Simulation) advanceEpoch(i int) (EpochTrace, core.DetectResult, float64
 		Delivered: det.Transport.Delivered,
 		Dropped:   det.Transport.Dropped,
 	}
+
+	// 4. Durability maintenance: compact the log into a checkpoint when it
+	// has grown past the interval (failures degrade to a growing log and a
+	// retry with backoff — never an epoch failure).
+	if s.wlog != nil {
+		if err := s.wlog.MaybeCheckpoint(s.net); err != nil {
+			return tr, core.DetectResult{}, 0, err
+		}
+	}
 	return tr, det, psend, nil
+}
+
+// crashRecover is the deterministic crash injector: run detection for
+// exactly `round` rounds (the work the dying process wasted), append an
+// unsynced mark frame and cut the log's unsynced tail at a seeded offset —
+// tearing the final frame when the cut lands inside it — then rebuild the
+// network from checkpoint + log replay and swap it in. The recovered
+// network's inference digest must equal the pre-crash one.
+func (s *Simulation) crashRecover(i, round int, psend float64) (*CrashTrace, error) {
+	wantDigest := wal.DigestNetwork(s.net)
+	s.net.ResetMessages()
+	if _, err := s.net.RunDetection(core.DetectOptions{
+		MaxRounds: round,
+		Tolerance: 1e-9,
+		PSend:     psend,
+		Seed:      s.epochSeed(i + 1),
+		Transport: network.Kind(s.sc.Transport),
+		Shards:    s.sc.Shards,
+	}); err != nil {
+		return nil, fmt.Errorf("sim: pre-crash detection: %w", err)
+	}
+	rng := rand.New(rand.NewSource(s.epochSeed(i+1) + 5))
+	cut := rng.Intn(s.wlog.MarkFrameSize() + 1)
+	if err := s.wlog.InjectCrash(cut); err != nil {
+		return nil, fmt.Errorf("sim: crash injection: %w", err)
+	}
+	lg, err := wal.Open(s.wstore, s.walOpts())
+	if err != nil {
+		return nil, fmt.Errorf("sim: reopening log after crash: %w", err)
+	}
+	rec, rep, err := lg.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("sim: recovering after crash: %w", err)
+	}
+	if err := lg.AttachTo(rec); err != nil {
+		return nil, fmt.Errorf("sim: reattaching log after crash: %w", err)
+	}
+	ct := &CrashTrace{
+		Round:             round,
+		Cut:               cut,
+		TornBytes:         rep.TornBytes,
+		CheckpointRecords: rep.CheckpointRecords,
+		LogRecords:        rep.LogRecords,
+		DigestMatch:       wal.DigestNetwork(rec) == wantDigest,
+	}
+	s.net = rec
+	s.wlog = lg
+	return ct, nil
 }
 
 func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
@@ -489,6 +634,10 @@ func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
 
 	// 4. Posterior statistics and invariants.
 	s.summarize(&tr, det)
+	if tr.Crash != nil && !tr.Crash.DigestMatch {
+		tr.Violations = append(tr.Violations,
+			"recovered network's inference digest differs from the pre-crash state")
+	}
 	tr.Violations = append(tr.Violations, s.checkInvariants(det)...)
 	if s.sc.Verify {
 		tr.Violations = append(tr.Violations, s.checkScratchDifferential(det, psend)...)

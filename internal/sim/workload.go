@@ -260,6 +260,7 @@ func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *Wo
 		return nil, nil, err
 	}
 	srv := serve.New(s.net, serve.Options{CacheSize: w.CacheSize})
+	srvNet := s.net
 	res := &WorkloadResult{Name: s.sc.Name, Seed: w.Seed, Clients: w.Clients}
 	perf := &WorkloadPerf{}
 	var latencies []time.Duration
@@ -270,6 +271,13 @@ func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *Wo
 		tr, det, _, err := s.advanceEpoch(i)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sim: epoch %d: %w", i+1, err)
+		}
+		if s.net != srvNet {
+			// An injected crash swapped in the recovered network: the server
+			// restarts against it with a cold result cache, exactly like the
+			// real process it models.
+			srv = serve.New(s.net, serve.Options{CacheSize: w.CacheSize})
+			srvNet = s.net
 		}
 		s.ensureStores(w)
 		snap := s.net.PublishSnapshot(det, core.SnapshotOptions{DefaultTheta: s.sc.Theta})

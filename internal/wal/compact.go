@@ -1,0 +1,240 @@
+package wal
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// compactor folds the stream of journaled mutations into the shortest
+// logically equivalent mutation sequence: the checkpoint body. The fold is
+// order-aware, because the network's semantics are:
+//
+//   - peer insertion order is observable (Peers() iterates it), so live
+//     peers are kept in arrival order;
+//   - a full Discover wipes feedback factors and covers exactly the
+//     mappings present at that moment, so mappings are split into
+//     "discovered" (added before the replayed Discover) and "pending"
+//     (added after it, awaiting the next incremental pass);
+//   - feedback groups merge commutatively per canonical key once the stale
+//     ones (chains through since-removed mappings, which the network
+//     skipped) are dropped;
+//   - prior records replay verbatim in order (SetPrior resets a sample
+//     sequence; CommitPriors appends to it — the order is the state).
+//
+// The equivalence of the compacted sequence to the original rests on the
+// repo's pinned churn invariant: removals plus DiscoverIncremental leave
+// exactly the state a full Discover on the final topology builds (see
+// checkScratchDifferential in internal/sim).
+type compactor struct {
+	init     *core.Mutation
+	peers    []core.Mutation // live MutAddPeer records, insertion order
+	maps     []mapEntry      // live MutAddMapping records, insertion order
+	priors   []core.Mutation // MutSetPrior / MutPriorSamples, replay order
+	cfg      *core.DiscoverConfig
+	fbOpts   *core.FeedbackOptions
+	fbGroups map[string]*core.FeedbackGroup
+}
+
+type mapEntry struct {
+	rec        core.Mutation
+	discovered bool
+}
+
+func newCompactor() *compactor {
+	return &compactor{fbGroups: make(map[string]*core.FeedbackGroup)}
+}
+
+func (c *compactor) hasMapping(id graph.EdgeID) bool {
+	for _, e := range c.maps {
+		if e.rec.Edge == id {
+			return true
+		}
+	}
+	return false
+}
+
+// fold absorbs one mutation, mirroring exactly what the network does with
+// it.
+func (c *compactor) fold(m core.Mutation) {
+	switch m.Kind {
+	case core.MutInit:
+		mm := m
+		c.init = &mm
+	case core.MutAddPeer:
+		c.peers = append(c.peers, m)
+	case core.MutAddMapping:
+		c.maps = append(c.maps, mapEntry{rec: m})
+	case core.MutRemovePeer:
+		kept := c.peers[:0]
+		for _, p := range c.peers {
+			if p.Peer != m.Peer {
+				kept = append(kept, p)
+			}
+		}
+		c.peers = kept
+		removed := make(map[graph.EdgeID]bool)
+		keptMaps := c.maps[:0]
+		for _, e := range c.maps {
+			if e.rec.From == m.Peer || e.rec.To == m.Peer {
+				removed[e.rec.Edge] = true
+				continue
+			}
+			keptMaps = append(keptMaps, e)
+		}
+		c.maps = keptMaps
+		c.dropGroups(removed)
+		// Peer removal discards the peer's priors with the peer.
+		keptPriors := c.priors[:0]
+		for _, pr := range c.priors {
+			switch pr.Kind {
+			case core.MutSetPrior:
+				if pr.Peer == m.Peer {
+					continue
+				}
+			case core.MutPriorSamples:
+				samples := pr.Samples[:0:0]
+				for _, s := range pr.Samples {
+					if s.Peer != m.Peer {
+						samples = append(samples, s)
+					}
+				}
+				if len(samples) == 0 {
+					continue
+				}
+				pr.Samples = samples
+			}
+			keptPriors = append(keptPriors, pr)
+		}
+		c.priors = keptPriors
+	case core.MutRemoveMapping:
+		kept := c.maps[:0]
+		for _, e := range c.maps {
+			if e.rec.Edge != m.Edge {
+				kept = append(kept, e)
+			}
+		}
+		c.maps = kept
+		c.dropGroups(map[graph.EdgeID]bool{m.Edge: true})
+		// Priors survive mapping removal (they key on the variable, and the
+		// network keeps them in case the mapping returns revised).
+	case core.MutSetPrior, core.MutPriorSamples:
+		c.priors = append(c.priors, m)
+	case core.MutDiscover:
+		for i := range c.maps {
+			c.maps[i].discovered = true
+		}
+		c.cfg = m.Cfg
+		// A full Discover resets inference state, feedback factors
+		// included.
+		c.fbGroups = make(map[string]*core.FeedbackGroup)
+		c.fbOpts = nil
+	case core.MutDiscoverInc:
+		chg := make(map[graph.EdgeID]bool, len(m.Changed))
+		for _, e := range m.Changed {
+			chg[e] = true
+		}
+		for i := range c.maps {
+			if chg[c.maps[i].rec.Edge] {
+				c.maps[i].discovered = true
+			}
+		}
+		c.cfg = m.Cfg
+	case core.MutFeedback:
+		c.fbOpts = m.FbOpts
+		for _, g := range m.Groups {
+			stale := false
+			for _, e := range g.Chain {
+				if !c.hasMapping(e) {
+					stale = true
+					break
+				}
+			}
+			if stale {
+				continue // the network skipped it too
+			}
+			key := groupKey(g)
+			if have, ok := c.fbGroups[key]; ok {
+				have.Pos += g.Pos
+				have.Neg += g.Neg
+			} else {
+				gg := g
+				gg.Chain = append([]graph.EdgeID(nil), g.Chain...)
+				c.fbGroups[key] = &gg
+			}
+		}
+	case core.MutCheckpoint, core.MutMark:
+		// not state
+	}
+}
+
+func (c *compactor) dropGroups(removed map[graph.EdgeID]bool) {
+	if len(removed) == 0 {
+		return
+	}
+	for key, g := range c.fbGroups {
+		for _, e := range g.Chain {
+			if removed[e] {
+				delete(c.fbGroups, key)
+				break
+			}
+		}
+	}
+}
+
+// groupKey mirrors the network's canonical feedback aggregation key.
+func groupKey(g core.FeedbackGroup) string {
+	var b strings.Builder
+	b.WriteString("q!")
+	b.WriteString(string(g.Attr))
+	for _, e := range g.Chain {
+		b.WriteByte('|')
+		b.WriteString(string(e))
+	}
+	return b.String()
+}
+
+// snapshot emits the compacted mutation sequence in replay order: init,
+// peers, discovered mappings, the last discovery configuration, pending
+// mappings, prior records, and one merged feedback batch.
+func (c *compactor) snapshot() []core.Mutation {
+	var out []core.Mutation
+	if c.init != nil {
+		out = append(out, *c.init)
+	}
+	out = append(out, c.peers...)
+	for _, e := range c.maps {
+		if e.discovered {
+			out = append(out, e.rec)
+		}
+	}
+	if c.cfg != nil {
+		cfg := *c.cfg
+		out = append(out, core.Mutation{Kind: core.MutDiscover, Cfg: &cfg})
+	}
+	for _, e := range c.maps {
+		if !e.discovered {
+			out = append(out, e.rec)
+		}
+	}
+	out = append(out, c.priors...)
+	if len(c.fbGroups) > 0 {
+		keys := make([]string, 0, len(c.fbGroups))
+		for k := range c.fbGroups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		groups := make([]core.FeedbackGroup, 0, len(keys))
+		for _, k := range keys {
+			groups = append(groups, *c.fbGroups[k])
+		}
+		opts := core.FeedbackOptions{}
+		if c.fbOpts != nil {
+			opts = *c.fbOpts
+		}
+		out = append(out, core.Mutation{Kind: core.MutFeedback, FbOpts: &opts, Groups: groups})
+	}
+	return out
+}

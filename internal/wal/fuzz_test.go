@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schema"
+)
+
+// validLogBytes builds a real multi-record log covering every record kind,
+// the seed corpus for FuzzWALDecode.
+func validLogBytes() []byte {
+	cfg := core.DiscoverConfig{Attrs: []schema.Attribute{"a", "b"}, MaxLen: 3}
+	muts := []core.Mutation{
+		{Kind: core.MutInit, Directed: true},
+		{Kind: core.MutAddPeer, Peer: "p1", SchemaName: "s1", Attrs: []schema.Attribute{"a", "b"}},
+		{Kind: core.MutAddPeer, Peer: "p2", SchemaName: "s2", Attrs: []schema.Attribute{"a", "b"}},
+		{Kind: core.MutAddMapping, Edge: "m12", From: "p1", To: "p2",
+			Pairs: []core.AttrPair{{From: "a", To: "b"}, {From: "b", To: "a"}}},
+		{Kind: core.MutDiscover, Cfg: &cfg},
+		{Kind: core.MutFeedback, FbOpts: &core.FeedbackOptions{Delta: 0.1, Noise: 0.05},
+			Groups: []core.FeedbackGroup{{Attr: "a", Chain: []graph.EdgeID{"m12"}, Pos: 2, Neg: 1}}},
+		{Kind: core.MutSetPrior, Peer: "p1", Edge: "m12", Attr: "a", Prior: 0.8},
+		{Kind: core.MutPriorSamples, Samples: []core.PriorSample{
+			{Peer: "p1", Mapping: "m12", Attr: "a", Sample: 0.6}}},
+		{Kind: core.MutDiscoverInc, Cfg: &cfg, Changed: []graph.EdgeID{"m12"}},
+		{Kind: core.MutRemoveMapping, Edge: "m12"},
+		{Kind: core.MutRemovePeer, Peer: "p2"},
+		{Kind: core.MutCheckpoint, Checkpoint: &core.CheckpointInfo{
+			LastSeq: 11, Peers: 1, Mappings: 0, Digest: "deadbeef"}},
+		{Kind: core.MutMark},
+	}
+	var buf []byte
+	for i, m := range muts {
+		buf = appendRecord(buf, uint64(i+1), m)
+	}
+	return buf
+}
+
+// FuzzWALDecode feeds arbitrary byte strings to the log scanner. The
+// invariants: scan never panics; a truncation of a valid log is a torn tail
+// (clean end), never an error; whatever records scan accepts re-encode to
+// exactly the bytes it consumed (canonical framing).
+func FuzzWALDecode(f *testing.F) {
+	valid := validLogBytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	// Every torn truncation of the valid log.
+	for cut := 0; cut < len(valid); cut += 7 {
+		f.Add(valid[:cut])
+	}
+	// A flipped byte mid-log.
+	bad := append([]byte(nil), valid...)
+	bad[len(bad)/2] ^= 0x01
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, clean, torn, err := scan(data)
+		if clean < 0 || clean > len(data) {
+			t.Fatalf("clean offset %d out of range [0,%d]", clean, len(data))
+		}
+		if err == nil && !torn && clean != len(data) {
+			t.Fatalf("clean scan consumed %d of %d bytes without error", clean, len(data))
+		}
+		if err != nil && torn {
+			t.Fatal("scan reported both a torn tail and an error")
+		}
+		// Canonical framing: re-encoding the accepted prefix reproduces it.
+		var re []byte
+		for _, r := range recs {
+			re = appendRecord(re, r.seq, r.mut)
+		}
+		if !bytes.Equal(re, data[:clean]) {
+			t.Fatalf("re-encoded records do not match the consumed prefix (%d vs %d bytes)",
+				len(re), clean)
+		}
+	})
+}
+
+// Truncations of a valid log must always scan as a clean prefix plus a torn
+// tail — never as corruption.
+func TestTornTruncationsAreCleanEnds(t *testing.T) {
+	valid := validLogBytes()
+	full, _, _, err := scan(valid)
+	if err != nil {
+		t.Fatalf("valid log does not scan: %v", err)
+	}
+	for cut := 0; cut <= len(valid); cut++ {
+		recs, clean, torn, err := scan(valid[:cut])
+		if err != nil {
+			t.Fatalf("cut=%d: scan error %v, want torn tail", cut, err)
+		}
+		if clean != len(valid[:cut]) && !torn {
+			t.Fatalf("cut=%d: partial consumption without torn flag", cut)
+		}
+		// The records recovered are exactly the fully contained prefix.
+		want := 0
+		off := 0
+		for _, r := range full {
+			sz := len(appendRecord(nil, r.seq, r.mut))
+			if off+sz <= cut {
+				want++
+				off += sz
+			} else {
+				break
+			}
+		}
+		if len(recs) != want {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(recs), want)
+		}
+	}
+}

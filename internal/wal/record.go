@@ -1,0 +1,590 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schema"
+)
+
+// The on-disk record format follows the internal/wire conventions —
+// versioned payloads, minimal unsigned varints, big-endian IEEE-754 float
+// bits, strict canonical decoding — wrapped in a CRC frame so storage
+// corruption is detected, not silently replayed:
+//
+//	u32be len(payload) | payload | u32be crc32-IEEE(payload)
+//	payload = version byte | seq uvarint | kind byte | kind-specific fields
+//
+// An incomplete frame at the end of the log is a torn tail: the record was
+// being written when the process died, it was never acknowledged, and
+// recovery treats the log as ending cleanly before it. A complete frame
+// whose CRC or payload does not check out is corruption and recovery fails
+// loudly — replaying guessed state would be worse than refusing.
+
+// Version is the WAL format version emitted and required by this package.
+const Version = 1
+
+// frameOverhead is the framing cost per record: length and CRC words.
+const frameOverhead = 8
+
+// maxRecordSize bounds a single record's payload; a length word beyond it
+// on a complete frame is treated as corruption.
+const maxRecordSize = 1 << 28
+
+// record is one sequenced mutation as stored in the log.
+type record struct {
+	seq uint64
+	mut core.Mutation
+}
+
+// appendRecord appends the framed encoding of (seq, m) to dst.
+func appendRecord(dst []byte, seq uint64, m core.Mutation) []byte {
+	payload := appendPayload(nil, seq, m)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+func appendPayload(dst []byte, seq uint64, m core.Mutation) []byte {
+	dst = append(dst, Version)
+	dst = binary.AppendUvarint(dst, seq)
+	dst = append(dst, byte(m.Kind))
+	switch m.Kind {
+	case core.MutInit:
+		dst = appendBool(dst, m.Directed)
+	case core.MutAddPeer:
+		dst = appendString(dst, string(m.Peer))
+		dst = appendString(dst, m.SchemaName)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Attrs)))
+		for _, a := range m.Attrs {
+			dst = appendString(dst, string(a))
+		}
+	case core.MutAddMapping:
+		dst = appendString(dst, string(m.Edge))
+		dst = appendString(dst, string(m.From))
+		dst = appendString(dst, string(m.To))
+		dst = binary.AppendUvarint(dst, uint64(len(m.Pairs)))
+		for _, pr := range m.Pairs {
+			dst = appendString(dst, string(pr.From))
+			dst = appendString(dst, string(pr.To))
+		}
+	case core.MutRemovePeer:
+		dst = appendString(dst, string(m.Peer))
+	case core.MutRemoveMapping:
+		dst = appendString(dst, string(m.Edge))
+	case core.MutSetPrior:
+		dst = appendString(dst, string(m.Peer))
+		dst = appendString(dst, string(m.Edge))
+		dst = appendString(dst, string(m.Attr))
+		dst = appendFloat(dst, m.Prior)
+	case core.MutDiscover:
+		dst = appendConfig(dst, m.Cfg)
+	case core.MutDiscoverInc:
+		dst = appendConfig(dst, m.Cfg)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Changed)))
+		for _, e := range m.Changed {
+			dst = appendString(dst, string(e))
+		}
+	case core.MutFeedback:
+		dst = appendFloat(dst, m.FbOpts.Delta)
+		dst = appendFloat(dst, m.FbOpts.Noise)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Groups)))
+		for _, g := range m.Groups {
+			dst = appendString(dst, string(g.Attr))
+			dst = binary.AppendUvarint(dst, uint64(len(g.Chain)))
+			for _, e := range g.Chain {
+				dst = appendString(dst, string(e))
+			}
+			dst = binary.AppendUvarint(dst, uint64(g.Pos))
+			dst = binary.AppendUvarint(dst, uint64(g.Neg))
+		}
+	case core.MutPriorSamples:
+		dst = binary.AppendUvarint(dst, uint64(len(m.Samples)))
+		for _, s := range m.Samples {
+			dst = appendString(dst, string(s.Peer))
+			dst = appendString(dst, string(s.Mapping))
+			dst = appendString(dst, string(s.Attr))
+			dst = appendFloat(dst, s.Sample)
+		}
+	case core.MutCheckpoint:
+		ci := m.Checkpoint
+		dst = binary.AppendUvarint(dst, ci.LastSeq)
+		dst = binary.AppendUvarint(dst, uint64(ci.Peers))
+		dst = binary.AppendUvarint(dst, uint64(ci.Mappings))
+		dst = binary.AppendUvarint(dst, uint64(ci.Replicas))
+		dst = binary.AppendUvarint(dst, uint64(ci.Vars))
+		dst = binary.AppendUvarint(dst, uint64(ci.Pins))
+		dst = appendString(dst, ci.Digest)
+	case core.MutMark:
+		// no payload
+	default:
+		panic(fmt.Sprintf("wal: unknown mutation kind %d", m.Kind))
+	}
+	return dst
+}
+
+func appendConfig(dst []byte, cfg *core.DiscoverConfig) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(cfg.Attrs)))
+	for _, a := range cfg.Attrs {
+		dst = appendString(dst, string(a))
+	}
+	dst = binary.AppendUvarint(dst, uint64(cfg.MaxLen))
+	dst = appendFloat(dst, cfg.Delta)
+	dst = append(dst, byte(cfg.Granularity))
+	return appendBool(dst, cfg.DisableParallelPaths)
+}
+
+// decodePayload parses one complete, CRC-verified payload strictly: unknown
+// versions and kinds, non-minimal varints, truncated fields and trailing
+// bytes are all errors.
+func decodePayload(b []byte) (record, error) {
+	r := reader{buf: b}
+	var rec record
+	ver, err := r.byte()
+	if err != nil {
+		return rec, err
+	}
+	if ver != Version {
+		return rec, fmt.Errorf("unsupported version %d", ver)
+	}
+	if rec.seq, err = r.uvarint(); err != nil {
+		return rec, err
+	}
+	k, err := r.byte()
+	if err != nil {
+		return rec, err
+	}
+	m := &rec.mut
+	m.Kind = core.MutKind(k)
+	switch m.Kind {
+	case core.MutInit:
+		m.Directed, err = r.bool()
+	case core.MutAddPeer:
+		err = decodeAddPeer(&r, m)
+	case core.MutAddMapping:
+		err = decodeAddMapping(&r, m)
+	case core.MutRemovePeer:
+		var s string
+		if s, err = r.str(); err == nil {
+			m.Peer = graph.PeerID(s)
+		}
+	case core.MutRemoveMapping:
+		var s string
+		if s, err = r.str(); err == nil {
+			m.Edge = graph.EdgeID(s)
+		}
+	case core.MutSetPrior:
+		err = decodeSetPrior(&r, m)
+	case core.MutDiscover:
+		m.Cfg, err = decodeConfig(&r)
+	case core.MutDiscoverInc:
+		err = decodeDiscoverInc(&r, m)
+	case core.MutFeedback:
+		err = decodeFeedback(&r, m)
+	case core.MutPriorSamples:
+		err = decodePriorSamples(&r, m)
+	case core.MutCheckpoint:
+		err = decodeCheckpoint(&r, m)
+	case core.MutMark:
+		// no payload
+	default:
+		return rec, fmt.Errorf("unknown mutation kind %d", k)
+	}
+	if err != nil {
+		return rec, fmt.Errorf("decoding %s: %w", m.Kind, err)
+	}
+	if len(r.buf) != r.off {
+		return rec, fmt.Errorf("%d trailing bytes after %s record", len(r.buf)-r.off, m.Kind)
+	}
+	return rec, nil
+}
+
+func decodeAddPeer(r *reader, m *core.Mutation) error {
+	s, err := r.str()
+	if err != nil {
+		return err
+	}
+	m.Peer = graph.PeerID(s)
+	if m.SchemaName, err = r.str(); err != nil {
+		return err
+	}
+	n, err := r.length(1)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Attrs = make([]schema.Attribute, n)
+	}
+	for i := range m.Attrs {
+		if s, err = r.str(); err != nil {
+			return err
+		}
+		m.Attrs[i] = schema.Attribute(s)
+	}
+	return nil
+}
+
+func decodeAddMapping(r *reader, m *core.Mutation) error {
+	s, err := r.str()
+	if err != nil {
+		return err
+	}
+	m.Edge = graph.EdgeID(s)
+	if s, err = r.str(); err != nil {
+		return err
+	}
+	m.From = graph.PeerID(s)
+	if s, err = r.str(); err != nil {
+		return err
+	}
+	m.To = graph.PeerID(s)
+	n, err := r.length(2)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Pairs = make([]core.AttrPair, n)
+	}
+	for i := range m.Pairs {
+		if s, err = r.str(); err != nil {
+			return err
+		}
+		m.Pairs[i].From = schema.Attribute(s)
+		if s, err = r.str(); err != nil {
+			return err
+		}
+		m.Pairs[i].To = schema.Attribute(s)
+	}
+	return nil
+}
+
+func decodeSetPrior(r *reader, m *core.Mutation) error {
+	s, err := r.str()
+	if err != nil {
+		return err
+	}
+	m.Peer = graph.PeerID(s)
+	if s, err = r.str(); err != nil {
+		return err
+	}
+	m.Edge = graph.EdgeID(s)
+	if s, err = r.str(); err != nil {
+		return err
+	}
+	m.Attr = schema.Attribute(s)
+	m.Prior, err = r.float()
+	return err
+}
+
+func decodeConfig(r *reader) (*core.DiscoverConfig, error) {
+	var cfg core.DiscoverConfig
+	n, err := r.length(1)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		cfg.Attrs = make([]schema.Attribute, n)
+	}
+	for i := range cfg.Attrs {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Attrs[i] = schema.Attribute(s)
+	}
+	if cfg.MaxLen, err = r.uint(); err != nil {
+		return nil, err
+	}
+	if cfg.Delta, err = r.float(); err != nil {
+		return nil, err
+	}
+	g, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if g > byte(core.CoarseGrained) {
+		return nil, fmt.Errorf("bad granularity byte %d", g)
+	}
+	cfg.Granularity = core.Granularity(g)
+	cfg.DisableParallelPaths, err = r.bool()
+	return &cfg, err
+}
+
+func decodeDiscoverInc(r *reader, m *core.Mutation) error {
+	var err error
+	if m.Cfg, err = decodeConfig(r); err != nil {
+		return err
+	}
+	n, err := r.length(1)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Changed = make([]graph.EdgeID, n)
+	}
+	for i := range m.Changed {
+		s, err := r.str()
+		if err != nil {
+			return err
+		}
+		m.Changed[i] = graph.EdgeID(s)
+	}
+	return nil
+}
+
+func decodeFeedback(r *reader, m *core.Mutation) error {
+	var opts core.FeedbackOptions
+	var err error
+	if opts.Delta, err = r.float(); err != nil {
+		return err
+	}
+	if opts.Noise, err = r.float(); err != nil {
+		return err
+	}
+	m.FbOpts = &opts
+	n, err := r.length(4)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Groups = make([]core.FeedbackGroup, n)
+	}
+	for i := range m.Groups {
+		g := &m.Groups[i]
+		s, err := r.str()
+		if err != nil {
+			return err
+		}
+		g.Attr = schema.Attribute(s)
+		cn, err := r.length(1)
+		if err != nil {
+			return err
+		}
+		if cn > 0 {
+			g.Chain = make([]graph.EdgeID, cn)
+		}
+		for j := range g.Chain {
+			if s, err = r.str(); err != nil {
+				return err
+			}
+			g.Chain[j] = graph.EdgeID(s)
+		}
+		if g.Pos, err = r.uint(); err != nil {
+			return err
+		}
+		if g.Neg, err = r.uint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodePriorSamples(r *reader, m *core.Mutation) error {
+	n, err := r.length(11)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Samples = make([]core.PriorSample, n)
+	}
+	for i := range m.Samples {
+		e := &m.Samples[i]
+		s, err := r.str()
+		if err != nil {
+			return err
+		}
+		e.Peer = graph.PeerID(s)
+		if s, err = r.str(); err != nil {
+			return err
+		}
+		e.Mapping = graph.EdgeID(s)
+		if s, err = r.str(); err != nil {
+			return err
+		}
+		e.Attr = schema.Attribute(s)
+		if e.Sample, err = r.float(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeCheckpoint(r *reader, m *core.Mutation) error {
+	var ci core.CheckpointInfo
+	var err error
+	if ci.LastSeq, err = r.uvarint(); err != nil {
+		return err
+	}
+	if ci.Peers, err = r.uint(); err != nil {
+		return err
+	}
+	if ci.Mappings, err = r.uint(); err != nil {
+		return err
+	}
+	if ci.Replicas, err = r.uint(); err != nil {
+		return err
+	}
+	if ci.Vars, err = r.uint(); err != nil {
+		return err
+	}
+	if ci.Pins, err = r.uint(); err != nil {
+		return err
+	}
+	if ci.Digest, err = r.str(); err != nil {
+		return err
+	}
+	m.Checkpoint = &ci
+	return nil
+}
+
+// CorruptError reports a complete but invalid record: a CRC mismatch or a
+// malformed payload mid-log. Unlike a torn tail, corruption is never
+// silently dropped.
+type CorruptError struct {
+	Offset int   // byte offset of the offending frame
+	Err    error // what failed
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt record at offset %d: %v", e.Offset, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// scan parses framed records from b. It returns the decoded records, the
+// number of bytes of clean frames consumed, and whether the remainder is a
+// torn tail (an incomplete final frame — a write that never finished). Any
+// complete frame that fails its CRC or payload check yields a CorruptError.
+func scan(b []byte) (recs []record, clean int, torn bool, err error) {
+	off := 0
+	for off < len(b) {
+		rest := len(b) - off
+		if rest < 4 {
+			return recs, off, true, nil
+		}
+		n := int(binary.BigEndian.Uint32(b[off:]))
+		if n > maxRecordSize {
+			return recs, off, false, &CorruptError{Offset: off, Err: fmt.Errorf("record length %d exceeds limit", n)}
+		}
+		if rest < 4+n+4 {
+			return recs, off, true, nil
+		}
+		payload := b[off+4 : off+4+n]
+		crc := binary.BigEndian.Uint32(b[off+4+n:])
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, off, false, &CorruptError{Offset: off, Err: fmt.Errorf("crc mismatch")}
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			return recs, off, false, &CorruptError{Offset: off, Err: derr}
+		}
+		recs = append(recs, rec)
+		off += 4 + n + 4
+	}
+	return recs, off, false, nil
+}
+
+// Strict reader mirroring internal/wire: loud truncation, minimal varints.
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("truncated record")
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad varint")
+	}
+	if n > 1 && v < 1<<uint(7*(n-1)) {
+		return 0, fmt.Errorf("non-minimal varint")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) uint() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("varint %d out of int range", v)
+	}
+	return int(v), nil
+}
+
+// length bounds a collection count by the bytes remaining, so a hostile
+// record cannot force a huge allocation.
+func (r *reader) length(min int) (int, error) {
+	v, err := r.uint()
+	if err != nil {
+		return 0, err
+	}
+	if v > (len(r.buf)-r.off)/min {
+		return 0, fmt.Errorf("length %d exceeds remaining record", v)
+	}
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.length(1)
+	if err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *reader) float() (float64, error) {
+	if len(r.buf)-r.off < 8 {
+		return 0, fmt.Errorf("truncated float")
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bool() (bool, error) {
+	b, err := r.byte()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("bad bool byte %d", b)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}

@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the append-only write handle a Log keeps open on its storage.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync makes everything written so far durable (fsync).
+	Sync() error
+	Close() error
+}
+
+// Storage abstracts the directory a Log lives in. Two implementations ship:
+// DirStorage over a real filesystem directory (durable, benchmarkable) and
+// MemStorage, an in-memory model with an explicit fsync watermark whose
+// Crash method discards exactly the bytes a kill -9 would — the substrate of
+// the deterministic crash injector.
+type Storage interface {
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	// ReadAll returns the full contents of name; a missing file reports
+	// fs.ErrNotExist.
+	ReadAll(name string) ([]byte, error)
+	// Rename atomically replaces newName with oldName's content.
+	Rename(oldName, newName string) error
+	// Remove deletes name; removing a missing file is a no-op.
+	Remove(name string) error
+}
+
+// Crasher is the optional crash-injection surface: Crash truncates every
+// file to its fsync watermark, except that the most recently written file
+// may keep up to keepUnsynced additional bytes — the sectors the kernel
+// happened to flush before the process died, i.e. a torn tail.
+type Crasher interface {
+	Crash(keepUnsynced int)
+}
+
+// DirStorage stores the log in a filesystem directory.
+type DirStorage struct {
+	dir string
+}
+
+// NewDirStorage creates the directory if needed and returns storage over it.
+func NewDirStorage(dir string) (*DirStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &DirStorage{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (d *DirStorage) Dir() string { return d.dir }
+
+// Create implements Storage.
+func (d *DirStorage) Create(name string) (File, error) {
+	return os.Create(filepath.Join(d.dir, name))
+}
+
+// Append implements Storage.
+func (d *DirStorage) Append(name string) (File, error) {
+	return os.OpenFile(filepath.Join(d.dir, name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// ReadAll implements Storage.
+func (d *DirStorage) ReadAll(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+// Rename implements Storage.
+func (d *DirStorage) Rename(oldName, newName string) error {
+	return os.Rename(filepath.Join(d.dir, oldName), filepath.Join(d.dir, newName))
+}
+
+// Remove implements Storage.
+func (d *DirStorage) Remove(name string) error {
+	err := os.Remove(filepath.Join(d.dir, name))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// MemStorage is the in-memory Storage: every file tracks the byte offset up
+// to which it has been "fsynced", so Crash can model exactly what a power
+// cut preserves. Safe for concurrent use.
+type MemStorage struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	last  string // most recently written file, the one Crash tears
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewMemStorage returns an empty in-memory storage.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{files: make(map[string]*memFile)}
+}
+
+// Create implements Storage.
+func (m *MemStorage) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{}
+	return &memHandle{st: m, name: name}, nil
+}
+
+// Append implements Storage.
+func (m *MemStorage) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memFile{}
+	}
+	return &memHandle{st: m, name: name}, nil
+}
+
+// ReadAll implements Storage.
+func (m *MemStorage) ReadAll(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: %s: %w", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Rename implements Storage.
+func (m *MemStorage) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("wal: %s: %w", oldName, fs.ErrNotExist)
+	}
+	m.files[newName] = f
+	delete(m.files, oldName)
+	if m.last == oldName {
+		m.last = newName
+	}
+	return nil
+}
+
+// Remove implements Storage.
+func (m *MemStorage) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	return nil
+}
+
+// Crash implements Crasher: every file loses its unsynced tail, except the
+// most recently written file, which keeps up to keepUnsynced bytes of it —
+// the partially flushed frame recovery must recognize as torn.
+func (m *MemStorage) Crash(keepUnsynced int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := m.files[name]
+		keep := f.synced
+		if name == m.last {
+			keep += keepUnsynced
+		}
+		if keep > len(f.data) {
+			keep = len(f.data)
+		}
+		f.data = f.data[:keep]
+		f.synced = keep
+	}
+}
+
+type memHandle struct {
+	st   *MemStorage
+	name string
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.st.mu.Lock()
+	defer h.st.mu.Unlock()
+	f, ok := h.st.files[h.name]
+	if !ok {
+		return 0, fmt.Errorf("wal: %s: %w", h.name, fs.ErrNotExist)
+	}
+	f.data = append(f.data, p...)
+	h.st.last = h.name
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.st.mu.Lock()
+	defer h.st.mu.Unlock()
+	if f, ok := h.st.files[h.name]; ok {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

@@ -67,6 +67,15 @@
 // republishes an epoch-bumped snapshot, closing the paper's serve → evidence
 // → inference → serve cycle while the serving plane keeps answering.
 //
+// All of this state can be made durable: OpenWAL attaches a write-ahead log
+// that journals every mutation — churn, discovered evidence, feedback,
+// learned priors — as CRC-framed records before it applies (fsync policy
+// selectable, group commit by default in the tools), periodically folds the
+// history into a compacted checkpoint, and rebuilds the exact network after
+// a crash (WAL.Recover): same inference digest, same posteriors, torn final
+// frames discarded cleanly. cmd/pdmsload -wal runs the closed loop durably,
+// and examples/faulttolerance demonstrates kill → recover → continue.
+//
 // Quickstart:
 //
 //	s := pdms.MustNewSchema("S1", "Creator", "Title")
@@ -91,6 +100,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/internal/xmldb"
 )
 
@@ -256,6 +266,72 @@ type (
 	// WorkloadPerf carries the wall-clock latency/throughput measurements.
 	WorkloadPerf = sim.WorkloadPerf
 )
+
+// Durability plane types (see TESTING.md, "Durability plane"): a write-ahead
+// log journals every network mutation — peer/mapping churn, evidence
+// discovery, feedback observations, learned priors — as versioned,
+// CRC32-framed records before it applies, checkpoints fold the history into a
+// compacted snapshot, and recovery replays checkpoint + log tail through the
+// same public entry points, rebuilding the exact inference state (posteriors
+// and digests match the uncrashed network bit-for-bit). A torn final frame —
+// the half-written record a real crash leaves — is a clean log end; a corrupt
+// mid-log frame is a hard WALCorruptError.
+type (
+	// WAL is the append-only write-ahead log a network journals to.
+	WAL = wal.Log
+	// WALOptions configures fsync policy, checkpoint cadence and warnings.
+	WALOptions = wal.Options
+	// WALStats are a log's monotone durability counters.
+	WALStats = wal.Stats
+	// WALRecoverReport summarizes a recovery (records replayed, torn bytes).
+	WALRecoverReport = wal.RecoverReport
+	// WALStorage abstracts the byte store beneath a log.
+	WALStorage = wal.Storage
+	// WALDirStorage stores the log and checkpoint as files in a directory.
+	WALDirStorage = wal.DirStorage
+	// WALMemStorage is the in-memory store with crash injection (tests).
+	WALMemStorage = wal.MemStorage
+	// WALSyncPolicy selects when appends fsync.
+	WALSyncPolicy = wal.SyncPolicy
+	// WALCorruptError reports a corrupt (non-torn) log or checkpoint.
+	WALCorruptError = wal.CorruptError
+)
+
+// Fsync policies for WALOptions.Sync.
+const (
+	// WALSyncAlways fsyncs after every record (default; no committed
+	// mutation is ever lost).
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncGroup batches fsyncs (group commit): bounded, deterministic
+	// loss window, near in-memory throughput.
+	WALSyncGroup = wal.SyncGroup
+	// WALSyncOff never fsyncs; the OS decides (tests and benchmarks).
+	WALSyncOff = wal.SyncOff
+)
+
+// OpenWAL opens (or creates) the log held by st, scanning and validating any
+// existing checkpoint and records. Attach it with WAL.AttachTo, or rebuild
+// the persisted network with WAL.Recover.
+func OpenWAL(st WALStorage, opts WALOptions) (*WAL, error) { return wal.Open(st, opts) }
+
+// NewWALDirStorage opens directory-backed WAL storage, creating dir if needed.
+func NewWALDirStorage(dir string) (*WALDirStorage, error) { return wal.NewDirStorage(dir) }
+
+// NewWALMemStorage creates in-memory WAL storage with crash injection.
+func NewWALMemStorage() *WALMemStorage { return wal.NewMemStorage() }
+
+// ParseWALSyncPolicy parses "always", "group" or "off".
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// DigestNetwork fingerprints a network's inference-relevant state; a
+// recovered network's digest equals the original's.
+func DigestNetwork(n *Network) string { return wal.DigestNetwork(n) }
+
+// NewDurableSimulation is NewSimulation with every mutation journaled to lg
+// (an empty, freshly opened log) — the WAL-on path cmd/pdmsload -wal uses.
+func NewDurableSimulation(sc Scenario, lg *WAL) (*Simulation, error) {
+	return sim.NewDurable(sc, lg)
+}
 
 // NewServer builds a query server reading snapshots from the network.
 // Publish a snapshot (Network.PublishSnapshot or DetectOptions.Publish)
