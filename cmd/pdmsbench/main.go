@@ -15,11 +15,12 @@
 //	pdmsbench -fig serving  # query-serving plane throughput under churn
 //	pdmsbench -fig feedback # posterior error vs queries served-and-fed-back
 //	pdmsbench -fig wal      # durability cost: fsync policy vs answers/s, recovery time
+//	pdmsbench -fig delta    # republication cost: delta snapshots + revalidation vs full rebuilds
 //	pdmsbench -fig all      # everything
 //
-// With -json <file>, the wal figure additionally writes its raw points as
-// JSON (the repo records one such run as BENCH_wal.json, the first point of
-// the perf trajectory).
+// With -json <file>, the wal and delta figures additionally write their raw
+// points as JSON (the repo records such runs as BENCH_wal.json and
+// BENCH_delta.json, the first points of the perf trajectory).
 package main
 
 import (
@@ -39,8 +40,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdmsbench: ")
-	fig := flag.String("fig", "all", "experiment to run: 7, 9, 10, 11, 12, intro, overhead, topology, scale, ablation, schedules, priors, churn, engine, transport, serving, feedback, wal, all")
-	flag.StringVar(&jsonOut, "json", "", "also write the figure's raw points as JSON to this file (wal only)")
+	fig := flag.String("fig", "all", "experiment to run: 7, 9, 10, 11, 12, intro, overhead, topology, scale, ablation, schedules, priors, churn, engine, transport, serving, feedback, wal, delta, all")
+	flag.StringVar(&jsonOut, "json", "", "also write the figure's raw points as JSON to this file (wal and delta only)")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -62,9 +63,10 @@ func main() {
 		"serving":   serving,
 		"feedback":  feedbackFig,
 		"wal":       walFig,
+		"delta":     deltaFig,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"intro", "7", "9", "10", "11", "12", "overhead", "topology", "scale", "ablation", "schedules", "priors", "churn", "engine", "transport", "serving", "feedback", "wal"} {
+		for _, k := range []string{"intro", "7", "9", "10", "11", "12", "overhead", "topology", "scale", "ablation", "schedules", "priors", "churn", "engine", "transport", "serving", "feedback", "wal", "delta"} {
 			if err := runners[k](); err != nil {
 				log.Fatal(err)
 			}
@@ -541,6 +543,67 @@ func walFig() error {
 			Recovery   []experiments.RecoveryPoint `json:"walRecovery"`
 			Checkpoint *experiments.RecoveryPoint  `json:"walRecoveryCheckpointed"`
 		}{Date: benchDate(), Overhead: over, Recovery: rec, Checkpoint: ck}
+		enc, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		if err := os.WriteFile(jsonOut, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("raw points written to %s\n", jsonOut)
+	}
+	return nil
+}
+
+func deltaFig() error {
+	header("delta — what the feedback loop costs the serving plane (1000-peer churny overlay, 2% feedback)")
+	pts, err := experiments.DeltaServing(1000, 3, 30000, 11)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Mode, fmt.Sprint(p.Served), fmt.Sprintf("%.0f", p.AnswersPerSec),
+			fmt.Sprintf("%.2f×", p.Relative), fmt.Sprint(p.Revalidated),
+			fmt.Sprint(p.Computed), fmt.Sprint(p.DeltaRepublishes),
+		})
+	}
+	fmt.Println(eval.Table(
+		[]string{"publication", "answers", "answers/sec", "vs feedback off", "revalidated", "computed", "delta republishes"},
+		rows))
+	fmt.Println("the mid-epoch feedback republication used to cold-start the result cache; published")
+	fmt.Println("as a delta, cached answers whose routes avoid the republished edges rebind instead.")
+
+	header("delta — publication cost at scale (100k-peer mapping chain)")
+	cost, err := experiments.PublishCost(100_000, 11)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range cost {
+		kind := "delta"
+		if p.Full {
+			kind = "full"
+		}
+		rows = append(rows, []string{
+			p.Mode, kind, fmt.Sprint(p.Mappings), fmt.Sprintf("%.1fms", p.Millis),
+			fmt.Sprint(p.DeltaEdges), fmt.Sprint(p.Rebuilt),
+		})
+	}
+	fmt.Println(eval.Table(
+		[]string{"publication", "kind", "mappings", "time", "θ-flips carried", "edges rebuilt"},
+		rows))
+	fmt.Println("a delta republication shares every unchanged edge and peer with its predecessor;")
+	fmt.Println("only posterior movement is rebuilt, and only θ-verdict flips enter the delta.")
+
+	if jsonOut != "" {
+		payload := struct {
+			Date        string                         `json:"date"`
+			Serving     []experiments.DeltaPoint       `json:"deltaServing"`
+			PublishCost []experiments.PublishCostPoint `json:"publishCost"`
+		}{Date: benchDate(), Serving: pts, PublishCost: cost}
 		enc, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			return err

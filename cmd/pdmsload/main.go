@@ -149,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 		if *perf {
-			printPerf(stderr, p)
+			printPerf(stderr, res, p)
 			if lg != nil {
 				printWALStats(stderr, lg.Stats())
 			}
@@ -182,9 +182,16 @@ func trimQueryBursts(eps []sim.Epoch) []sim.Epoch {
 }
 
 // printPerf renders the wall-clock table (stderr; never part of the trace).
-func printPerf(w io.Writer, p *sim.WorkloadPerf) {
+func printPerf(w io.Writer, res *sim.WorkloadResult, p *sim.WorkloadPerf) {
 	fmt.Fprintf(w, "served     %d answers in %v (%.0f answers/sec)\n", p.Served, p.Elapsed.Round(1e6), p.Throughput)
+	fmt.Fprintf(w, "serve-only %v (%.0f answers/sec excluding detection barriers)\n", p.ServeElapsed.Round(1e6), p.ServeThroughput)
 	fmt.Fprintf(w, "latency    p50 %v  p95 %v  p99 %v  max %v\n", p.P50, p.P95, p.P99, p.Max)
+	revalidated, computed := 0, 0
+	for _, ep := range res.Epochs {
+		revalidated += ep.Revalidated
+		computed += ep.Computed
+	}
+	fmt.Fprintf(w, "cache      %d hits  %d revalidated  %d computed\n", res.TotalCacheHits, revalidated, computed)
 }
 
 // printWALStats renders the durability-side counters (stderr, with -perf).

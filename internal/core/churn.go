@@ -124,6 +124,7 @@ func (n *Network) RemovePeer(id graph.PeerID) []graph.EdgeID {
 		}
 	}
 	n.dropEvidenceFor(rm)
+	n.bumpStruct()
 	return removedEdges
 }
 
@@ -180,6 +181,7 @@ func (n *Network) DiscoverIncremental(cfg DiscoverConfig, changed ...graph.EdgeI
 		}
 	}
 	rep.Structures = len(cycles) + len(pairs)
+	n.bumpInfer()
 	resolve := n.Resolver()
 	if cfg.Granularity == CoarseGrained {
 		return rep, n.discoverCoarse(&rep, cfg, cycles, pairs, resolve)
@@ -194,6 +196,7 @@ func (n *Network) DiscoverIncremental(cfg DiscoverConfig, changed ...graph.EdgeI
 // network would — the incremental re-detection entry point scenario replay
 // uses between epochs.
 func (n *Network) ResetMessages() {
+	n.bumpInfer()
 	for _, p := range n.peers {
 		for _, r := range p.evs {
 			for i := range r.remote {

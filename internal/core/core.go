@@ -49,9 +49,21 @@ type Network struct {
 	fbDirty   map[varKey]bool
 
 	// Serving plane (snapshot.go): the current published snapshot and the
-	// monotone epoch counter stamping each publication.
-	snap      atomic.Pointer[RoutingSnapshot]
-	snapEpoch atomic.Uint64
+	// monotone epoch counter stamping each publication, plus two version
+	// counters gating delta publication. structVersion counts hard
+	// structural mutations — peers, mappings, stores — that change the
+	// frozen shape itself; any bump forces the next publication to rebuild
+	// from scratch. inferVersion counts mutations that leave the shape alone
+	// but can move posteriors or pins outside any reported touched set —
+	// discovery, message resets, prior changes; a bump only disables the
+	// TouchedEdges fast path (the diff-based delta recomputes every edge and
+	// sees those moves itself). Feedback ingestion bumps neither: its
+	// effects are confined to the dirty variables an incremental detection
+	// reports as touched, which is what makes delta publication sound.
+	snap          atomic.Pointer[RoutingSnapshot]
+	snapEpoch     atomic.Uint64
+	structVersion uint64
+	inferVersion  uint64
 
 	// Durability plane (mutation.go): the attached write-ahead journal, if
 	// any, and the first append failure seen by a void mutator.
@@ -75,6 +87,17 @@ func NewNetwork(directed bool) *Network {
 		mappings: make(map[graph.EdgeID]*schema.Mapping),
 	}
 }
+
+// bumpStruct records a structural mutation that invalidates delta
+// publication entirely: the next PublishSnapshot after a bump rebuilds from
+// scratch. Called only from the network-owning goroutine, like every mutator.
+func (n *Network) bumpStruct() { n.structVersion++ }
+
+// bumpInfer records an inference-state mutation — discovery, message resets,
+// prior changes — that can move posteriors or pins without a corresponding
+// TouchedEdges report. It leaves diff-based delta publication available and
+// only disables the TouchedEdges sharing fast path.
+func (n *Network) bumpInfer() { n.inferVersion++ }
 
 // Directed reports whether mappings are directed.
 func (n *Network) Directed() bool { return n.directed }
@@ -113,6 +136,7 @@ func (n *Network) AddPeer(id graph.PeerID, s *schema.Schema) (*Peer, error) {
 	n.peers[id] = p
 	n.order = append(n.order, id)
 	n.topo.AddPeer(id)
+	n.bumpStruct()
 	return p, nil
 }
 
@@ -186,6 +210,7 @@ func (n *Network) AddMapping(id graph.EdgeID, from, to graph.PeerID, pairs map[s
 	}
 	n.mappings[id] = m
 	pf.out[id] = m
+	n.bumpStruct()
 	return m, nil
 }
 
@@ -226,6 +251,7 @@ func (n *Network) RemoveMapping(id graph.EdgeID) {
 		delete(p.out, id)
 	}
 	n.dropEvidenceFor(map[graph.EdgeID]bool{id: true})
+	n.bumpStruct()
 }
 
 // Mapping returns the schema mapping for a topology edge.
@@ -309,6 +335,7 @@ func (p *Peer) AttachStore(st *xmldb.Store) error {
 			p.id, st.Schema().Name(), p.schema.Name())
 	}
 	p.store = st
+	p.net.bumpStruct()
 	return nil
 }
 

@@ -117,6 +117,12 @@ type DetectResult struct {
 	// dirty-component scope of an incremental run, or every variable of a
 	// full one.
 	TouchedVars int
+	// TouchedEdges names the mappings owning at least one touched variable
+	// of an incremental run — the only edges whose posteriors can differ
+	// from the previous detection, which is what lets PublishSnapshot
+	// publish a delta without comparing the rest of the network. nil for a
+	// full run (every edge is a candidate).
+	TouchedEdges map[graph.EdgeID]bool
 	// Transport carries the transport counters.
 	Transport network.Stats
 }
@@ -179,6 +185,12 @@ func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 		n.resetScope(scope)
 	}
 	res := DetectResult{TouchedVars: n.scopeSize(scope)}
+	if scope != nil {
+		res.TouchedEdges = make(map[graph.EdgeID]bool, len(scope.vars))
+		for key := range scope.vars {
+			res.TouchedEdges[key.Mapping] = true
+		}
+	}
 	prev := n.scopedPosteriors(opts.DefaultPrior, scope)
 	stable := 0
 	for round := 1; round <= opts.MaxRounds && (scope == nil || res.TouchedVars > 0); round++ {
@@ -215,7 +227,7 @@ func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 		res.Posteriors = n.snapshotPosteriors(opts.DefaultPrior)
 		res.Converged = res.Converged || res.TouchedVars == 0
 		if opts.Publish != nil {
-			n.PublishSnapshot(DetectResult{Posteriors: res.Posteriors}, *opts.Publish)
+			n.PublishSnapshot(DetectResult{Posteriors: res.Posteriors, TouchedEdges: res.TouchedEdges}, *opts.Publish)
 		}
 	}
 	res.Transport = tr.Stats()

@@ -131,6 +131,7 @@ func (n *Network) Discover(cfg DiscoverConfig) (DiscoveryReport, error) {
 	if err := n.journal(Mutation{Kind: MutDiscover, Cfg: &cfgCopy}); err != nil {
 		return DiscoveryReport{}, err
 	}
+	n.bumpInfer()
 	n.resetInference()
 
 	var rep DiscoveryReport

@@ -225,6 +225,7 @@ func PairMap(pairs []AttrPair) map[schema.Attribute]schema.Attribute {
 // unknown peers are skipped — the peer was removed after the samples were
 // journaled, and removal discards its priors.
 func (n *Network) ApplyPriorSamples(entries []PriorSample) {
+	n.bumpInfer()
 	for _, e := range entries {
 		p, ok := n.peers[e.Peer]
 		if !ok {

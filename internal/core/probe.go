@@ -91,6 +91,7 @@ func (n *Network) DiscoverByProbes(attrs []schema.Attribute, ttl int, delta floa
 	if len(attrs) == 0 {
 		return DiscoveryReport{}, fmt.Errorf("core: no attributes to analyze")
 	}
+	n.bumpInfer()
 	n.resetInference()
 
 	run := &probeRun{

@@ -17,13 +17,15 @@ type RouteOptions struct {
 	// Theta is the per-attribute semantic threshold θ_a. Attributes not in
 	// the map use DefaultTheta.
 	Theta map[schema.Attribute]float64
-	// DefaultTheta defaults to 0.5.
+	// DefaultTheta defaults to 0.5 when left at its zero value; use
+	// ExplicitZero for a true θ_a = 0 policy.
 	DefaultTheta float64
 	// Posteriors are the mapping-quality beliefs from a detection run.
 	// A zero-value DetectResult routes on priors alone.
 	Posteriors DetectResult
 	// DefaultPosterior is used for variables absent from Posteriors
-	// (mappings never covered by any cycle). Defaults to 0.5.
+	// (mappings never covered by any cycle). Defaults to 0.5 when left at
+	// its zero value; ExplicitZero selects a true 0.0 default.
 	DefaultPosterior float64
 	// MaxHops bounds propagation. Defaults to the number of peers.
 	MaxHops int
@@ -49,6 +51,12 @@ type RouteResult struct {
 	// correspondence for a query attribute (the ⊥ rule of §2: the query is
 	// forwarded only if all attributes are preserved).
 	DroppedAttr int
+	// Sig is a bloom signature of every mapping edge the walk
+	// examined — crossed, blocked, or skipped because the destination was
+	// already reached. Only frozen walks (RoutingSnapshot.RouteQuery) set
+	// it; the serve layer intersects it with snapshot deltas to decide
+	// whether a cached answer survives a publication.
+	Sig Sig
 }
 
 // RouteQuery propagates q from the origin peer through the mapping network,
@@ -68,12 +76,12 @@ func (n *Network) RouteQuery(origin graph.PeerID, q query.Query, opts RouteOptio
 			return RouteResult{}, fmt.Errorf("core: origin schema %q has no attribute %q", op.schema.Name(), a)
 		}
 	}
-	if opts.DefaultTheta == 0 {
-		opts.DefaultTheta = 0.5
-	}
-	if opts.DefaultPosterior == 0 {
-		opts.DefaultPosterior = 0.5
-	}
+	// Zero values select the historical 0.5 defaults; ExplicitZero (any
+	// negative, or NaN) requests a true 0.0 policy — same convention as
+	// SnapshotOptions, so live and frozen routing agree attribute for
+	// attribute.
+	opts.DefaultTheta = resolveDefault(opts.DefaultTheta, 0.5)
+	opts.DefaultPosterior = resolveDefault(opts.DefaultPosterior, 0.5)
 	if opts.MaxHops <= 0 {
 		opts.MaxHops = n.NumPeers()
 	}

@@ -230,6 +230,7 @@ func (p *Peer) SetPrior(mapping graph.EdgeID, attr schema.Attribute, prior float
 	key := varKey{Mapping: mapping, Attr: attr}
 	p.priors[key] = prior
 	p.samples[key] = []float64{prior}
+	p.net.bumpInfer()
 }
 
 // handleRemote stores an incoming (unmarshalled) remote message into the

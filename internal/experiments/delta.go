@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schema"
+	"repro/internal/sim"
+)
+
+// DeltaPoint is one row of the republication-cost figure: the same serving
+// workload run under one publication mode.
+type DeltaPoint struct {
+	// Mode is "feedback off" (no mid-epoch republication — the ceiling),
+	// "full republish" (feedback on, every publication rebuilds the
+	// snapshot and cold-starts the cache — the pre-delta behaviour) or
+	// "delta republish" (feedback on, unchanged state is shared and
+	// disjoint cache entries revalidate).
+	Mode          string  `json:"mode"`
+	Served        int     `json:"served"`
+	AnswersPerSec float64 `json:"answersPerSec"`
+	// Relative is the throughput ratio against the feedback-off ceiling.
+	Relative float64 `json:"relative"`
+	// Revalidated counts cached answers rebound to a newer epoch without
+	// recomputation; Computed counts snapshot walks; DeltaRepublishes
+	// counts publications that went out as deltas.
+	Revalidated      int `json:"revalidated"`
+	Computed         int `json:"computed"`
+	DeltaRepublishes int `json:"deltaRepublishes"`
+}
+
+// DeltaServing measures what the feedback loop costs the serving plane with
+// and without delta publication: a generated churny overlay serves the same
+// workload three times — feedback off, feedback on with every republication
+// forced full, and feedback on with delta publication (the default). The
+// mid-epoch feedback republication is the one the cache used to cold-start
+// on; with deltas, entries whose routes avoid the republished edges
+// revalidate instead.
+func DeltaServing(peers, epochs, queriesPerEpoch int, seed int64) ([]DeltaPoint, error) {
+	sc, err := sim.Generate(sim.GenConfig{Seed: seed, Peers: peers, Epochs: epochs, Events: 6})
+	if err != nil {
+		return nil, err
+	}
+	for i := range sc.Epochs {
+		sc.Epochs[i].Queries = 0
+		if i >= len(sc.Epochs)/2 {
+			// Churn is bursty, not constant: the trailing epochs are
+			// steady-state, where only feedback moves the posteriors. A
+			// structural change forces a full publication regardless of
+			// mode, so these are the epochs where the two publication
+			// strategies can actually differ.
+			sc.Epochs[i].Events = nil
+		}
+	}
+	base := sim.Workload{
+		Clients:           8,
+		QueriesPerEpoch:   queriesPerEpoch,
+		HotKeys:           64,
+		FeedbackRate:      0.02,
+		FeedbackNoise:     0.1,
+		FeedbackMaxRounds: 60,
+	}
+
+	modes := []struct {
+		mode     string
+		feedback bool
+		full     bool
+	}{
+		{"feedback off", false, false},
+		{"full republish", true, true},
+		{"delta republish", true, false},
+	}
+	var out []DeltaPoint
+	var ceiling float64
+	for _, m := range modes {
+		s, err := sim.New(sc)
+		if err != nil {
+			return nil, err
+		}
+		w := base
+		w.Feedback = m.feedback
+		w.FullPublish = m.full
+		res, perf, err := s.RunWorkload(w, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: delta %s: %w", m.mode, err)
+		}
+		pt := DeltaPoint{Mode: m.mode, Served: res.TotalServed, AnswersPerSec: perf.Throughput}
+		for _, ep := range res.Epochs {
+			if ep.Errors != 0 {
+				return nil, fmt.Errorf("experiments: delta %s epoch %d: %d serving errors", m.mode, ep.Epoch, ep.Errors)
+			}
+			pt.Revalidated += ep.Revalidated
+			pt.Computed += ep.Computed
+			if !ep.DeltaFull {
+				pt.DeltaRepublishes++
+			}
+			if ep.Feedback != nil && !ep.Feedback.DeltaFull {
+				pt.DeltaRepublishes++
+			}
+		}
+		if m.mode == "feedback off" {
+			ceiling = perf.Throughput
+		}
+		if ceiling > 0 {
+			pt.Relative = perf.Throughput / ceiling
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PublishCostPoint is one row of the publication-cost-at-scale figure.
+type PublishCostPoint struct {
+	Mode     string  `json:"mode"`
+	Peers    int     `json:"peers"`
+	Mappings int     `json:"mappings"`
+	Millis   float64 `json:"millis"`
+	// Full marks from-scratch publications; for deltas, DeltaEdges is the
+	// number of θ-verdict flips carried and Rebuilt the number of edges
+	// whose posterior state was copied rather than shared.
+	Full       bool `json:"full,omitempty"`
+	DeltaEdges int  `json:"deltaEdges,omitempty"`
+	Rebuilt    int  `json:"rebuilt,omitempty"`
+}
+
+// PublishCost times snapshot publication on a mapping chain of the given
+// size: the initial full build, an unchanged delta republication, a delta
+// republication after 1% of the posteriors cross θ, and a forced full
+// republication of that same state — the rebuild the serve plane used to pay
+// on every feedback round.
+func PublishCost(peers int, seed int64) ([]PublishCostPoint, error) {
+	n := core.NewNetwork(true)
+	for i := 0; i < peers; i++ {
+		id := graph.PeerID(fmt.Sprintf("p%06d", i))
+		n.MustAddPeer(id, schema.MustNew("S"+string(id), "a", "b"))
+	}
+	pairs := map[schema.Attribute]schema.Attribute{"a": "a", "b": "b"}
+	edges := make([]graph.EdgeID, 0, peers-1)
+	for i := 0; i < peers-1; i++ {
+		id := graph.EdgeID(fmt.Sprintf("m%06d", i))
+		n.MustAddMapping(id,
+			graph.PeerID(fmt.Sprintf("p%06d", i)), graph.PeerID(fmt.Sprintf("p%06d", i+1)), pairs)
+		edges = append(edges, id)
+	}
+	posteriors := func(flipEvery int) core.DetectResult {
+		post := make(map[graph.EdgeID]map[schema.Attribute]float64, len(edges))
+		for i, e := range edges {
+			p := 0.9
+			if flipEvery > 0 && i%flipEvery == 0 {
+				p = 0.2 // below the default θ of 0.5
+			}
+			post[e] = map[schema.Attribute]float64{"a": p, "b": p}
+		}
+		return core.DetectResult{Posteriors: post}
+	}
+	timed := func(mode string, det core.DetectResult, opts core.SnapshotOptions) PublishCostPoint {
+		t0 := time.Now()
+		snap := n.PublishSnapshot(det, opts)
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		pt := PublishCostPoint{Mode: mode, Peers: peers, Mappings: len(edges), Millis: ms}
+		if d := snap.Delta(); d != nil {
+			pt.DeltaEdges, pt.Rebuilt = d.Size(), d.Rebuilt()
+		} else {
+			pt.Full = true
+		}
+		return pt
+	}
+
+	clean, flipped := posteriors(0), posteriors(100)
+	out := []PublishCostPoint{
+		timed("initial full build", clean, core.SnapshotOptions{}),
+		timed("delta, unchanged", posteriors(0), core.SnapshotOptions{}),
+		timed("delta, 1% θ-flips", flipped, core.SnapshotOptions{}),
+		timed("forced full republish", flipped, core.SnapshotOptions{ForceFull: true}),
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import "testing"
+
+// TestDeltaServingModes runs the republication-cost experiment at a small
+// scale: the three modes must serve identical answer counts, the forced-full
+// run must never revalidate or publish a delta, and the delta run must do
+// both (otherwise the figure compares nothing).
+func TestDeltaServingModes(t *testing.T) {
+	pts, err := DeltaServing(40, 3, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d modes, want 3", len(pts))
+	}
+	off, full, delta := pts[0], pts[1], pts[2]
+	if off.Mode != "feedback off" || full.Mode != "full republish" || delta.Mode != "delta republish" {
+		t.Fatalf("unexpected mode order: %q %q %q", off.Mode, full.Mode, delta.Mode)
+	}
+	if full.Served != delta.Served || off.Served != delta.Served {
+		t.Errorf("served counts diverge across modes: %d / %d / %d", off.Served, full.Served, delta.Served)
+	}
+	if full.Revalidated != 0 || full.DeltaRepublishes != 0 {
+		t.Errorf("forced-full run revalidated %d and published %d deltas, want 0/0",
+			full.Revalidated, full.DeltaRepublishes)
+	}
+	if delta.DeltaRepublishes == 0 {
+		t.Error("delta run never published a delta")
+	}
+	if delta.Revalidated == 0 {
+		t.Error("delta run never revalidated a cached answer")
+	}
+}
+
+// TestPublishCostShape checks the at-scale publication rows on a small
+// chain: the first and last publications are full builds, the middle two are
+// deltas, and the θ-flip row carries exactly the flipped edges.
+func TestPublishCostShape(t *testing.T) {
+	pts, err := PublishCost(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d rows, want 4", len(pts))
+	}
+	if !pts[0].Full || !pts[3].Full {
+		t.Errorf("first and last publications should be full: %+v / %+v", pts[0], pts[3])
+	}
+	if pts[1].Full || pts[1].DeltaEdges != 0 || pts[1].Rebuilt != 0 {
+		t.Errorf("unchanged republication should be an empty delta: %+v", pts[1])
+	}
+	// 499 edges, every 100th flipped: edges 0, 100, 200, 300, 400.
+	if pts[2].Full || pts[2].DeltaEdges != 5 {
+		t.Errorf("1%% flip republication should carry 5 θ-flips: %+v", pts[2])
+	}
+	for _, p := range pts {
+		if p.Mappings != 499 || p.Peers != 500 {
+			t.Errorf("row %q sized %d peers / %d mappings, want 500/499", p.Mode, p.Peers, p.Mappings)
+		}
+	}
+}

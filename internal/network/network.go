@@ -41,6 +41,7 @@ import (
 type Simulator struct {
 	handlers map[graph.PeerID]Handler
 	queue    []Envelope
+	spare    []Envelope // drained batch recycled as the next queue's backing array
 	drop     *dropper
 	stats    Stats
 }
@@ -83,7 +84,11 @@ func (s *Simulator) Send(e Envelope) {
 // next one. Envelopes addressed to unregistered peers are dropped.
 func (s *Simulator) Step() int {
 	batch := s.queue
-	s.queue = nil
+	// Sends during the step (from handlers) append to the recycled spare
+	// array, never to the batch being drained. The two arrays alternate, so
+	// a belief-propagation run reaches a steady state where rounds allocate
+	// no queue space at all.
+	s.queue = s.spare[:0]
 	n := 0
 	for _, e := range batch {
 		h, ok := s.handlers[e.To]
@@ -95,6 +100,8 @@ func (s *Simulator) Step() int {
 		n++
 		h(e)
 	}
+	clear(batch) // drop payload references before the array is recycled
+	s.spare = batch[:0]
 	return n
 }
 

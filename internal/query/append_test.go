@@ -1,0 +1,57 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestAppendToMatchesString: AppendTo must render byte-for-byte what String
+// renders — the serving plane keys its cache with AppendTo, and any
+// divergence would silently split or alias cache entries. Exercised over
+// randomized queries including the quoting-sensitive literals (quotes,
+// backslashes, non-ASCII, NULs) that strconv.AppendQuote must escape exactly
+// like the %q verb does.
+func TestAppendToMatchesString(t *testing.T) {
+	attrs := []schema.Attribute{"a", "b", "long-attribute-name", "ün·ïcode"}
+	literals := []string{"", "x", `quo"te`, `back\slash`, "tab\tnl\n", "héllo", "\x00\x7f", "ごみ"}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		q := Query{SchemaName: []string{"S1", "", "Sch ema"}[rng.Intn(3)]}
+		for k, nOps := 0, rng.Intn(5); k < nOps; k++ {
+			op := Op{Kind: Project, Attr: attrs[rng.Intn(len(attrs))]}
+			if rng.Intn(2) == 0 {
+				op.Kind = Select
+				op.Literal = literals[rng.Intn(len(literals))]
+			}
+			q.Ops = append(q.Ops, op)
+		}
+		want := q.String()
+		if got := string(q.AppendTo(nil)); got != want {
+			t.Fatalf("AppendTo %q != String %q", got, want)
+		}
+		// Appending to a non-empty prefix extends, never resets.
+		if got := string(q.AppendTo([]byte("pfx|"))); got != "pfx|"+want {
+			t.Fatalf("AppendTo with prefix = %q, want %q", got, "pfx|"+want)
+		}
+	}
+}
+
+// TestAppendToZeroAlloc: rendering into a pre-sized buffer must not allocate
+// — it runs on every cache lookup of the serving hot path.
+func TestAppendToZeroAlloc(t *testing.T) {
+	q := Query{SchemaName: "S1", Ops: []Op{
+		{Kind: Project, Attr: "a"},
+		{Kind: Select, Attr: "b", Literal: "needle"},
+	}}
+	var buf [256]byte
+	allocs := testing.AllocsPerRun(100, func() {
+		if b := q.AppendTo(buf[:0]); len(b) == 0 {
+			t.Fatal("empty rendering")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendTo into a sized buffer allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -8,6 +8,7 @@ package query
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/schema"
@@ -154,4 +155,30 @@ func (q Query) String() string {
 		parts[i] = op.String()
 	}
 	return q.SchemaName + ": " + strings.Join(parts, " ")
+}
+
+// AppendTo appends exactly the String rendering to b and returns the
+// extended slice, without any intermediate allocation — the serving plane
+// builds its cache keys with this on every lookup, where a String call per
+// hit would defeat the cache's zero-allocation hit path.
+func (q Query) AppendTo(b []byte) []byte {
+	b = append(b, q.SchemaName...)
+	b = append(b, ':', ' ')
+	for i, op := range q.Ops {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		if op.Kind == Select {
+			b = append(b, "σ["...)
+			b = append(b, op.Attr...)
+			b = append(b, " LIKE "...)
+			b = strconv.AppendQuote(b, op.Literal)
+			b = append(b, ']')
+		} else {
+			b = append(b, "π["...)
+			b = append(b, op.Attr...)
+			b = append(b, ']')
+		}
+	}
+	return b
 }

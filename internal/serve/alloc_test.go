@@ -1,0 +1,51 @@
+package serve_test
+
+import (
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestAnswerHitZeroAlloc pins the full cache-hit path of Server.Answer —
+// snapshot load, key rendering, shard hash, lookup, epoch check, counter
+// bumps — at zero allocations per query. The old fmt.Sprintf key built one
+// garbage string per hit, which at millions of queries per epoch dominated
+// the serving profile.
+func TestAnswerHitZeroAlloc(t *testing.T) {
+	n, _ := lineNet(t)
+	srv := serve.New(n, serve.Options{})
+	q := projA(t, n, "p1")
+	if _, err := srv.Answer("p1", q); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := srv.Answer("p1", q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Answer cache hit allocates %.1f times per op, want 0", allocs)
+	}
+	st := srv.Stats()
+	if st.CacheHits == 0 || st.Computed != 1 {
+		t.Errorf("hit loop did not stay on the cache: %+v", st)
+	}
+}
+
+// BenchmarkAnswerHit measures the end-to-end cache-hit cost of Answer (run
+// with -benchmem: 0 allocs/op).
+func BenchmarkAnswerHit(b *testing.B) {
+	n, _ := lineNet(b)
+	srv := serve.New(n, serve.Options{})
+	q := projA(b, n, "p1")
+	if _, err := srv.Answer("p1", q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Answer("p1", q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -214,6 +214,129 @@ func TestConcurrentSnapshotSwapServing(t *testing.T) {
 	wg.Wait()
 }
 
+// TestConcurrentDeltaSwapServing is the delta-publication variant of the
+// torn-read differential: the publisher alternates mapping m0 between a
+// passing (0.9) and a θ-blocked (0.2) posterior and republishes — as deltas,
+// since the structure never changes, with a periodic ForceFull mixed in —
+// while 32 readers serve through a *caching* server. Cached entries whose
+// route signatures avoid m0 are revalidated across the swaps instead of
+// recomputed, so this exercises the rebind path under concurrent epoch
+// movement. Every answer must still byte-match the answer a quiescent
+// network in its epoch's state produces. Runs under -race in CI.
+func TestConcurrentDeltaSwapServing(t *testing.T) {
+	// A line p0→p1→…→p5: drop the ring's wrap edge so queries originating
+	// at p1..p5 never examine m0 and stay revalidatable when it flips.
+	net := ringNet(t, ringSize)
+	net.RemoveMapping(graph.EdgeID(fmt.Sprintf("m%d", ringSize-1)))
+	if _, err := net.Discover(core.DiscoverConfig{Attrs: []schema.Attribute{"a"}, MaxLen: ringSize}); err != nil {
+		t.Fatal(err)
+	}
+	queries := raceQueries(t, net)
+	key := func(origin graph.PeerID, q query.Query) string { return string(origin) + "|" + q.String() }
+
+	pass := 0.9
+	statePosteriors := func(state int) core.DetectResult {
+		m0 := pass
+		if state == 1 {
+			m0 = 0.2 // below the default θ of 0.5: m0 is blocked
+		}
+		post := make(map[graph.EdgeID]map[schema.Attribute]float64)
+		for i := 0; i < ringSize-1; i++ {
+			post[graph.EdgeID(fmt.Sprintf("m%d", i))] = map[schema.Attribute]float64{"a": pass, "b": pass}
+		}
+		post["m0"]["a"] = m0
+		post["m0"]["b"] = m0
+		return core.DetectResult{Posteriors: post}
+	}
+
+	// Serially precompute the expected fingerprint of every query under both
+	// states.
+	expected := [2]map[string]string{make(map[string]string), make(map[string]string)}
+	serial := serve.New(net, serve.Options{CacheSize: -1})
+	for state := 0; state < 2; state++ {
+		net.PublishSnapshot(statePosteriors(state), core.SnapshotOptions{})
+		for _, qq := range queries {
+			ans, err := serial.Answer(qq.origin, qq.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expected[state][key(qq.origin, qq.q)] = ans.Fingerprint()
+		}
+	}
+	differ := false
+	for k := range expected[0] {
+		if expected[0][k] != expected[1][k] {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Fatal("blocked and passing states produce identical answers; the differential is vacuous")
+	}
+
+	var epochState sync.Map
+	epochState.Store(uint64(1), 0)
+	epochState.Store(uint64(2), 1)
+	nextEpoch := uint64(3)
+
+	const (
+		readers = 32
+		flips   = 12
+	)
+	srv := serve.New(net, serve.Options{})
+	var stop atomic.Bool
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				qq := queries[(r+i)%len(queries)]
+				ans, err := srv.Answer(qq.origin, qq.q)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				stateVal, ok := epochState.Load(ans.Epoch)
+				if !ok {
+					t.Errorf("reader %d: answer from unknown epoch %d", r, ans.Epoch)
+					return
+				}
+				if got, want := ans.Fingerprint(), expected[stateVal.(int)][key(qq.origin, qq.q)]; got != want {
+					t.Errorf("reader %d: torn read: epoch %d (state %d) answer %s, want %s",
+						r, ans.Epoch, stateVal.(int), got, want)
+					return
+				}
+				served.Add(1)
+			}
+		}(r)
+	}
+
+	// Publisher: flip states under the readers, letting each epoch serve a
+	// healthy batch so cached entries from older epochs are re-asked (and,
+	// when their routes avoid m0, revalidated) before the next swap.
+	for f := 0; f < flips && !t.Failed(); f++ {
+		state := f % 2
+		opts := core.SnapshotOptions{ForceFull: f%5 == 4}
+		epochState.Store(nextEpoch, state)
+		nextEpoch++
+		snap := net.PublishSnapshot(statePosteriors(state), opts)
+		if !opts.ForceFull && snap.Delta() == nil {
+			t.Errorf("flip %d: publication on an untouched structure was not a delta", f)
+		}
+		target := served.Load() + 200
+		for served.Load() < target && !t.Failed() {
+			runtime.Gosched()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if st := srv.Stats(); st.Revalidated == 0 {
+		t.Error("no answer was revalidated across the delta swaps; the rebind path went unexercised")
+	}
+}
+
 // TestConcurrentServeDuringDetection serves queries while RunDetection
 // itself publishes a snapshot after every BP round (DetectOptions.Publish).
 // Detection rounds are deterministic, so two answers for the same (epoch,

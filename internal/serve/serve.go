@@ -11,9 +11,12 @@
 // chain (query.RewriteChain), execute the rewritten query at every reachable
 // peer that has a store (xmldb.Store.Execute), and merge the translated
 // results into a canonically ordered, deduplicated record set. Answers are
-// memoized in a sharded, coalescing LRU cache keyed by (origin, query,
-// snapshot epoch): a snapshot swap is the only invalidation, because stale
-// epochs simply stop being requested and age out.
+// memoized in a sharded, coalescing LRU cache keyed by (origin, query); each
+// entry remembers the latest epoch it is valid for plus the bloom signature
+// of every edge its route examined, so a snapshot swap revalidates entries
+// on access — an entry disjoint from the published deltas is rebound to the
+// new epoch in place, and only answers the delta could actually have changed
+// are recomputed (see cache.go).
 //
 // Every Answer is internally consistent with exactly one epoch: all state it
 // derives from hangs off the single snapshot pointer loaded at entry.
@@ -84,6 +87,12 @@ type Answer struct {
 	// and how many records the peer contributed. Answers are shared via the
 	// cache; Paths and everything it references must never be mutated.
 	Paths []Path
+	// fp memoizes Fingerprint. Answers are immutable once computed and
+	// shared across cache hits and revalidations, so the canonical digest
+	// is paid once per snapshot walk, not once per served answer — without
+	// it, a workload that fingerprints every answer re-renders the whole
+	// record set on every cache hit.
+	fp string
 }
 
 // Path is the provenance of one answered peer: the surviving mapping chain
@@ -99,6 +108,9 @@ type Path struct {
 // record set (the bytes the differential oracle and the workload traces
 // compare).
 func (a Answer) Fingerprint() string {
+	if a.fp != "" {
+		return a.fp
+	}
 	sum := sha256.Sum256(CanonicalBytes(a.Records))
 	return hex.EncodeToString(sum[:])
 }
@@ -109,9 +121,16 @@ type Stats struct {
 	Served uint64
 	// Errors counts failed ones.
 	Errors uint64
-	// CacheHits counts answers served from the cache, including requests
-	// that coalesced onto a concurrent computation of the same key.
+	// CacheHits counts answers served from the cache without revalidation
+	// work: the entry was already bound to the current epoch. Requests that
+	// coalesced onto a concurrent computation of the same key count here
+	// too.
 	CacheHits uint64
+	// Revalidated counts answers served from a cache entry that predated
+	// the current snapshot but survived it: the published deltas were
+	// disjoint from the entry's route signature, so it was rebound to the
+	// new epoch instead of being recomputed.
+	Revalidated uint64
 	// Computed counts answers computed from a snapshot walk.
 	Computed uint64
 	// StaleEpochReads counts answers whose snapshot had already been
@@ -126,7 +145,7 @@ type Server struct {
 	src   Source
 	cache *cache
 
-	served, errors, hits, computed, stale atomic.Uint64
+	served, errors, hits, revalidated, computed, stale atomic.Uint64
 
 	// Result-feedback queue (see feedback.go): classified observations wait
 	// here until the network-owning goroutine drains them for ingestion.
@@ -148,6 +167,7 @@ func (s *Server) Stats() Stats {
 		Served:          s.served.Load(),
 		Errors:          s.errors.Load(),
 		CacheHits:       s.hits.Load(),
+		Revalidated:     s.revalidated.Load(),
 		Computed:        s.computed.Load(),
 		StaleEpochReads: s.stale.Load(),
 	}
@@ -164,24 +184,32 @@ func (s *Server) Answer(origin graph.PeerID, q query.Query) (Answer, error) {
 		return Answer{}, fmt.Errorf("serve: no snapshot published yet")
 	}
 	var (
-		ans    Answer
-		cached bool
-		err    error
+		ans  Answer
+		kind hitKind
+		err  error
 	)
 	if s.cache == nil {
-		ans, err = computeAnswer(snap, origin, q)
+		ans, _, err = computeAnswer(snap, origin, q)
 	} else {
-		ans, cached, err = s.cache.getOrCompute(cacheKey(snap.Epoch(), origin, q), func() (Answer, error) {
-			return computeAnswer(snap, origin, q)
-		})
+		// The key buffer lives on the stack: appendCacheKey fills it
+		// without allocating (unless the rendering outgrows it) and the
+		// cache only copies it to a string when inserting a new entry.
+		var kbuf [256]byte
+		key := appendCacheKey(kbuf[:0], origin, q)
+		ans, kind, err = s.cache.getOrCompute(key, snap, origin, q, computeAnswer)
 	}
 	if err != nil {
 		s.errors.Add(1)
 		return Answer{}, err
 	}
-	if cached {
+	switch kind {
+	case hitFresh:
 		s.hits.Add(1)
-	} else {
+		ans.Epoch = snap.Epoch()
+	case hitRevalidated:
+		s.revalidated.Add(1)
+		ans.Epoch = snap.Epoch()
+	default:
 		s.computed.Add(1)
 	}
 	s.served.Add(1)
@@ -191,19 +219,27 @@ func (s *Server) Answer(origin graph.PeerID, q query.Query) (Answer, error) {
 	return ans, nil
 }
 
-// cacheKey renders the (epoch, origin, query) cache key. Query.String is
-// injective enough: schema name, op kinds, attributes and literals all
-// appear verbatim.
-func cacheKey(epoch uint64, origin graph.PeerID, q query.Query) string {
-	return fmt.Sprintf("%d\x00%s\x00%s", epoch, origin, q.String())
+// appendCacheKey appends the (origin, query) cache key to b and returns the
+// extended slice. The epoch is deliberately absent — validity is tracked per
+// entry and moved forward by revalidation — and nothing here allocates, so a
+// cache hit costs zero allocations end to end (see BenchmarkAnswerHit).
+// Query.AppendTo is injective enough: schema name, op kinds, attributes and
+// literals all appear verbatim, and origin cannot forge the separator into a
+// query because queries never start with NUL.
+func appendCacheKey(b []byte, origin graph.PeerID, q query.Query) []byte {
+	b = append(b, origin...)
+	b = append(b, 0)
+	return q.AppendTo(b)
 }
 
 // computeAnswer performs the uncached snapshot walk: route, rewrite along
-// each surviving chain, execute, merge.
-func computeAnswer(snap *core.RoutingSnapshot, origin graph.PeerID, q query.Query) (Answer, error) {
+// each surviving chain, execute, merge. The second return value is the
+// route's bloom signature — the cache stores it beside the answer to decide
+// survivability across snapshot swaps.
+func computeAnswer(snap *core.RoutingSnapshot, origin graph.PeerID, q query.Query) (Answer, core.Sig, error) {
 	route, err := snap.RouteQuery(origin, q)
 	if err != nil {
-		return Answer{}, err
+		return Answer{}, core.Sig{}, err
 	}
 	ans := Answer{
 		Epoch:       snap.Epoch(),
@@ -224,7 +260,7 @@ func computeAnswer(snap *core.RoutingSnapshot, origin graph.PeerID, q query.Quer
 		for _, eid := range v.Via {
 			m, ok := snap.Mapping(eid)
 			if !ok {
-				return Answer{}, fmt.Errorf("serve: epoch %d: route to %q crosses unknown mapping %q",
+				return Answer{}, core.Sig{}, fmt.Errorf("serve: epoch %d: route to %q crosses unknown mapping %q",
 					snap.Epoch(), v.Peer, eid)
 			}
 			chain = append(chain, m)
@@ -234,12 +270,12 @@ func computeAnswer(snap *core.RoutingSnapshot, origin graph.PeerID, q query.Quer
 			// RouteQuery only crosses mappings that preserve every query
 			// attribute, and rewrites hop by hop with the same mappings —
 			// any disagreement here means the snapshot is torn.
-			return Answer{}, fmt.Errorf("serve: epoch %d: chain rewrite to %q disagrees with the route (%v dropped)",
+			return Answer{}, core.Sig{}, fmt.Errorf("serve: epoch %d: chain rewrite to %q disagrees with the route (%v dropped)",
 				snap.Epoch(), v.Peer, dropped)
 		}
 		recs, err := st.Execute(rewritten)
 		if err != nil {
-			return Answer{}, fmt.Errorf("serve: epoch %d: executing at %q: %w", snap.Epoch(), v.Peer, err)
+			return Answer{}, core.Sig{}, fmt.Errorf("serve: epoch %d: executing at %q: %w", snap.Epoch(), v.Peer, err)
 		}
 		if len(recs) > 0 {
 			ans.Answered++
@@ -247,8 +283,8 @@ func computeAnswer(snap *core.RoutingSnapshot, origin graph.PeerID, q query.Quer
 		}
 		ans.Paths = append(ans.Paths, Path{Peer: v.Peer, Via: v.Via, Records: len(recs)})
 	}
-	ans.Records = Canonical(merged)
-	return ans, nil
+	ans.Records, ans.fp = canonicalFingerprinted(merged)
+	return ans, route.Sig, nil
 }
 
 // Canonical deduplicates records and orders them canonically: each record
@@ -285,4 +321,33 @@ func CanonicalBytes(records []xmldb.Record) []byte {
 		b.WriteByte('\n')
 	}
 	return []byte(b.String())
+}
+
+// canonicalFingerprinted canonicalizes a merged record set and digests it in
+// the same pass: the sort keys are exactly the bytes CanonicalBytes would
+// render, so the returned fingerprint equals
+// sha256(CanonicalBytes(records)) without rendering anything twice.
+func canonicalFingerprinted(records []xmldb.Record) ([]xmldb.Record, string) {
+	type keyed struct {
+		key string
+		rec xmldb.Record
+	}
+	ks := make([]keyed, 0, len(records))
+	for _, r := range records {
+		ks = append(ks, keyed{key: r.CanonicalString(), rec: r})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]xmldb.Record, 0, len(ks))
+	h := sha256.New()
+	last := ""
+	for i, k := range ks {
+		if i > 0 && k.key == last {
+			continue
+		}
+		out = append(out, k.rec)
+		h.Write([]byte(k.key))
+		h.Write([]byte{'\n'})
+		last = k.key
+	}
+	return out, hex.EncodeToString(h.Sum(nil))
 }

@@ -15,7 +15,7 @@ import (
 
 // lineNet builds p1→p2→p3 over shared attributes a, b with one record per
 // peer, and publishes a snapshot with every mapping passing θ.
-func lineNet(t *testing.T) (*core.Network, *core.RoutingSnapshot) {
+func lineNet(t testing.TB) (*core.Network, *core.RoutingSnapshot) {
 	t.Helper()
 	n := core.NewNetwork(true)
 	mk := func(name string) *schema.Schema { return schema.MustNew(name, "a", "b") }
@@ -42,7 +42,7 @@ func lineNet(t *testing.T) (*core.Network, *core.RoutingSnapshot) {
 	return n, n.PublishSnapshot(det, core.SnapshotOptions{})
 }
 
-func projA(t *testing.T, n *core.Network, origin graph.PeerID) query.Query {
+func projA(t testing.TB, n *core.Network, origin graph.PeerID) query.Query {
 	t.Helper()
 	p, ok := n.Peer(origin)
 	if !ok {
@@ -101,7 +101,9 @@ func TestAnswerCaching(t *testing.T) {
 		t.Errorf("stats %+v, want served 2, computed 1, hits 1", st)
 	}
 
-	// New epoch, same posteriors: recompute under the new key.
+	// New epoch, same posteriors: the publication carries an empty delta, so
+	// the cached answer revalidates — rebound to the new epoch, not
+	// recomputed.
 	n.PublishSnapshot(core.DetectResult{Posteriors: map[graph.EdgeID]map[schema.Attribute]float64{
 		"m12": {"a": 0.9, "b": 0.9},
 		"m23": {"a": 0.9, "b": 0.9},
@@ -113,8 +115,28 @@ func TestAnswerCaching(t *testing.T) {
 	if a3.Epoch == a1.Epoch {
 		t.Error("answer after republication kept the old epoch")
 	}
+	if a3.Fingerprint() != a1.Fingerprint() {
+		t.Error("revalidated answer differs from the original")
+	}
+	if got := srv.Stats(); got.Computed != 1 || got.Revalidated != 1 {
+		t.Errorf("empty-delta republication should revalidate, not recompute: %+v", got)
+	}
+
+	// A full (delta-less) republication severs the chain: the entry cannot
+	// prove validity and is recomputed.
+	n.PublishSnapshot(core.DetectResult{Posteriors: map[graph.EdgeID]map[schema.Attribute]float64{
+		"m12": {"a": 0.9, "b": 0.9},
+		"m23": {"a": 0.9, "b": 0.9},
+	}}, core.SnapshotOptions{ForceFull: true})
+	a4, err := srv.Answer("p1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a4.Epoch == a3.Epoch {
+		t.Error("answer after full republication kept the old epoch")
+	}
 	if got := srv.Stats(); got.Computed != 2 {
-		t.Errorf("republication did not force a recompute: %+v", got)
+		t.Errorf("full republication did not force a recompute: %+v", got)
 	}
 }
 

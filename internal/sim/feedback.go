@@ -47,8 +47,14 @@ type FeedbackTrace struct {
 	Rounds      int `json:"rounds"`
 	TouchedVars int `json:"touchedVars"`
 	// SnapshotEpoch is the republished routing snapshot's epoch (workload
-	// engine only; the replay engine does not publish).
+	// engine only; the replay engine does not publish). DeltaFull is true
+	// when that republication was from scratch, DeltaEdges the number of
+	// θ-verdict-changed edges it carried as a delta — the feedback
+	// republication is the one the serve plane used to cold-start on every
+	// epoch, so its delta size is the whole point of the trace.
 	SnapshotEpoch uint64 `json:"snapshotEpoch,omitempty"`
+	DeltaFull     bool   `json:"deltaFull,omitempty"`
+	DeltaEdges    int    `json:"deltaEdges,omitempty"`
 	// ErrBefore/ErrAfter is the mean absolute posterior error against
 	// ground truth (corrupted mappings should post 0, clean ones 1) over
 	// the covered mappings, before ingestion and after the re-detection —

@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -83,6 +84,12 @@ type Workload struct {
 	// (default 4) and Vocab the value vocabulary size (default 8).
 	Records int `json:"records,omitempty"`
 	Vocab   int `json:"vocab,omitempty"`
+	// FullPublish forces every snapshot publication of the run to rebuild
+	// from scratch (SnapshotOptions.ForceFull), disabling delta publication
+	// and with it cache revalidation — the pre-delta behaviour. The
+	// revalidation differential oracle runs the same spec with and without
+	// it and requires byte-identical answer digests.
+	FullPublish bool `json:"fullPublish,omitempty"`
 }
 
 func (w Workload) withDefaults(scenarioSeed int64) Workload {
@@ -199,11 +206,21 @@ type WorkloadEpochTrace struct {
 	Served        int    `json:"served"`
 	Errors        int    `json:"errors,omitempty"`
 	// CacheHits counts answers served from the result cache (including
-	// coalesced concurrent misses); Computed counts snapshot walks. Their
-	// sum is Served, and both are deterministic because the cache computes
-	// each distinct (origin, query, epoch) key exactly once.
-	CacheHits int `json:"cacheHits"`
-	Computed  int `json:"computed"`
+	// coalesced concurrent misses); Revalidated counts answers served from
+	// entries that predated this epoch's snapshot and were rebound to it
+	// because the published deltas missed their routes; Computed counts
+	// snapshot walks. The three sum to Served, and all are deterministic
+	// because the cache computes each distinct (origin, query) key exactly
+	// once per epoch it is stale in.
+	CacheHits   int `json:"cacheHits"`
+	Revalidated int `json:"revalidated"`
+	Computed    int `json:"computed"`
+	// DeltaFull is true when the epoch's barrier publication rebuilt the
+	// snapshot from scratch (first epoch, churn, or Workload.FullPublish);
+	// DeltaEdges is the number of θ-verdict-changed edges it carried when it
+	// was a delta.
+	DeltaFull  bool `json:"deltaFull,omitempty"`
+	DeltaEdges int  `json:"deltaEdges,omitempty"`
 	// StaleReads counts answers whose snapshot was superseded before the
 	// answer completed (always 0 in the barriered engine; nonzero only
 	// when serving overlaps publication, as in the race tests).
@@ -238,11 +255,18 @@ type WorkloadResult struct {
 type WorkloadPerf struct {
 	Elapsed    time.Duration
 	Served     int
-	Throughput float64 // answers per second
-	P50        time.Duration
-	P95        time.Duration
-	P99        time.Duration
-	Max        time.Duration
+	Throughput float64 // answers per second, over the whole run
+	// ServeElapsed is the wall time spent inside the concurrent client
+	// phases only — excluding the per-epoch detection barrier and feedback
+	// ingestion. ServeThroughput is answers per second over that window:
+	// the rate the serve plane itself sustains, which is where cache
+	// cold-starts (and their absence under delta publication) show up.
+	ServeElapsed    time.Duration
+	ServeThroughput float64
+	P50             time.Duration
+	P95             time.Duration
+	P99             time.Duration
+	Max             time.Duration
 }
 
 // Observer, if non-nil, receives every served answer (concurrently, from
@@ -280,7 +304,7 @@ func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *Wo
 			srvNet = s.net
 		}
 		s.ensureStores(w)
-		snap := s.net.PublishSnapshot(det, core.SnapshotOptions{DefaultTheta: s.sc.Theta})
+		snap := s.net.PublishSnapshot(det, core.SnapshotOptions{DefaultTheta: s.sc.Theta, ForceFull: w.FullPublish})
 
 		wtr := WorkloadEpochTrace{
 			Epoch:         tr.Epoch,
@@ -289,12 +313,20 @@ func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *Wo
 			SnapshotEpoch: snap.Epoch(),
 			Queries:       w.QueriesPerEpoch,
 		}
+		if d := snap.Delta(); d != nil {
+			wtr.DeltaEdges = d.Size()
+		} else {
+			wtr.DeltaFull = true
+		}
 		before := srv.Stats()
+		serveStart := time.Now()
 		lats := s.servePhase(i, w, srv, snap, det, obs, &wtr)
+		perf.ServeElapsed += time.Since(serveStart)
 		after := srv.Stats()
 		wtr.Served = int(after.Served - before.Served)
 		wtr.Errors = int(after.Errors - before.Errors)
 		wtr.CacheHits = int(after.CacheHits - before.CacheHits)
+		wtr.Revalidated = int(after.Revalidated - before.Revalidated)
 		wtr.Computed = int(after.Computed - before.Computed)
 		wtr.StaleReads = int(after.StaleEpochReads - before.StaleEpochReads)
 		latencies = append(latencies, lats...)
@@ -315,6 +347,9 @@ func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *Wo
 	perf.Served = res.TotalServed
 	if perf.Elapsed > 0 {
 		perf.Throughput = float64(res.TotalServed) / perf.Elapsed.Seconds()
+	}
+	if perf.ServeElapsed > 0 {
+		perf.ServeThroughput = float64(res.TotalServed) / perf.ServeElapsed.Seconds()
 	}
 	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
 	if n := len(latencies); n > 0 {
@@ -372,6 +407,7 @@ func (s *Simulation) servePhase(epoch int, w Workload, srv *serve.Server, snap *
 			h := sha256.New()
 			out := &outs[c]
 			out.lats = make([]time.Duration, 0, quota)
+			var line []byte // reused digest-line buffer; same bytes Fprintf produced
 			for qi := 0; qi < quota; qi++ {
 				origin, qry := s.drawQuery(rng, w, live, hot, snap)
 				t0 := time.Now()
@@ -381,7 +417,16 @@ func (s *Simulation) servePhase(epoch int, w Workload, srv *serve.Server, snap *
 					fmt.Fprintf(h, "err|%s|%s|%v\n", origin, qry, err)
 					continue
 				}
-				fmt.Fprintf(h, "ans|%s|%s|%d|%s\n", origin, qry, ans.Epoch, ans.Fingerprint())
+				line = append(line[:0], "ans|"...)
+				line = append(line, origin...)
+				line = append(line, '|')
+				line = qry.AppendTo(line)
+				line = append(line, '|')
+				line = strconv.AppendUint(line, ans.Epoch, 10)
+				line = append(line, '|')
+				line = append(line, ans.Fingerprint()...)
+				line = append(line, '\n')
+				h.Write(line)
 				out.visits += ans.Peers
 				out.records += len(ans.Records)
 				if fbRng != nil && fbRng.Float64() < w.FeedbackRate {
@@ -424,8 +469,13 @@ func (s *Simulation) feedbackPhase(epoch int, w Workload, srv *serve.Server, det
 		return err
 	}
 	ft.ErrBefore = errBefore
-	snap := s.net.PublishSnapshot(det2, core.SnapshotOptions{DefaultTheta: s.sc.Theta})
+	snap := s.net.PublishSnapshot(det2, core.SnapshotOptions{DefaultTheta: s.sc.Theta, ForceFull: w.FullPublish})
 	ft.SnapshotEpoch = snap.Epoch()
+	if d := snap.Delta(); d != nil {
+		ft.DeltaEdges = d.Size()
+	} else {
+		ft.DeltaFull = true
+	}
 	wtr.Feedback = ft
 	return nil
 }
@@ -433,6 +483,17 @@ func (s *Simulation) feedbackPhase(epoch int, w Workload, srv *serve.Server, det
 // drawQuery draws one (origin, query) pair from the workload mixture: hot
 // traffic concentrates on the first `hot` live peers, the analysis attribute
 // and a 4-literal vocabulary; cold traffic spreads over everything.
+// litTab interns the two-digit workload literals ("w00".."w99" — Vocab is
+// capped at 100). drawQuery runs once per served query, so formatting the
+// literal each draw would allocate millions of identical strings per run.
+var litTab = func() [100]string {
+	var t [100]string
+	for i := range t {
+		t[i] = fmt.Sprintf("w%02d", i)
+	}
+	return t
+}()
+
 func (s *Simulation) drawQuery(rng *rand.Rand, w Workload, live []string, hot int, snap *core.RoutingSnapshot) (graph.PeerID, query.Query) {
 	isHot := rng.Float64() < w.Hot && hot > 0
 	var origin graph.PeerID
@@ -445,11 +506,11 @@ func (s *Simulation) drawQuery(rng *rand.Rand, w Workload, live []string, hot in
 		if v > 4 {
 			v = 4
 		}
-		lit = fmt.Sprintf("w%02d", rng.Intn(v))
+		lit = litTab[rng.Intn(v)]
 	} else {
 		origin = graph.PeerID(live[rng.Intn(len(live))])
 		attr = s.attrs[rng.Intn(len(s.attrs))]
-		lit = fmt.Sprintf("w%02d", rng.Intn(w.Vocab))
+		lit = litTab[rng.Intn(w.Vocab)]
 	}
 	sch, _ := snap.Schema(origin)
 	var ops []query.Op

@@ -63,8 +63,9 @@ func TestWorkloadAccounting(t *testing.T) {
 		if ep.Served != ep.Queries || ep.Errors != 0 {
 			t.Errorf("epoch %d: served %d of %d with %d errors", ep.Epoch, ep.Served, ep.Queries, ep.Errors)
 		}
-		if ep.CacheHits+ep.Computed != ep.Served {
-			t.Errorf("epoch %d: hits %d + computed %d != served %d", ep.Epoch, ep.CacheHits, ep.Computed, ep.Served)
+		if ep.CacheHits+ep.Revalidated+ep.Computed != ep.Served {
+			t.Errorf("epoch %d: hits %d + revalidated %d + computed %d != served %d",
+				ep.Epoch, ep.CacheHits, ep.Revalidated, ep.Computed, ep.Served)
 		}
 		if ep.StaleReads != 0 {
 			t.Errorf("epoch %d: %d stale reads in barriered mode", ep.Epoch, ep.StaleReads)
