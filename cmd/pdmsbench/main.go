@@ -16,11 +16,13 @@
 //	pdmsbench -fig feedback # posterior error vs queries served-and-fed-back
 //	pdmsbench -fig wal      # durability cost: fsync policy vs answers/s, recovery time
 //	pdmsbench -fig delta    # republication cost: delta snapshots + revalidation vs full rebuilds
+//	pdmsbench -fig redetect # feedback-refresh cost: residual vs lockstep vs full re-detection
 //	pdmsbench -fig all      # everything
 //
-// With -json <file>, the wal and delta figures additionally write their raw
-// points as JSON (the repo records such runs as BENCH_wal.json and
-// BENCH_delta.json, the first points of the perf trajectory).
+// With -json <file>, the wal, delta and redetect figures additionally write
+// their raw points as JSON (the repo records such runs as BENCH_wal.json,
+// BENCH_delta.json and BENCH_redetect.json, the first points of the perf
+// trajectory).
 package main
 
 import (
@@ -40,8 +42,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdmsbench: ")
-	fig := flag.String("fig", "all", "experiment to run: 7, 9, 10, 11, 12, intro, overhead, topology, scale, ablation, schedules, priors, churn, engine, transport, serving, feedback, wal, delta, all")
-	flag.StringVar(&jsonOut, "json", "", "also write the figure's raw points as JSON to this file (wal and delta only)")
+	fig := flag.String("fig", "all", "experiment to run: 7, 9, 10, 11, 12, intro, overhead, topology, scale, ablation, schedules, priors, churn, engine, transport, serving, feedback, wal, delta, redetect, all")
+	flag.StringVar(&jsonOut, "json", "", "also write the figure's raw points as JSON to this file (wal, delta and redetect only)")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -64,9 +66,10 @@ func main() {
 		"feedback":  feedbackFig,
 		"wal":       walFig,
 		"delta":     deltaFig,
+		"redetect":  redetectFig,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"intro", "7", "9", "10", "11", "12", "overhead", "topology", "scale", "ablation", "schedules", "priors", "churn", "engine", "transport", "serving", "feedback", "wal", "delta"} {
+		for _, k := range []string{"intro", "7", "9", "10", "11", "12", "overhead", "topology", "scale", "ablation", "schedules", "priors", "churn", "engine", "transport", "serving", "feedback", "wal", "delta", "redetect"} {
 			if err := runners[k](); err != nil {
 				log.Fatal(err)
 			}
@@ -604,6 +607,55 @@ func deltaFig() error {
 			Serving     []experiments.DeltaPoint       `json:"deltaServing"`
 			PublishCost []experiments.PublishCostPoint `json:"publishCost"`
 		}{Date: benchDate(), Serving: pts, PublishCost: cost}
+		enc, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		if err := os.WriteFile(jsonOut, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("raw points written to %s\n", jsonOut)
+	}
+	return nil
+}
+
+func redetectFig() error {
+	header("redetect — one feedback refresh under each detection schedule (40-query batch, converging overlays)")
+	var all []experiments.RedetectPoint
+	for _, cfg := range []struct {
+		peers int
+		seed  int64
+	}{{1000, 2}, {10000, 2}} {
+		pts, err := experiments.RedetectCompare(cfg.peers, cfg.seed)
+		if err != nil {
+			return err
+		}
+		all = append(all, pts...)
+	}
+	rows := make([][]string, 0, len(all))
+	for _, p := range all {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Peers), p.Mode, fmt.Sprint(p.TouchedVars), fmt.Sprint(p.Components),
+			fmt.Sprint(p.Rounds), fmt.Sprint(p.MsgUpdates), fmt.Sprint(p.FactorUpdates),
+			fmt.Sprintf("%.1fms", p.Millis),
+		})
+	}
+	fmt.Println(eval.Table(
+		[]string{"peers", "schedule", "scope vars", "components", "rounds", "msg updates", "factor rebinds", "time"},
+		rows))
+	fmt.Println("the residual frontier recomputes only messages whose inputs moved beyond tolerance,")
+	fmt.Println("so a converging refresh costs the dirty components' movement, not full sweeps of")
+	fmt.Println("them (1000-peer rows). The generated 10k overlays carry frustrated evidence loops")
+	fmt.Println("that never settle: every schedule runs to the round cap and the residual engine")
+	fmt.Println("degrades gracefully to the lockstep escalation — same work, same posteriors.")
+	fmt.Println("The work counters are bit-deterministic; only the wall clock varies between runs.")
+
+	if jsonOut != "" {
+		payload := struct {
+			Date   string                      `json:"date"`
+			Points []experiments.RedetectPoint `json:"redetect"`
+		}{Date: benchDate(), Points: all}
 		enc, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			return err

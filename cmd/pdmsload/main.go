@@ -16,6 +16,9 @@
 //	                                       # generate a load spec instead
 //	pdmsload -gen -seed 5 -feedback -noise 0.1
 //	                                       # ... with the feedback loop closed
+//	pdmsload -gen -seed 5 -feedback -pipeline
+//	                                       # ... with the refresh overlapped
+//	                                       # with serving instead of a barrier
 //	pdmsload -spec load.json -wal ./wal -fsync group -perf
 //	                                       # journal every mutation to a durable
 //	                                       # write-ahead log (fsync: always,
@@ -67,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cache := fs.Int("cache", 0, "generation: server result-cache size")
 	fb := fs.Bool("feedback", false, "generation: close the loop (serve → feedback → incremental re-detect → republish)")
 	noise := fs.Float64("noise", 0, "generation: feedback verdict flip probability (with -feedback)")
+	pipeline := fs.Bool("pipeline", false, "generation: overlap the feedback refresh with serving instead of a barrier (with -feedback)")
+	workers := fs.Int("detect-workers", 0, "generation: component-parallel detection worker count (0 = serial)")
 	walDir := fs.String("wal", "", "journal every network mutation to a write-ahead log in this directory")
 	fsync := fs.String("fsync", "group", "WAL fsync policy: always, group or off (with -wal)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "WAL records between checkpoints (0 = default, negative disables; with -wal)")
@@ -87,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		sc.Epochs = trimQueryBursts(sc.Epochs)
+		sc.DetectWorkers = *workers
 		payload = sim.LoadSpec{
 			Scenario: sc,
 			Workload: sim.Workload{
@@ -98,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				CacheSize:       *cache,
 				Feedback:        *fb,
 				FeedbackNoise:   *noise,
+				Pipeline:        *pipeline,
 			},
 		}
 	case *specPath != "":
@@ -192,6 +199,25 @@ func printPerf(w io.Writer, res *sim.WorkloadResult, p *sim.WorkloadPerf) {
 		computed += ep.Computed
 	}
 	fmt.Fprintf(w, "cache      %d hits  %d revalidated  %d computed\n", res.TotalCacheHits, revalidated, computed)
+	if wk := p.Work; wk.MessageUpdates > 0 || wk.FactorUpdates > 0 {
+		fmt.Fprintf(w, "refresh    %d message updates  %d factor rebinds  %d components over %d refreshes (feedback wait %v)\n",
+			wk.MessageUpdates, wk.FactorUpdates, wk.Components, countRefreshes(res), p.FeedbackWait.Round(1e6))
+	}
+}
+
+// countRefreshes counts the feedback re-detections of the run (per-epoch
+// refreshes plus the pipelined final drain).
+func countRefreshes(res *sim.WorkloadResult) int {
+	n := 0
+	for _, ep := range res.Epochs {
+		if ep.Feedback != nil {
+			n++
+		}
+	}
+	if res.FinalRefresh != nil {
+		n++
+	}
+	return n
 }
 
 // printWALStats renders the durability-side counters (stderr, with -perf).

@@ -55,7 +55,26 @@ type DetectOptions struct {
 	// from-scratch re-detection over the whole network (the 50-seed
 	// differential in internal/sim pins this within 1e-6). With no dirty
 	// variables the run is a no-op that reports the current posteriors.
+	//
+	// Incremental runs under reliable delivery use the residual schedule
+	// (see residual.go): each dirty component runs on its own transport and
+	// only messages whose inputs moved beyond Tolerance are recomputed and
+	// resent. FixedSweeps opts back into the synchronous lockstep sweeps.
 	Incremental bool
+	// FixedSweeps forces an incremental run onto the pre-residual
+	// synchronous sweep schedule: every in-scope message recomputed and
+	// resent every round. It exists as the baseline the residual work
+	// counters are asserted against and for the residual ≡ synchronous
+	// differentials; full (non-incremental) runs always sweep.
+	FixedSweeps bool
+	// Workers is the worker-pool size for component-parallel incremental
+	// re-detection: dirty components are independent (messages never cross
+	// component boundaries), so the residual schedule runs up to Workers of
+	// them concurrently, each on its own transport with a seed derived from
+	// the component's canonical identity. Results are merged in canonical
+	// component order, so any Workers value — including 0/1, fully serial —
+	// produces bit-identical DetectResults.
+	Workers int
 	// Trace, if non-nil, receives after every round the posterior map. The
 	// map is freshly allocated each call.
 	Trace func(round int, posteriors map[graph.EdgeID]map[schema.Attribute]float64)
@@ -125,6 +144,47 @@ type DetectResult struct {
 	TouchedEdges map[graph.EdgeID]bool
 	// Transport carries the transport counters.
 	Transport network.Stats
+	// Work carries the deterministic work counters of the run.
+	Work DetectWork
+}
+
+// DetectWork counts the work a detection run performed, deterministically:
+// the counters depend only on the network state and the options, never on
+// wall clock, goroutine interleaving or worker count — which is what lets
+// perf acceptance gates assert schedule wins as exact integers instead of
+// noisy wall-clock ratios.
+type DetectWork struct {
+	// MessageUpdates counts variable→factor messages recomputed and applied
+	// (locally and, where the factor spans peers, sent). The synchronous
+	// sweep schedule recomputes every in-scope message every round; the
+	// residual schedule skips messages whose inputs stayed within tolerance,
+	// so this counter is where the residual win is asserted.
+	MessageUpdates int `json:"messageUpdates"`
+	// FactorUpdates counts factor→variable message rebinds (µ_{f→m}
+	// refreshes actually applied to a variable's adjacency).
+	FactorUpdates int `json:"factorUpdates"`
+	// Resets counts message slots restored to unit when an incremental run
+	// reset its dirty scope.
+	Resets int `json:"resets,omitempty"`
+	// Components is the number of dirty factor-graph components an
+	// incremental run re-detected (0 for a full run).
+	Components int `json:"components,omitempty"`
+	// ComponentRounds sums the rounds each component executed before
+	// converging. The lockstep schedules run every component every round, so
+	// there it equals Rounds × Components (or Rounds for a full run); the
+	// residual schedule retires each component as soon as its top residual
+	// falls under tolerance.
+	ComponentRounds int `json:"componentRounds,omitempty"`
+}
+
+// add accumulates another run's counters (canonical merge of per-component
+// results, and the sim engines' per-epoch aggregation).
+func (w *DetectWork) Add(o DetectWork) {
+	w.MessageUpdates += o.MessageUpdates
+	w.FactorUpdates += o.FactorUpdates
+	w.Resets += o.Resets
+	w.Components += o.Components
+	w.ComponentRounds += o.ComponentRounds
 }
 
 // Posterior returns the posterior for a mapping and attribute, or def if the
@@ -150,6 +210,14 @@ func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return DetectResult{}, err
+	}
+	// Incremental runs under reliable delivery take the residual-scheduled,
+	// component-parallel path. Under loss the lockstep sweeps stay: they
+	// heal dropped frames by resending every round, which a residual skip
+	// would not. Trace wants per-round posteriors of the whole scope, which
+	// only the lockstep schedule produces.
+	if opts.Incremental && !opts.FixedSweeps && opts.PSend >= 1 && opts.Trace == nil {
+		return n.runResidualDetection(opts)
 	}
 	tr, err := network.New(network.Config{
 		Kind:   opts.Transport,
@@ -179,12 +247,15 @@ func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 	shards := n.shardPartition(tr)
 
 	var scope *detectScope
+	res := DetectResult{}
 	if opts.Incremental {
-		scope = n.incrementalScope()
+		var comps []*detectComponent
+		scope, comps = n.incrementalComponents()
 		n.fbDirty = nil // consumed: the next incremental run starts clean
-		n.resetScope(scope)
+		res.Work.Resets = n.resetScope(scope)
+		res.Work.Components = len(comps)
 	}
-	res := DetectResult{TouchedVars: n.scopeSize(scope)}
+	res.TouchedVars = n.scopeSize(scope)
 	if scope != nil {
 		res.TouchedEdges = make(map[graph.EdgeID]bool, len(scope.vars))
 		for key := range scope.vars {
@@ -194,9 +265,11 @@ func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 	prev := n.scopedPosteriors(opts.DefaultPrior, scope)
 	stable := 0
 	for round := 1; round <= opts.MaxRounds && (scope == nil || res.TouchedVars > 0); round++ {
-		res.RemoteMessages += sendRound(tr, shards, opts.DefaultPrior, scope)
+		remote, updates := sendRound(tr, shards, opts.DefaultPrior, scope)
+		res.RemoteMessages += remote
+		res.Work.MessageUpdates += updates
 		tr.Step()
-		refreshRound(shards, scope)
+		res.Work.FactorUpdates += refreshRound(shards, scope)
 		res.Rounds = round
 
 		cur := n.scopedPosteriors(opts.DefaultPrior, scope)
@@ -229,6 +302,11 @@ func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 		if opts.Publish != nil {
 			n.PublishSnapshot(DetectResult{Posteriors: res.Posteriors, TouchedEdges: res.TouchedEdges}, *opts.Publish)
 		}
+	}
+	// The lockstep schedules run every component every round.
+	res.Work.ComponentRounds = res.Rounds
+	if scope != nil {
+		res.Work.ComponentRounds = res.Rounds * res.Work.Components
 	}
 	res.Transport = tr.Stats()
 	// A transport backed by a real stream (TCP loopback) cannot report
@@ -284,11 +362,12 @@ func eachShard(shards [][]*Peer, f func(shard int, peers []*Peer)) {
 // messages to other peers are sent once per (factor, destination peer).
 // A non-nil scope restricts the round to the dirty components of an
 // incremental run. Returns the number of remote messages handed to the
-// transport.
-func sendRound(tr network.Transport, shards [][]*Peer, defPrior float64, scope *detectScope) int {
+// transport and the number of variable→factor messages applied.
+func sendRound(tr network.Transport, shards [][]*Peer, defPrior float64, scope *detectScope) (int, int) {
 	counts := make([]int, len(shards))
+	updates := make([]int, len(shards))
 	eachShard(shards, func(si int, peers []*Peer) {
-		sent := 0
+		sent, upd := 0, 0
 		for _, p := range peers {
 			for _, key := range p.sortedVarKeys() {
 				if scope != nil && !scope.vars[key] {
@@ -302,6 +381,7 @@ func sendRound(tr network.Transport, shards [][]*Peer, defPrior float64, scope *
 					// Local copy: my own replica records my message so my
 					// other variables in this factor see it.
 					f.replica.setRemote(f.pos, out)
+					upd++
 					dests := f.destinations(p.id)
 					if len(dests) == 0 {
 						continue
@@ -315,28 +395,41 @@ func sendRound(tr network.Transport, shards [][]*Peer, defPrior float64, scope *
 			}
 		}
 		counts[si] = sent
+		updates[si] = upd
 	})
-	total := 0
-	for _, c := range counts {
-		total += c
+	total, upd := 0, 0
+	for si := range counts {
+		total += counts[si]
+		upd += updates[si]
 	}
-	return total
+	return total, upd
 }
 
 // refreshRound performs phase 2: every peer recomputes factor→variable
 // messages from the replicas' remote messages, restricted to the scope of an
-// incremental run when one is given.
-func refreshRound(shards [][]*Peer, scope *detectScope) {
-	eachShard(shards, func(_ int, peers []*Peer) {
+// incremental run when one is given. Returns the number of factor→variable
+// rebinds applied.
+func refreshRound(shards [][]*Peer, scope *detectScope) int {
+	updates := make([]int, len(shards))
+	eachShard(shards, func(si int, peers []*Peer) {
+		upd := 0
 		for _, p := range peers {
 			for _, key := range p.sortedVarKeys() {
 				if scope != nil && !scope.vars[key] {
 					continue
 				}
-				p.vars[key].refresh()
+				vs := p.vars[key]
+				vs.refresh()
+				upd += len(vs.factors)
 			}
 		}
+		updates[si] = upd
 	})
+	total := 0
+	for _, u := range updates {
+		total += u
+	}
+	return total
 }
 
 // detectScope is the variable/factor closure of an incremental run: the
@@ -355,37 +448,7 @@ type detectScope struct {
 // from-scratch detection would compute there, while everything outside keeps
 // its converged state.
 func (n *Network) incrementalScope() *detectScope {
-	scope := &detectScope{vars: make(map[varKey]bool), evs: make(map[string]bool)}
-	var queue []varKey
-	push := func(key varKey) {
-		if scope.vars[key] {
-			return
-		}
-		if p, ok := n.Owner(key.Mapping); ok {
-			if _, exists := p.vars[key]; exists {
-				scope.vars[key] = true
-				queue = append(queue, key)
-			}
-		}
-	}
-	for key := range n.fbDirty {
-		push(key)
-	}
-	for len(queue) > 0 {
-		key := queue[0]
-		queue = queue[1:]
-		p, _ := n.Owner(key.Mapping)
-		for _, f := range p.vars[key].factors {
-			ev := f.replica.ev
-			if scope.evs[ev.ID] {
-				continue
-			}
-			scope.evs[ev.ID] = true
-			for _, m := range ev.Mappings {
-				push(varKey{Mapping: m, Attr: ev.Attr})
-			}
-		}
-	}
+	scope, _ := n.incrementalComponents()
 	return scope
 }
 
@@ -403,8 +466,9 @@ func (n *Network) scopeSize(scope *detectScope) int {
 }
 
 // resetScope restores unit messages inside the scope only — the incremental
-// counterpart of ResetMessages.
-func (n *Network) resetScope(scope *detectScope) {
+// counterpart of ResetMessages. Returns the number of message slots reset.
+func (n *Network) resetScope(scope *detectScope) int {
+	resets := 0
 	for _, p := range n.peers {
 		for id, r := range p.evs {
 			if !scope.evs[id] {
@@ -414,6 +478,7 @@ func (n *Network) resetScope(scope *detectScope) {
 				r.remote[i] = factorgraph.Unit()
 			}
 			r.dirty = true
+			resets += len(r.remote)
 		}
 		for key, vs := range p.vars {
 			if !scope.vars[key] {
@@ -422,8 +487,10 @@ func (n *Network) resetScope(scope *detectScope) {
 			for _, f := range vs.factors {
 				f.toVar = factorgraph.Unit()
 			}
+			resets += len(vs.factors)
 		}
 	}
+	return resets
 }
 
 // scopedPosteriors collects the posteriors the convergence check needs: the

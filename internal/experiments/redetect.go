@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// RedetectPoint is one row of the re-detection-schedule figure: the same
+// feedback batch refreshed under one detection mode.
+type RedetectPoint struct {
+	Peers int `json:"peers"`
+	// Mode is "full" (ResetMessages + lockstep sweeps over the whole
+	// network — the pre-incremental behaviour), "sync" (incremental scope,
+	// lockstep sweeps over the dirty closure — the pre-residual behaviour)
+	// or "residual" (the default: frontier-scheduled incremental
+	// re-detection over the dirty components).
+	Mode   string  `json:"mode"`
+	Millis float64 `json:"millis"`
+	// TouchedVars is the variable scope: the dirty closure for the
+	// incremental modes, the whole network for full. Components counts the
+	// independent dirty components (0 for full — no decomposition).
+	TouchedVars int `json:"touchedVars"`
+	Components  int `json:"components"`
+	Rounds      int `json:"rounds"`
+	// MsgUpdates / FactorUpdates are the deterministic work counters the
+	// wall clock follows: variable→factor messages applied and sent, and
+	// factor→variable messages rebound.
+	MsgUpdates    int `json:"msgUpdates"`
+	FactorUpdates int `json:"factorUpdates"`
+}
+
+// RedetectCompare measures what one feedback refresh costs under each
+// detection schedule: a generated overlay converges from scratch, serves a
+// routed feedback batch on the analysis attribute, ingests it, and then
+// refreshes the posteriors three ways — full re-detection, incremental
+// lockstep sweeps, and the residual frontier schedule. Each mode starts from
+// an identically-built network (detection mutates message state), so the
+// rows are directly comparable; the work counters are bit-deterministic,
+// only Millis varies run to run.
+func RedetectCompare(peers int, seed int64) ([]RedetectPoint, error) {
+	build := func() (*sim.Simulation, []core.QueryFeedback, error) {
+		sc, err := sim.Generate(sim.GenConfig{Seed: seed, Peers: peers, Epochs: 1, Events: -1})
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := sim.New(sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		n, def := s.Network(), s.Scenario() // Scenario() carries the defaults New applied
+		if _, err := n.Discover(core.DiscoverConfig{Attrs: s.Attributes(), MaxLen: def.MaxLen, Delta: def.Delta}); err != nil {
+			return nil, nil, err
+		}
+		det, err := n.RunDetection(core.DetectOptions{MaxRounds: def.MaxRounds, Tolerance: 1e-9})
+		if err != nil {
+			return nil, nil, err
+		}
+		obs, err := s.FeedbackBatch(40, det, 99)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(obs) == 0 {
+			return nil, nil, fmt.Errorf("experiments: redetect: empty feedback batch at %d peers", peers)
+		}
+		return s, obs, nil
+	}
+
+	modes := []struct {
+		mode        string
+		incremental bool
+		fixed       bool
+	}{
+		{"full", false, false},
+		{"sync", true, true},
+		{"residual", true, false},
+	}
+	var out []RedetectPoint
+	for _, m := range modes {
+		s, obs, err := build()
+		if err != nil {
+			return nil, err
+		}
+		sc, n := s.Scenario(), s.Network()
+		if _, err := n.IngestFeedback(core.FeedbackOptions{Delta: sc.Delta, Noise: 0.1}, obs...); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if !m.incremental {
+			n.ResetMessages()
+		}
+		det, err := n.RunDetection(core.DetectOptions{
+			Incremental: m.incremental,
+			FixedSweeps: m.fixed,
+			MaxRounds:   sc.MaxRounds,
+			Tolerance:   1e-9,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: redetect %s: %w", m.mode, err)
+		}
+		out = append(out, RedetectPoint{
+			Peers:         peers,
+			Mode:          m.mode,
+			Millis:        float64(time.Since(t0).Microseconds()) / 1000,
+			TouchedVars:   det.TouchedVars,
+			Components:    det.Work.Components,
+			Rounds:        det.Rounds,
+			MsgUpdates:    det.Work.MessageUpdates,
+			FactorUpdates: det.Work.FactorUpdates,
+		})
+	}
+	return out, nil
+}

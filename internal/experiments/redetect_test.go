@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestRedetectCompareModes runs the re-detection-schedule experiment on a
+// small converging overlay (300 peers, seed 2 — the dirty closure settles in
+// ~48 rounds): the three modes must appear in order, the incremental modes
+// must share a dirty-closure scope strictly smaller than the full scope, and
+// the residual schedule must apply strictly fewer message updates than the
+// lockstep sweeps (otherwise the figure compares nothing).
+func TestRedetectCompareModes(t *testing.T) {
+	pts, err := RedetectCompare(300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d modes, want 3", len(pts))
+	}
+	full, sync, res := pts[0], pts[1], pts[2]
+	if full.Mode != "full" || sync.Mode != "sync" || res.Mode != "residual" {
+		t.Fatalf("unexpected mode order: %q %q %q", full.Mode, sync.Mode, res.Mode)
+	}
+	if full.Components != 0 {
+		t.Errorf("full re-detection decomposed into %d components, want 0 (no decomposition)", full.Components)
+	}
+	if sync.TouchedVars != res.TouchedVars {
+		t.Errorf("incremental scopes diverge: sync %d vars, residual %d", sync.TouchedVars, res.TouchedVars)
+	}
+	if sync.TouchedVars >= full.TouchedVars {
+		t.Errorf("dirty closure (%d vars) should be strictly smaller than the full scope (%d)",
+			sync.TouchedVars, full.TouchedVars)
+	}
+	if res.Components < 1 {
+		t.Errorf("residual run found %d dirty components, want >= 1", res.Components)
+	}
+	if res.MsgUpdates >= sync.MsgUpdates {
+		t.Errorf("residual applied %d message updates, lockstep sweeps %d; want strictly fewer on a converging closure",
+			res.MsgUpdates, sync.MsgUpdates)
+	}
+	if sync.MsgUpdates >= full.MsgUpdates {
+		t.Errorf("incremental sweeps applied %d message updates, full %d; want strictly fewer",
+			sync.MsgUpdates, full.MsgUpdates)
+	}
+	for _, p := range pts {
+		if p.Peers != 300 {
+			t.Errorf("row %q sized %d peers, want 300", p.Mode, p.Peers)
+		}
+		if p.MsgUpdates <= 0 || p.FactorUpdates <= 0 || p.Rounds <= 0 {
+			t.Errorf("row %q has empty work counters: %+v", p.Mode, p)
+		}
+	}
+}

@@ -68,6 +68,28 @@ func (m Msg) P() float64 {
 	return n[0]
 }
 
+// Residual is the scheduling residual between two normalized messages: the
+// largest component-wise move. Residual belief propagation recomputes a
+// message only when the residual of its inputs exceeds the convergence
+// tolerance, and retires a region once its top residual falls under it —
+// the priority rule the core's incremental schedule runs on. Callers must
+// pass normalized messages; comparing unnormalized ones would conflate
+// scale with movement.
+func Residual(a, b Msg) float64 {
+	d0 := a[0] - b[0]
+	if d0 < 0 {
+		d0 = -d0
+	}
+	d1 := a[1] - b[1]
+	if d1 < 0 {
+		d1 = -d1
+	}
+	if d1 > d0 {
+		return d1
+	}
+	return d0
+}
+
 // Var is a binary variable node. Create variables through Graph.AddVar.
 type Var struct {
 	Name string

@@ -42,10 +42,23 @@ type FeedbackTrace struct {
 	NewFactors int `json:"newFactors"`
 	Bumped     int `json:"bumped"`
 	// Rounds and TouchedVars describe the bounded incremental re-detection:
-	// how many BP rounds ran, over how many variables (the dirty-component
+	// how many BP rounds ran (the slowest component's count under the
+	// residual schedule), over how many variables (the dirty-component
 	// closure, not the whole network).
 	Rounds      int `json:"rounds"`
 	TouchedVars int `json:"touchedVars"`
+	// Work carries the re-detection's deterministic work counters —
+	// message updates, factor rebinds, resets, components, summed
+	// per-component rounds — the integers perf gates assert instead of
+	// wall-clock ratios.
+	Work core.DetectWork `json:"work"`
+	// Pipelined marks a trace produced by the pipelined workload engine,
+	// where the refresh ran concurrently with the second serving sub-phase;
+	// TailObservations counts the observations collected after the refresh
+	// launched — ingested at the epoch barrier, re-detected by the next
+	// refresh (or the end-of-run drain).
+	Pipelined        bool `json:"pipelined,omitempty"`
+	TailObservations int  `json:"tailObservations,omitempty"`
 	// SnapshotEpoch is the republished routing snapshot's epoch (workload
 	// engine only; the replay engine does not publish). DeltaFull is true
 	// when that republication was from scratch, DeltaEdges the number of
@@ -163,12 +176,15 @@ func (s *Simulation) ingestAndRedetect(obs []core.QueryFeedback, noise float64, 
 		Seed:        seed,
 		Transport:   network.Kind(s.sc.Transport),
 		Shards:      s.sc.Shards,
+		Workers:     s.sc.DetectWorkers,
+		FixedSweeps: s.sc.FixedSweeps,
 	})
 	if err != nil {
 		return nil, core.DetectResult{}, err
 	}
 	ft.Rounds = det.Rounds
 	ft.TouchedVars = det.TouchedVars
+	ft.Work = det.Work
 	ft.ErrAfter = s.posteriorError(det)
 	return ft, det, nil
 }
@@ -176,6 +192,18 @@ func (s *Simulation) ingestAndRedetect(obs []core.QueryFeedback, noise float64, 
 // collectFeedbackObs routes n queries on the given posteriors and judges
 // every traversed path with the (noisy) ground-truth oracle, returning the
 // classified observations.
+// FeedbackBatch draws n routed queries on the analysis attribute against
+// det's posteriors and judges every traversed path with the ground-truth
+// oracle at the scenario's noise rate — the observation batch the redetect
+// experiments and benchmarks ingest. Routing failures surface as an error.
+func (s *Simulation) FeedbackBatch(n int, det core.DetectResult, seed int64) ([]core.QueryFeedback, error) {
+	obs, viol := s.collectFeedbackObs(n, det, seed)
+	if len(viol) != 0 {
+		return nil, fmt.Errorf("sim: feedback batch: %d violations, first: %s", len(viol), viol[0])
+	}
+	return obs, nil
+}
+
 func (s *Simulation) collectFeedbackObs(n int, det core.DetectResult, seed int64) ([]core.QueryFeedback, []string) {
 	rng := rand.New(rand.NewSource(seed))
 	live := s.livePeers()

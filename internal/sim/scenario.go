@@ -127,6 +127,16 @@ type Scenario struct {
 	// Shards is the worker count for the sharded transport (0 picks
 	// GOMAXPROCS; the trace does not depend on it).
 	Shards int `json:"shards,omitempty"`
+	// DetectWorkers is the worker-pool size for component-parallel
+	// incremental re-detection (feedback refreshes). Dirty components run
+	// concurrently, each on its own transport; the trace does not depend on
+	// the worker count (core merges in canonical component order).
+	DetectWorkers int `json:"detectWorkers,omitempty"`
+	// FixedSweeps forces incremental re-detections onto the synchronous
+	// lockstep sweep schedule instead of the residual frontier — the
+	// pre-residual behaviour, kept for the residual ≡ synchronous
+	// differentials and like-for-like throughput baselines.
+	FixedSweeps bool `json:"fixedSweeps,omitempty"`
 
 	// WAL journals every network state mutation — churn, discovery,
 	// feedback, prior learning — to an in-memory write-ahead log with an
@@ -210,6 +220,9 @@ func (sc Scenario) check() error {
 	}
 	if sc.Shards < 0 {
 		return fmt.Errorf("sim: negative shard count %d", sc.Shards)
+	}
+	if sc.DetectWorkers < 0 {
+		return fmt.Errorf("sim: negative detect worker count %d", sc.DetectWorkers)
 	}
 	if sc.FeedbackNoise < 0 || sc.FeedbackNoise >= 0.5 {
 		return fmt.Errorf("sim: feedback noise %v out of [0,0.5)", sc.FeedbackNoise)

@@ -228,6 +228,11 @@ func (s *Simulation) walOpts() wal.Options {
 // Scenario returns the defaulted scenario being replayed.
 func (s *Simulation) Scenario() Scenario { return s.sc }
 
+// Attributes returns the scenario's attribute universe in canonical order.
+func (s *Simulation) Attributes() []schema.Attribute {
+	return append([]schema.Attribute(nil), s.attrs...)
+}
+
 // Corrupted reports whether the mapping is currently a corrupted revision.
 func (s *Simulation) Corrupted(id graph.EdgeID) bool { return s.corrupted[id] }
 

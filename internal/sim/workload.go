@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"math/rand"
 	"sort"
@@ -90,6 +91,26 @@ type Workload struct {
 	// revalidation differential oracle runs the same spec with and without
 	// it and requires byte-identical answer digests.
 	FullPublish bool `json:"fullPublish,omitempty"`
+	// Pipeline overlaps the feedback refresh with serving instead of
+	// running it as a barrier: each epoch's serving phase splits at a
+	// deterministic point in every client's query stream, the observations
+	// collected so far are drained and handed to a background goroutine
+	// (ingest → incremental re-detect), and the clients keep serving the
+	// rest of the epoch from the current snapshot while it runs. The engine
+	// joins the job at the epoch barrier, folds in the tail observations,
+	// and publishes the refreshed snapshot — so the detection barrier hides
+	// behind the second serving sub-phase's wall clock. Because the drain
+	// point, the served snapshot and the ingested batches are all
+	// deterministic, the trace stays bit-reproducible and the served
+	// answers byte-match barrier mode at every epoch; only the refresh's
+	// wall-clock placement moves. Requires Feedback. After the last epoch a
+	// final drain re-detects the remaining tail (WorkloadResult.FinalRefresh),
+	// which pins the run's final posteriors to barrier mode within 1e-6.
+	Pipeline bool `json:"pipeline,omitempty"`
+	// PipelineAfter is the fraction of each client's epoch quota served
+	// before the refresh launches (default 0.5): earlier starts refresh on
+	// fewer observations but hide more of the barrier.
+	PipelineAfter float64 `json:"pipelineAfter,omitempty"`
 }
 
 func (w Workload) withDefaults(scenarioSeed int64) Workload {
@@ -122,6 +143,9 @@ func (w Workload) withDefaults(scenarioSeed int64) Workload {
 	if w.FeedbackRate == 0 {
 		w.FeedbackRate = 1
 	}
+	if w.PipelineAfter == 0 {
+		w.PipelineAfter = 0.5
+	}
 	return w
 }
 
@@ -152,6 +176,12 @@ func (w Workload) check() error {
 	}
 	if w.FeedbackMaxRounds < 0 {
 		return fmt.Errorf("sim: negative feedbackMaxRounds")
+	}
+	if w.Pipeline && !w.Feedback {
+		return fmt.Errorf("sim: pipeline requires feedback (there is no refresh to overlap)")
+	}
+	if w.PipelineAfter < 0 || w.PipelineAfter >= 1 {
+		return fmt.Errorf("sim: pipelineAfter %v out of (0,1)", w.PipelineAfter)
 	}
 	return nil
 }
@@ -246,8 +276,33 @@ type WorkloadResult struct {
 	Epochs         []WorkloadEpochTrace `json:"epochs"`
 	TotalServed    int                  `json:"totalServed"`
 	TotalCacheHits int                  `json:"totalCacheHits"`
+	// FinalRefresh records the pipelined run's end-of-run drain: the last
+	// epoch's tail observations were ingested at its barrier but not yet
+	// re-detected, so one more incremental refresh (and publication) runs
+	// after the clients stop, pinning the run's final posteriors to what
+	// barrier mode would have left behind. Nil unless Workload.Pipeline.
+	FinalRefresh *FeedbackTrace `json:"finalRefresh,omitempty"`
 	// Digest chains the epoch digests.
 	Digest string `json:"digest"`
+}
+
+// Normalized returns a copy of the result with the fields that could depend
+// on goroutine scheduling zeroed, for cross-run trace comparison. In the
+// barriered engine every field is already deterministic; under pipelined
+// refresh the serve plane overlaps detection, so StaleReads — answers that
+// complete after a snapshot swap — is the one field a pathological scheduler
+// could perturb (the pipelined engine never swaps mid-phase, but the guard
+// keeps the comparison honest if that ever changes). Everything else —
+// digests, cache counts, work counters, epochs-of-publication — is pinned by
+// construction: the drain point, the ingested batches and the publication
+// barriers are all scheduling-independent.
+func (r *WorkloadResult) Normalized() *WorkloadResult {
+	cp := *r
+	cp.Epochs = append([]WorkloadEpochTrace(nil), r.Epochs...)
+	for i := range cp.Epochs {
+		cp.Epochs[i].StaleReads = 0
+	}
+	return &cp
 }
 
 // WorkloadPerf carries the wall-clock side of a run — everything that is
@@ -263,10 +318,19 @@ type WorkloadPerf struct {
 	// cold-starts (and their absence under delta publication) show up.
 	ServeElapsed    time.Duration
 	ServeThroughput float64
-	P50             time.Duration
-	P95             time.Duration
-	P99             time.Duration
-	Max             time.Duration
+	// FeedbackWait is the wall time the engine stalled on feedback work
+	// between serving phases: the whole drain → ingest → detect → publish
+	// barrier in barrier mode, but only the join-and-tail remainder in
+	// pipelined mode — the difference is the barrier cost the pipeline hid
+	// behind the second serving sub-phase.
+	FeedbackWait time.Duration
+	// Work sums the deterministic detect-work counters over every feedback
+	// refresh of the run (including the pipelined final drain).
+	Work core.DetectWork
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	Max  time.Duration
 }
 
 // Observer, if non-nil, receives every served answer (concurrently, from
@@ -318,9 +382,31 @@ func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *Wo
 		} else {
 			wtr.DeltaFull = true
 		}
+		// In pipelined mode the feedback refresh launches mid-phase: the mid
+		// hook runs at the serving phase's quiescent split point, drains the
+		// observations collected so far (a deterministic batch — every
+		// client has served exactly its head quota) and hands them to a
+		// background goroutine while the clients serve the rest of the epoch
+		// from the unchanged snapshot.
+		var job chan pipelineJob
+		var pipeErrBefore float64
+		var mid func()
+		if w.Feedback && w.Pipeline {
+			epochIdx := i
+			job = make(chan pipelineJob, 1)
+			mid = func() {
+				batch := srv.DrainFeedback()
+				pipeErrBefore = s.posteriorError(det)
+				go func() {
+					ft, det2, err := s.ingestAndRedetect(batch, w.FeedbackNoise, w.FeedbackMaxRounds, s.epochSeed(epochIdx+1)+2)
+					job <- pipelineJob{ft: ft, det: det2, err: err}
+				}()
+			}
+		}
+
 		before := srv.Stats()
 		serveStart := time.Now()
-		lats := s.servePhase(i, w, srv, snap, det, obs, &wtr)
+		lats := s.servePhase(i, w, srv, snap, det, obs, &wtr, mid)
 		perf.ServeElapsed += time.Since(serveStart)
 		after := srv.Stats()
 		wtr.Served = int(after.Served - before.Served)
@@ -332,15 +418,35 @@ func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *Wo
 		latencies = append(latencies, lats...)
 
 		if w.Feedback {
-			if err := s.feedbackPhase(i, w, srv, det, &wtr); err != nil {
+			fbStart := time.Now()
+			var err error
+			if w.Pipeline {
+				err = s.pipelineJoin(w, srv, job, pipeErrBefore, &wtr)
+			} else {
+				err = s.feedbackPhase(i, w, srv, det, &wtr)
+			}
+			if err != nil {
 				return nil, nil, fmt.Errorf("sim: epoch %d feedback: %w", i+1, err)
 			}
+			perf.FeedbackWait += time.Since(fbStart)
+			perf.Work.Add(wtr.Feedback.Work)
 		}
 
 		res.Epochs = append(res.Epochs, wtr)
 		res.TotalServed += wtr.Served
 		res.TotalCacheHits += wtr.CacheHits
 		runDigest.Write([]byte(wtr.Digest))
+	}
+
+	if w.Feedback && w.Pipeline {
+		fbStart := time.Now()
+		ft, err := s.finalDrain(w, srv)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: final refresh: %w", err)
+		}
+		res.FinalRefresh = ft
+		perf.FeedbackWait += time.Since(fbStart)
+		perf.Work.Add(ft.Work)
 	}
 
 	perf.Elapsed = time.Since(start)
@@ -362,13 +468,72 @@ func (s *Simulation) RunWorkload(w Workload, obs Observer) (*WorkloadResult, *Wo
 	return res, perf, nil
 }
 
+// workloadClient is one client's persistent per-epoch state. It outlives the
+// serving goroutines so the pipelined engine can split an epoch into two
+// sub-phases — the RNG positions, the digest chain and the latency log carry
+// across the split, which is why a split run draws the exact query stream
+// and produces the exact digest of an unsplit one.
+type workloadClient struct {
+	rng             *rand.Rand
+	fbRng           *rand.Rand
+	h               hash.Hash
+	line            []byte // reused digest-line buffer; same bytes Fprintf produced
+	visits, records int
+	lats            []time.Duration
+}
+
+// serve draws and answers n queries, advancing the client's state.
+func (cl *workloadClient) serve(s *Simulation, w Workload, srv *serve.Server, snap *core.RoutingSnapshot,
+	det core.DetectResult, obs Observer, epoch, n int, live []string, hot int, interval time.Duration) {
+	for qi := 0; qi < n; qi++ {
+		origin, qry := s.drawQuery(cl.rng, w, live, hot, snap)
+		t0 := time.Now()
+		ans, err := srv.Answer(origin, qry)
+		cl.lats = append(cl.lats, time.Since(t0))
+		if err != nil {
+			fmt.Fprintf(cl.h, "err|%s|%s|%v\n", origin, qry, err)
+			continue
+		}
+		cl.line = append(cl.line[:0], "ans|"...)
+		cl.line = append(cl.line, origin...)
+		cl.line = append(cl.line, '|')
+		cl.line = qry.AppendTo(cl.line)
+		cl.line = append(cl.line, '|')
+		cl.line = strconv.AppendUint(cl.line, ans.Epoch, 10)
+		cl.line = append(cl.line, '|')
+		cl.line = append(cl.line, ans.Fingerprint()...)
+		cl.line = append(cl.line, '\n')
+		cl.h.Write(cl.line)
+		cl.visits += ans.Peers
+		cl.records += len(ans.Records)
+		if cl.fbRng != nil && cl.fbRng.Float64() < w.FeedbackRate {
+			s.feedbackAnswer(srv, ans, w.FeedbackNoise, cl.fbRng)
+		}
+		if obs != nil {
+			obs(epoch, det, origin, qry, ans)
+		}
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+}
+
 // servePhase runs one epoch's concurrent client phase and fills the
-// answer-derived trace fields. It returns the observed latencies.
+// answer-derived trace fields. It returns the observed latencies. A non-nil
+// mid hook splits the phase: every client serves the first
+// Workload.PipelineAfter fraction of its quota, the hook runs on the calling
+// goroutine at the resulting quiescent point (no client in flight — so it
+// can drain feedback deterministically), and the clients then finish their
+// quotas. The split is invisible to the trace: client state persists across
+// it and the served snapshot does not change.
 func (s *Simulation) servePhase(epoch int, w Workload, srv *serve.Server, snap *core.RoutingSnapshot,
-	det core.DetectResult, obs Observer, wtr *WorkloadEpochTrace) []time.Duration {
+	det core.DetectResult, obs Observer, wtr *WorkloadEpochTrace, mid func()) []time.Duration {
 	if w.QueriesPerEpoch == 0 {
 		sum := sha256.Sum256(nil)
 		wtr.Digest = hex.EncodeToString(sum[:])
+		if mid != nil {
+			mid()
+		}
 		return nil
 	}
 	live := s.livePeers()
@@ -381,76 +546,62 @@ func (s *Simulation) servePhase(epoch int, w Workload, srv *serve.Server, snap *
 		interval = time.Duration(int64(time.Second) * int64(w.Clients) / int64(w.QPS))
 	}
 
-	type clientOut struct {
-		digest          []byte
-		visits, records int
-		lats            []time.Duration
-	}
-	outs := make([]clientOut, w.Clients)
-	var wg sync.WaitGroup
+	clients := make([]*workloadClient, w.Clients)
+	quotas := make([]int, w.Clients)
 	base, rem := w.QueriesPerEpoch/w.Clients, w.QueriesPerEpoch%w.Clients
-	for c := 0; c < w.Clients; c++ {
-		quota := base
+	for c := range clients {
+		quotas[c] = base
 		if c < rem {
-			quota++
+			quotas[c]++
 		}
-		wg.Add(1)
-		go func(c, quota int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(clientSeed(w.Seed, epoch, c)))
-			var fbRng *rand.Rand
-			if w.Feedback {
-				// A separate stream: the feedback policy must not perturb
-				// the client's query draws.
-				fbRng = rand.New(rand.NewSource(clientSeed(w.Seed, epoch, c) ^ feedbackSeedSalt))
-			}
-			h := sha256.New()
-			out := &outs[c]
-			out.lats = make([]time.Duration, 0, quota)
-			var line []byte // reused digest-line buffer; same bytes Fprintf produced
-			for qi := 0; qi < quota; qi++ {
-				origin, qry := s.drawQuery(rng, w, live, hot, snap)
-				t0 := time.Now()
-				ans, err := srv.Answer(origin, qry)
-				out.lats = append(out.lats, time.Since(t0))
-				if err != nil {
-					fmt.Fprintf(h, "err|%s|%s|%v\n", origin, qry, err)
-					continue
-				}
-				line = append(line[:0], "ans|"...)
-				line = append(line, origin...)
-				line = append(line, '|')
-				line = qry.AppendTo(line)
-				line = append(line, '|')
-				line = strconv.AppendUint(line, ans.Epoch, 10)
-				line = append(line, '|')
-				line = append(line, ans.Fingerprint()...)
-				line = append(line, '\n')
-				h.Write(line)
-				out.visits += ans.Peers
-				out.records += len(ans.Records)
-				if fbRng != nil && fbRng.Float64() < w.FeedbackRate {
-					s.feedbackAnswer(srv, ans, w.FeedbackNoise, fbRng)
-				}
-				if obs != nil {
-					obs(epoch, det, origin, qry, ans)
-				}
-				if interval > 0 {
-					time.Sleep(interval)
-				}
-			}
-			out.digest = h.Sum(nil)
-		}(c, quota)
+		cl := &workloadClient{
+			rng: rand.New(rand.NewSource(clientSeed(w.Seed, epoch, c))),
+			h:   sha256.New(),
+		}
+		if w.Feedback {
+			// A separate stream: the feedback policy must not perturb
+			// the client's query draws.
+			cl.fbRng = rand.New(rand.NewSource(clientSeed(w.Seed, epoch, c) ^ feedbackSeedSalt))
+		}
+		cl.lats = make([]time.Duration, 0, quotas[c])
+		clients[c] = cl
 	}
-	wg.Wait()
+
+	run := func(counts []int) {
+		var wg sync.WaitGroup
+		for c := range clients {
+			if counts[c] == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(cl *workloadClient, n int) {
+				defer wg.Done()
+				cl.serve(s, w, srv, snap, det, obs, epoch, n, live, hot, interval)
+			}(clients[c], counts[c])
+		}
+		wg.Wait()
+	}
+	if mid == nil {
+		run(quotas)
+	} else {
+		heads := make([]int, w.Clients)
+		tails := make([]int, w.Clients)
+		for c, q := range quotas {
+			heads[c] = int(float64(q) * w.PipelineAfter)
+			tails[c] = q - heads[c]
+		}
+		run(heads)
+		mid()
+		run(tails)
+	}
 
 	var lats []time.Duration
 	epochDigest := sha256.New()
-	for c := range outs {
-		epochDigest.Write(outs[c].digest)
-		wtr.Visits += outs[c].visits
-		wtr.Records += outs[c].records
-		lats = append(lats, outs[c].lats...)
+	for _, cl := range clients {
+		epochDigest.Write(cl.h.Sum(nil))
+		wtr.Visits += cl.visits
+		wtr.Records += cl.records
+		lats = append(lats, cl.lats...)
 	}
 	wtr.Digest = hex.EncodeToString(epochDigest.Sum(nil))
 	return lats
@@ -478,6 +629,74 @@ func (s *Simulation) feedbackPhase(epoch int, w Workload, srv *serve.Server, det
 	}
 	wtr.Feedback = ft
 	return nil
+}
+
+// pipelineJob carries a background feedback refresh to the epoch barrier.
+type pipelineJob struct {
+	ft  *FeedbackTrace
+	det core.DetectResult
+	err error
+}
+
+// pipelineJoin is the epoch-barrier half of the pipelined feedback cycle:
+// wait for the refresh launched mid-phase, ingest the tail observations the
+// clients collected while it ran (their factor bumps apply now; their
+// re-detection rides the next refresh — or the final drain — via the dirty
+// marks, since feedback factors fold chunked ingestion exactly like one
+// batch), and publish the refreshed snapshot.
+func (s *Simulation) pipelineJoin(w Workload, srv *serve.Server, job chan pipelineJob, errBefore float64, wtr *WorkloadEpochTrace) error {
+	r := <-job
+	if r.err != nil {
+		return r.err
+	}
+	ft := r.ft
+	ft.Pipelined = true
+	ft.ErrBefore = errBefore
+	tail := srv.DrainFeedback()
+	if s.sc.Verify {
+		s.fedback = append(s.fedback, tail...)
+	}
+	rep, err := s.net.IngestFeedback(core.FeedbackOptions{Delta: s.sc.Delta, Noise: w.FeedbackNoise}, tail...)
+	if err != nil {
+		return err
+	}
+	ft.TailObservations = len(tail)
+	ft.Observations += len(tail)
+	ft.Positive += rep.Positive
+	ft.Negative += rep.Negative
+	ft.Neutral += rep.Neutral
+	ft.Stale += rep.Stale
+	ft.NewFactors += rep.NewFactors
+	ft.Bumped += rep.Bumped
+	snap := s.net.PublishSnapshot(r.det, core.SnapshotOptions{DefaultTheta: s.sc.Theta, ForceFull: w.FullPublish})
+	ft.SnapshotEpoch = snap.Epoch()
+	if d := snap.Delta(); d != nil {
+		ft.DeltaEdges = d.Size()
+	} else {
+		ft.DeltaFull = true
+	}
+	wtr.Feedback = ft
+	return nil
+}
+
+// finalDrain closes a pipelined run: the last epoch's tail observations were
+// ingested at its barrier but never re-detected, so their dirty marks are
+// still pending. One more incremental refresh and publication pins the run's
+// final posteriors to what barrier mode would have left behind.
+func (s *Simulation) finalDrain(w Workload, srv *serve.Server) (*FeedbackTrace, error) {
+	ft, det, err := s.ingestAndRedetect(srv.DrainFeedback(), w.FeedbackNoise, w.FeedbackMaxRounds, s.epochSeed(len(s.sc.Epochs)+1)+3)
+	if err != nil {
+		return nil, err
+	}
+	ft.Pipelined = true
+	snap := s.net.PublishSnapshot(det, core.SnapshotOptions{DefaultTheta: s.sc.Theta, ForceFull: w.FullPublish})
+	ft.SnapshotEpoch = snap.Epoch()
+	if d := snap.Delta(); d != nil {
+		ft.DeltaEdges = d.Size()
+	} else {
+		ft.DeltaFull = true
+	}
+	return ft, nil
 }
 
 // drawQuery draws one (origin, query) pair from the workload mixture: hot
