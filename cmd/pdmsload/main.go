@@ -72,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	noise := fs.Float64("noise", 0, "generation: feedback verdict flip probability (with -feedback)")
 	pipeline := fs.Bool("pipeline", false, "generation: overlap the feedback refresh with serving instead of a barrier (with -feedback)")
 	workers := fs.Int("detect-workers", 0, "generation: component-parallel detection worker count (0 = serial)")
+	advFraction := fs.Float64("adv-fraction", 0, "generation: fraction of peers recruited into an adversarial clique")
+	advStrategy := fs.String("adv-strategy", "", "generation: adversarial strategy (poison, selfpromote or sybil; requires -adv-fraction)")
+	advVolume := fs.Int("adv-volume", 0, "generation: fabricated observations per adversary per target per epoch (0 = default)")
+	noTrust := fs.Bool("no-trust", false, "generation: disable per-reporter trust weighting (the vulnerable baseline)")
 	walDir := fs.String("wal", "", "journal every network mutation to a write-ahead log in this directory")
 	fsync := fs.String("fsync", "group", "WAL fsync policy: always, group or off (with -wal)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "WAL records between checkpoints (0 = default, negative disables; with -wal)")
@@ -83,10 +87,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch {
 	case *gen:
 		sc, err := sim.Generate(sim.GenConfig{
-			Seed:   *seed,
-			Peers:  *peers,
-			Epochs: *epochs,
-			Events: *events,
+			Seed:        *seed,
+			Peers:       *peers,
+			Epochs:      *epochs,
+			Events:      *events,
+			AdvFraction: *advFraction,
+			AdvStrategy: *advStrategy,
+			AdvVolume:   *advVolume,
+			NoTrust:     *noTrust,
 		})
 		if err != nil {
 			return err

@@ -556,3 +556,79 @@ func TestMillionQueryWALAcceptance(t *testing.T) {
 	t.Logf("wal: %d records, %d bytes, %d syncs, %d checkpoints, mean commit %dns",
 		ws.Records, ws.Bytes, ws.Syncs, ws.Checkpoints, ws.AppendNs/int64(records))
 }
+
+// TestMillionQueryTrustAcceptance prices the trust-weighting robustness
+// layer on the 1M-query feedback-on workload: the PR 8 pipelined+residual
+// run served two ways — per-reporter trust weighting on (the default) and
+// NoTrust (the raw counting baseline). The workload is honest, so trust must
+// be an exact no-op on the bytes — identical run digests — which reduces the
+// comparison to pure overhead: the trust run recomputes reporter scores from
+// the accumulated tallies after every ingest batch, and that bookkeeping
+// must cost at most 5% of throughput (gate ≥0.95x, recorded in
+// PERFORMANCE.md against PR 8's 190k answers/sec). Gated behind -million.
+func TestMillionQueryTrustAcceptance(t *testing.T) {
+	if !*million {
+		t.Skip("pass -million to run the 1M-query trust-overhead workload")
+	}
+	base := sim.Workload{
+		Clients:           8,
+		QueriesPerEpoch:   250_000,
+		HotKeys:           64,
+		Feedback:          true,
+		FeedbackRate:      0.02,
+		FeedbackNoise:     0.1,
+		FeedbackMaxRounds: 60,
+		Pipeline:          true,
+	}
+	modes := []struct {
+		name    string
+		noTrust bool
+	}{
+		{"trust-weighted", false},
+		{"no-trust", true},
+	}
+	rate := make(map[string]float64, len(modes))
+	digests := make(map[string]string, len(modes))
+	for _, m := range modes {
+		for attempt := 0; attempt < 3; attempt++ {
+			runtime.GC()
+			sc, err := sim.Generate(sim.GenConfig{Seed: 2, Peers: 1000, Epochs: 4, Events: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range sc.Epochs {
+				sc.Epochs[i].Queries = 0
+			}
+			sc.NoTrust = m.noTrust
+			s, err := sim.New(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, perf, err := s.RunWorkload(base, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", m.name, err)
+			}
+			if res.TotalServed < 1_000_000 {
+				t.Fatalf("%s: served %d answers, want >= 1,000,000", m.name, res.TotalServed)
+			}
+			if attempt > 0 && res.Digest != digests[m.name] {
+				t.Errorf("%s: run digest not deterministic across attempts", m.name)
+			}
+			digests[m.name] = res.Digest
+			if perf.Throughput > rate[m.name] {
+				rate[m.name] = perf.Throughput
+			}
+			t.Logf("%-15s %d answers, %.0f answers/sec overall, %.0f serve-only, feedback wait %v",
+				m.name, res.TotalServed, perf.Throughput, perf.ServeThroughput,
+				perf.FeedbackWait.Round(1e6))
+		}
+	}
+	if digests["trust-weighted"] != digests["no-trust"] {
+		t.Error("trust weighting perturbed the honest workload's served bytes")
+	}
+	ratio := rate["trust-weighted"] / rate["no-trust"]
+	if ratio < 0.95 {
+		t.Errorf("trust-weighted throughput is %.3fx the no-trust rate, want >= 0.95x", ratio)
+	}
+	t.Logf("trust/no-trust overall ratio %.3fx", ratio)
+}

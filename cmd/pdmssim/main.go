@@ -54,6 +54,10 @@ func run(args []string, stdout io.Writer) error {
 	queries := fs.Int("queries", 0, "generation: query burst per epoch")
 	psend := fs.Float64("psend", 0, "generation: per-epoch message delivery probability (0 = reliable)")
 	verify := fs.Bool("verify", false, "generation: enable the scratch differential every epoch")
+	advFraction := fs.Float64("adv-fraction", 0, "generation: fraction of peers recruited into an adversarial clique")
+	advStrategy := fs.String("adv-strategy", "", "generation: adversarial strategy (poison, selfpromote or sybil; requires -adv-fraction)")
+	advVolume := fs.Int("adv-volume", 0, "generation: fabricated observations per adversary per target per epoch (0 = default)")
+	noTrust := fs.Bool("no-trust", false, "generation: disable per-reporter trust weighting (the vulnerable baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,13 +66,17 @@ func run(args []string, stdout io.Writer) error {
 	switch {
 	case *gen:
 		sc, err := sim.Generate(sim.GenConfig{
-			Seed:    *seed,
-			Peers:   *peers,
-			Epochs:  *epochs,
-			Events:  *events,
-			Queries: *queries,
-			PSend:   *psend,
-			Verify:  *verify,
+			Seed:        *seed,
+			Peers:       *peers,
+			Epochs:      *epochs,
+			Events:      *events,
+			Queries:     *queries,
+			PSend:       *psend,
+			Verify:      *verify,
+			AdvFraction: *advFraction,
+			AdvStrategy: *advStrategy,
+			AdvVolume:   *advVolume,
+			NoTrust:     *noTrust,
 		})
 		if err != nil {
 			return err

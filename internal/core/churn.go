@@ -124,6 +124,10 @@ func (n *Network) RemovePeer(id graph.PeerID) []graph.EdgeID {
 		}
 	}
 	n.dropEvidenceFor(rm)
+	// The departed peer also stops being a reporter: its feedback
+	// contributions and trust state are retracted eagerly, so a discounted
+	// adversary leaving the network takes its poisoned counts with it.
+	n.dropReporter(id)
 	n.bumpStruct()
 	return removedEdges
 }
@@ -183,10 +187,20 @@ func (n *Network) DiscoverIncremental(cfg DiscoverConfig, changed ...graph.EdgeI
 	rep.Structures = len(cycles) + len(pairs)
 	n.bumpInfer()
 	resolve := n.Resolver()
+	var err error
 	if cfg.Granularity == CoarseGrained {
-		return rep, n.discoverCoarse(&rep, cfg, cycles, pairs, resolve)
+		err = n.discoverCoarse(&rep, cfg, cycles, pairs, resolve)
+	} else {
+		err = n.installFine(&rep, cfg, cycles, pairs, resolve)
 	}
-	return rep, n.installFine(&rep, cfg, cycles, pairs, resolve)
+	if err != nil {
+		return rep, err
+	}
+	// Freshly installed structures vote in the trust majorities; re-weight
+	// the feedback factors so incremental maintenance matches a replay that
+	// only ever saw the final structure.
+	n.resyncTrust()
+	return rep, nil
 }
 
 // ResetMessages restores every remote message and factor→variable message to

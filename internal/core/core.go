@@ -47,6 +47,13 @@ type Network struct {
 	// re-detect (see feedback_ingest.go).
 	fbFactors map[string]*fbFactor
 	fbDirty   map[varKey]bool
+	// fbTrust is the sparse per-reporter trust map (absent = full trust),
+	// recomputed from the factors' tallies after every feedback mutation;
+	// fbNoTrust remembers the last batch's NoTrust option so retractions
+	// triggered outside an ingestion (RemovePeer) refresh factors under the
+	// same weighting regime.
+	fbTrust   map[graph.PeerID]float64
+	fbNoTrust bool
 
 	// Serving plane (snapshot.go): the current published snapshot and the
 	// monotone epoch counter stamping each publication, plus two version
@@ -155,6 +162,20 @@ func (n *Network) Peer(id graph.PeerID) (*Peer, bool) {
 	return p, ok
 }
 
+// SetSelfPromote marks (or clears) a peer as a self-promoting adversary: its
+// outgoing remote µ-messages are replaced at the transport boundary with the
+// claim that its mapping is certainly correct. Returns false for unknown
+// peers. The flag is not journaled — it models a liar on the wire, not
+// durable network state.
+func (n *Network) SetSelfPromote(id graph.PeerID, v bool) bool {
+	p, ok := n.peers[id]
+	if !ok {
+		return false
+	}
+	p.selfPromote = v
+	return true
+}
+
 // Peers returns all peers in insertion order.
 func (n *Network) Peers() []*Peer {
 	out := make([]*Peer, 0, len(n.order))
@@ -251,6 +272,9 @@ func (n *Network) RemoveMapping(id graph.EdgeID) {
 		delete(p.out, id)
 	}
 	n.dropEvidenceFor(map[graph.EdgeID]bool{id: true})
+	// The retraction changed the structural votes trust majorities anchor
+	// on; surviving feedback factors must re-weight before the next read.
+	n.resyncTrust()
 	n.bumpStruct()
 }
 
@@ -306,6 +330,15 @@ type Peer struct {
 	// samples it is the running mean of. Lazily allocated.
 	priors  map[varKey]float64
 	samples map[varKey][]float64
+
+	// selfPromote marks an adversarial peer that lies on the wire: every
+	// remote µ-message it emits claims its mapping is certainly correct,
+	// while its local replica copies stay honest — manipulation at the
+	// transport/core boundary. Attack instrumentation for the adversarial
+	// scenarios; deliberately not journaled (replaying a WAL reproduces the
+	// honest network, so scenarios combining self-promotion with crash
+	// recovery are rejected by the sim layer).
+	selfPromote bool
 }
 
 // ID returns the peer's identifier.

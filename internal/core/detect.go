@@ -75,6 +75,13 @@ type DetectOptions struct {
 	// component order, so any Workers value — including 0/1, fully serial —
 	// produces bit-identical DetectResults.
 	Workers int
+	// Blocked, if non-nil, reports whether the directed link from one peer
+	// to another is currently severed — a network partition. Blocked frames
+	// are never handed to the transport, so the partition pattern is
+	// identical on every message substrate (and under any worker count).
+	// Detection-plane only: it gates µ-messages, not query routing or
+	// feedback ingestion.
+	Blocked func(from, to graph.PeerID) bool
 	// Trace, if non-nil, receives after every round the posterior map. The
 	// map is freshly allocated each call.
 	Trace func(round int, posteriors map[graph.EdgeID]map[schema.Attribute]float64)
@@ -265,7 +272,7 @@ func (n *Network) RunDetection(opts DetectOptions) (DetectResult, error) {
 	prev := n.scopedPosteriors(opts.DefaultPrior, scope)
 	stable := 0
 	for round := 1; round <= opts.MaxRounds && (scope == nil || res.TouchedVars > 0); round++ {
-		remote, updates := sendRound(tr, shards, opts.DefaultPrior, scope)
+		remote, updates := sendRound(tr, shards, opts.DefaultPrior, scope, opts.Blocked)
 		res.RemoteMessages += remote
 		res.Work.MessageUpdates += updates
 		tr.Step()
@@ -356,14 +363,23 @@ func eachShard(shards [][]*Peer, f func(shard int, peers []*Peer)) {
 	wg.Wait()
 }
 
+// selfPromoteMsg is the µ-message a self-promoting adversary puts on the
+// wire in place of its honest one: absolute certainty that its mapping is
+// correct. The receiving side's products stay finite (Normalized leaves
+// zero-sum messages alone), so the lie saturates beliefs without poisoning
+// the arithmetic.
+func selfPromoteMsg() factorgraph.Msg { return factorgraph.Msg{1, 0} }
+
 // sendRound performs phase 1 of a period for every peer: compute, marshal
 // and emit the variable→factor messages. Messages to factors replicated on
 // the same peer are applied locally (they never touch the network);
 // messages to other peers are sent once per (factor, destination peer).
 // A non-nil scope restricts the round to the dirty components of an
-// incremental run. Returns the number of remote messages handed to the
+// incremental run; a non-nil blocked predicate severs links (partition).
+// Self-promoting peers lie in the emitted frames only — their local replica
+// copies stay honest. Returns the number of remote messages handed to the
 // transport and the number of variable→factor messages applied.
-func sendRound(tr network.Transport, shards [][]*Peer, defPrior float64, scope *detectScope) (int, int) {
+func sendRound(tr network.Transport, shards [][]*Peer, defPrior float64, scope *detectScope, blocked func(from, to graph.PeerID) bool) (int, int) {
 	counts := make([]int, len(shards))
 	updates := make([]int, len(shards))
 	eachShard(shards, func(si int, peers []*Peer) {
@@ -386,8 +402,15 @@ func sendRound(tr network.Transport, shards [][]*Peer, defPrior float64, scope *
 					if len(dests) == 0 {
 						continue
 					}
-					frame := wire.Encode(wire.Remote{EvID: f.replica.ev.ID, Pos: f.pos, Msg: out})
+					wireMsg := out
+					if p.selfPromote {
+						wireMsg = selfPromoteMsg()
+					}
+					frame := wire.Encode(wire.Remote{EvID: f.replica.ev.ID, Pos: f.pos, Msg: wireMsg})
 					for _, dest := range dests {
+						if blocked != nil && blocked(p.id, dest) {
+							continue
+						}
 						tr.Send(network.Envelope{From: p.id, To: dest, Payload: frame})
 						sent++
 					}

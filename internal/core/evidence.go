@@ -504,4 +504,5 @@ func (n *Network) resetInference() {
 	n.pinRecs = nil
 	n.fbFactors = nil
 	n.fbDirty = nil
+	n.fbTrust = nil
 }

@@ -305,3 +305,160 @@ func TestIncrementalMatchesScratchDetect(t *testing.T) {
 		}
 	}
 }
+
+// TestProportionalCapPreservesPolarity is the property behind
+// maxFeedbackWeight's proportional scaling, probed under the hostile count
+// distributions an adversary can manufacture: for every confirm/contradict
+// split — including the 90%/10% regression shape at 10×, 100× and 1000×
+// the cap — the capped factor must hold the same dominant polarity and the
+// same value ordering as the uncapped counts would imply. Capping each side
+// independently (clamping instead of scaling) fails this: a hot clean chain
+// with 9:1 confirms would degenerate toward 50/50, where the combined
+// conditional favours "two or more wrong" and flips every posterior on the
+// chain.
+func TestProportionalCapPreservesPolarity(t *testing.T) {
+	const delta, eps = 0.1, 0.02
+	const arity = 3
+	posBase, _ := feedback.Evidence{Polarity: feedback.Positive}.NoisyCountingVals(delta, eps, arity)
+	negBase, _ := feedback.Evidence{Polarity: feedback.Negative}.NoisyCountingVals(delta, eps, arity)
+	splits := [][2]int{
+		{9, 1}, {1, 9}, {90, 10}, {10, 90}, {900, 100}, {100, 900},
+		{63, 1}, {1, 63}, {64, 64}, {65, 63}, {63, 65},
+		{1000, 999}, {999, 1000}, {5000, 1}, {1, 5000}, {33, 31}, {31, 33},
+	}
+	for _, s := range splits {
+		pos, neg := s[0], s[1]
+		ff := &fbFactor{
+			ref:     &evidenceRef{Vals: make([]float64, arity+1)},
+			posBase: posBase,
+			negBase: negBase,
+			pos:     pos,
+			neg:     neg,
+			tallies: map[graph.PeerID]*reporterTally{"p0": {pos: pos, neg: neg}},
+		}
+		ff.refresh(nil, false)
+		wantPol := feedback.Positive
+		if pos < neg {
+			wantPol = feedback.Negative
+		}
+		if ff.ref.Polarity != wantPol {
+			t.Errorf("split %d:%d: cap inverted polarity to %v", pos, neg, ff.ref.Polarity)
+		}
+		// The ordering property: log Vals[k] = pos·log posBase[k] +
+		// neg·log negBase[k] is linear in the counts, so scaling both by the
+		// same positive factor preserves the full value ordering exactly. The
+		// uncapped reference is computed in log space — at 5000 observations
+		// the direct product underflows to zero, which is the very overflow
+		// the cap defends against — and every strict uncapped ordering must
+		// survive in the capped output. Per-side clamping would violate this:
+		// it moves the counts off the pos:neg ray and reorders the values.
+		logRef := make([]float64, arity+1)
+		for k := range logRef {
+			logRef[k] = float64(pos)*math.Log(posBase[k]) + float64(neg)*math.Log(negBase[k])
+		}
+		for j := 0; j <= arity; j++ {
+			for k := 0; k <= arity; k++ {
+				tol := 1e-9 * (math.Abs(logRef[j]) + math.Abs(logRef[k]) + 1)
+				if logRef[j] > logRef[k]+tol && ff.ref.Vals[j] <= ff.ref.Vals[k] {
+					t.Errorf("split %d:%d: cap reordered values: uncapped log ratio %v has Vals[%d]=%v <= Vals[%d]=%v",
+						pos, neg, logRef[j]-logRef[k], j, ff.ref.Vals[j], k, ff.ref.Vals[k])
+				}
+			}
+		}
+		for k, v := range ff.ref.Vals {
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Errorf("split %d:%d: Vals[%d]=%v not strictly positive and finite", pos, neg, k, v)
+			}
+		}
+	}
+}
+
+// TestRemovePeerRetractsReporterState is the adversarial churn regression:
+// removing a peer that had been reporting poisoned feedback — and had been
+// convicted and discounted for it — must eagerly retract its entire
+// reporter-side footprint. Its tallies leave every factor it touched,
+// factors it was the sole reporter of disappear outright (replicas and
+// variable references included), its trust entry is dropped, and the
+// surviving factors refresh to the values a network that never heard from
+// the reporter computes — checked by digest equality against exactly that
+// twin network.
+func TestRemovePeerRetractsReporterState(t *testing.T) {
+	mk := func(withAdv bool) *Network {
+		net := feedbackRing(t, 6)
+		obs := []QueryFeedback{
+			{Attr: "a", Chain: []graph.EdgeID{"m0"}, Polarity: feedback.Positive, Reporter: "p2"},
+			{Attr: "a", Chain: []graph.EdgeID{"m0"}, Polarity: feedback.Positive, Reporter: "p3"},
+		}
+		if withAdv {
+			// p5 floods clean m0 with negatives past the conviction
+			// threshold, and is the sole reporter vouching for m2.
+			for i := 0; i < feedback.TrustMinVolume; i++ {
+				obs = append(obs, QueryFeedback{Attr: "a", Chain: []graph.EdgeID{"m0"}, Polarity: feedback.Negative, Reporter: "p5"})
+			}
+			for i := 0; i < 3; i++ {
+				obs = append(obs, QueryFeedback{Attr: "a", Chain: []graph.EdgeID{"m2"}, Polarity: feedback.Positive, Reporter: "p5"})
+			}
+		}
+		if _, err := net.IngestFeedback(fbOpts, obs...); err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+
+	net := mk(true)
+	if tr := net.ReporterTrust("p5"); tr >= 1 {
+		t.Fatalf("precondition: poisoning reporter p5 holds full trust %v", tr)
+	}
+	if disc := net.DiscountedReporters(); len(disc) != 1 || disc[0] != "p5" {
+		t.Fatalf("precondition: discounted reporters = %v, want [p5]", disc)
+	}
+	if factors, weight := net.ReporterContribution("p5"); factors != 2 || weight != feedback.TrustMinVolume+3 {
+		t.Fatalf("precondition: p5 contribution = %d factors / %d weight", factors, weight)
+	}
+
+	net.RemovePeer("p5")
+
+	if factors, weight := net.ReporterContribution("p5"); factors != 0 || weight != 0 {
+		t.Errorf("p5 still contributes %d factors / %d weight after RemovePeer", factors, weight)
+	}
+	if tr := net.ReporterTrust("p5"); tr != 1 {
+		t.Errorf("p5 trust state survives RemovePeer: %v", tr)
+	}
+	if disc := net.DiscountedReporters(); len(disc) != 0 {
+		t.Errorf("discounted reporters after RemovePeer: %v, want none", disc)
+	}
+	// The m2 factor had no other reporter: it must be gone. The m0 factor
+	// survives on the honest tallies alone and flips back to its honest
+	// confirm-dominant polarity.
+	if factors, weight := net.FeedbackFactors(); factors != 1 || weight != 2 {
+		t.Errorf("factors=%d weight=%d after RemovePeer, want 1/2 (honest m0 observations only)", factors, weight)
+	}
+	if pos, neg := net.EvidenceCounts("m0", "a"); pos != 1 || neg != 0 {
+		t.Errorf("EvidenceCounts(m0,a) = %d,%d after RemovePeer, want 1,0", pos, neg)
+	}
+
+	// The strong form: the surviving inference state is indistinguishable
+	// from a network that never heard from p5 at all.
+	twin := mk(false)
+	twin.RemovePeer("p5")
+	got, want := net.InferenceDigest(), twin.InferenceDigest()
+	if len(got) != len(want) {
+		t.Fatalf("digest length %d vs twin %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("digest line %d diverges from the never-saw-p5 twin:\n  got  %q\n  want %q", i, got[i], want[i])
+		}
+	}
+	netDet, err := net.RunDetection(DetectOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twinDet, err := twin.RunDetection(DetectOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := netDet.Posterior("m0", "a", -1), twinDet.Posterior("m0", "a", -1); g != w {
+		t.Errorf("posterior m0/a %v diverges from twin %v", g, w)
+	}
+}

@@ -94,13 +94,16 @@ type AttrPair struct {
 }
 
 // FeedbackGroup is one aggregated feedback observation: every confirm and
-// contradict verdict for the same (attribute, chain) folded into polarity
-// counts. IngestFeedback reduces raw observations to groups before applying
-// them, so the group is the natural journal unit.
+// contradict verdict for the same (attribute, chain, reporter) folded into
+// polarity counts. IngestFeedback reduces raw observations to groups before
+// applying them, so the group is the natural journal unit. Reporter is the
+// peer the judged answers originated at — journaled so recovery rebuilds the
+// per-reporter tallies (and thus the trust scores) exactly.
 type FeedbackGroup struct {
 	Attr     schema.Attribute
 	Chain    []graph.EdgeID
 	Pos, Neg int
+	Reporter graph.PeerID
 }
 
 // PriorSample is one evidence sample appended to a peer's prior for a

@@ -333,8 +333,15 @@ func (n *Network) runComponent(c *detectComponent, opts DetectOptions, seed int6
 				if len(dests) == 0 {
 					continue
 				}
-				frame := wire.Encode(wire.Remote{EvID: f.replica.ev.ID, Pos: f.pos, Msg: msg})
+				wireMsg := msg
+				if p.selfPromote {
+					wireMsg = selfPromoteMsg()
+				}
+				frame := wire.Encode(wire.Remote{EvID: f.replica.ev.ID, Pos: f.pos, Msg: wireMsg})
 				for _, dest := range dests {
+					if opts.Blocked != nil && opts.Blocked(p.id, dest) {
+						continue
+					}
 					tr.Send(network.Envelope{From: p.id, To: dest, Payload: frame})
 					out.remote++
 				}
@@ -411,7 +418,7 @@ func (n *Network) lockstepComponent(c *detectComponent, tr network.Stepped, opts
 	stable := 0
 	out.converged = false
 	for round := 1; round <= opts.MaxRounds; round++ {
-		remote, updates := sendRound(tr, shards, opts.DefaultPrior, scope)
+		remote, updates := sendRound(tr, shards, opts.DefaultPrior, scope, opts.Blocked)
 		out.remote += remote
 		out.work.MessageUpdates += updates
 		tr.Step()

@@ -68,19 +68,19 @@ func (s *Server) FeedbackAnswer(ans Answer, v xmldb.Verdict) int {
 			if p.Records == 0 || len(p.Via) == 0 {
 				continue
 			}
-			obs = appendObs(obs, ans.Attrs, p.Via, feedback.Positive)
+			obs = appendObs(obs, ans.Origin, ans.Attrs, p.Via, feedback.Positive)
 		}
 	case xmldb.VerdictContradict:
 		union := contributingUnion(ans.Paths)
 		if len(union) > 0 {
-			obs = appendObs(obs, ans.Attrs, union, feedback.Negative)
+			obs = appendObs(obs, ans.Origin, ans.Attrs, union, feedback.Negative)
 		}
 	case xmldb.VerdictLost:
 		for _, p := range ans.Paths {
 			if len(p.Via) == 0 {
 				continue
 			}
-			obs = appendObs(obs, ans.Attrs, p.Via, feedback.Neutral)
+			obs = appendObs(obs, ans.Origin, ans.Attrs, p.Via, feedback.Neutral)
 		}
 	}
 	s.enqueueFeedback(v, obs)
@@ -99,7 +99,7 @@ func (s *Server) FeedbackPath(ans Answer, peer graph.PeerID, v xmldb.Verdict) in
 			continue
 		}
 		if len(p.Via) > 0 {
-			obs = appendObs(obs, ans.Attrs, p.Via, VerdictPolarity(v))
+			obs = appendObs(obs, ans.Origin, ans.Attrs, p.Via, VerdictPolarity(v))
 		}
 		break
 	}
@@ -150,10 +150,12 @@ func (s *Server) enqueueFeedback(v xmldb.Verdict, obs []core.QueryFeedback) {
 	s.fbQueue = append(s.fbQueue, obs...)
 }
 
-// appendObs emits one observation per query attribute over the chain.
-func appendObs(obs []core.QueryFeedback, attrs []schema.Attribute, chain []graph.EdgeID, pol feedback.Polarity) []core.QueryFeedback {
+// appendObs emits one observation per query attribute over the chain,
+// stamped with the reporting peer — the origin the judged answer was served
+// at, the identity trust weighting discounts coordinated liars by.
+func appendObs(obs []core.QueryFeedback, reporter graph.PeerID, attrs []schema.Attribute, chain []graph.EdgeID, pol feedback.Polarity) []core.QueryFeedback {
 	for _, a := range attrs {
-		obs = append(obs, core.QueryFeedback{Attr: a, Chain: chain, Polarity: pol})
+		obs = append(obs, core.QueryFeedback{Attr: a, Chain: chain, Polarity: pol, Reporter: reporter})
 	}
 	return obs
 }

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// This file pins the adversarial robustness contract of the trust-weighted
+// feedback plane (internal/feedback/trust.go, core's IngestFeedback):
+//
+//   - trust weighting is an exact no-op on honest networks — a 50-seed
+//     bit-for-bit differential against NoTrust, noisy oracles included;
+//   - a bounded attacker (≤ f poison clique) cannot flip any clean
+//     mapping's θ-verdict relative to the unattacked baseline — 50 seeds;
+//   - the defense has teeth: with trust disabled the same pinned attack
+//     demonstrably collapses a targeted clean mapping below θ.
+
+// runResult builds and runs a scenario, failing the test on any error.
+func runResult(t *testing.T, sc Scenario) *Result {
+	t.Helper()
+	s, err := New(sc)
+	if err != nil {
+		t.Fatalf("%s: build: %v", sc.Name, err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("%s: run: %v", sc.Name, err)
+	}
+	return res
+}
+
+// TestTrustNoopOnHonestNetworks replays 50 generated churn scenarios with
+// zero adversaries twice — trust weighting on, then NoTrust — and requires
+// the two full result traces to be byte-identical. Every third seed runs
+// with a noisy ground-truth oracle, so scattered honest misjudgements must
+// not perturb a single posterior bit either: trust may only leave the
+// honest arithmetic when a reporter crosses the per-chain conviction
+// threshold, which honest noise cannot.
+func TestTrustNoopOnHonestNetworks(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		cfg := GenConfig{
+			Seed:            int64(4000 + seed),
+			Peers:           12,
+			Epochs:          3,
+			Events:          2,
+			FeedbackQueries: 12,
+			Verify:          true,
+		}
+		if seed%3 == 0 {
+			cfg.FeedbackNoise = 0.1
+		}
+		sc, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		sc.RecordPosteriors = true
+		trusted := runResult(t, sc)
+		sc.NoTrust = true
+		plain := runResult(t, sc)
+		tb, err := json.Marshal(trusted)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		pb, err := json.Marshal(plain)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		if string(tb) != string(pb) {
+			t.Errorf("seed %d: trust weighting perturbed an honest network\ntrust:   %s\nnotrust: %s", seed, tb, pb)
+		}
+		if trusted.Violations != 0 {
+			t.Errorf("seed %d: %d violations: %s", seed, trusted.Violations, collectViolations(trusted))
+		}
+	}
+}
+
+// cleanVerdicts maps every initially clean mapping of the scenario to its
+// final-epoch θ-verdict (posterior ≥ θ).
+func cleanVerdicts(t *testing.T, sc Scenario, res *Result) map[string]bool {
+	t.Helper()
+	if len(res.Epochs) == 0 {
+		t.Fatalf("%s: no epochs", sc.Name)
+	}
+	post := res.Epochs[len(res.Epochs)-1].Posteriors
+	if post == nil {
+		t.Fatalf("%s: posteriors not recorded", sc.Name)
+	}
+	theta := sc.Theta
+	if theta == 0 {
+		theta = 0.5
+	}
+	s, err := New(sc)
+	if err != nil {
+		t.Fatalf("%s: rebuild: %v", sc.Name, err)
+	}
+	out := map[string]bool{}
+	for key, p := range post {
+		m := key
+		for i := range key {
+			if key[i] == '/' {
+				m = key[:i]
+				break
+			}
+		}
+		if s.Corrupted(graph.EdgeID(m)) {
+			continue
+		}
+		out[key] = p >= theta
+	}
+	return out
+}
+
+// TestBoundedAttackerNonInversion replays 50 static scenarios three ways —
+// unattacked, attacked by a 2-of-12 poison clique targeting the first clean
+// mappings at volume 6, and with the feedback plane disabled entirely — and
+// requires that no initially clean mapping holding a positive θ-verdict in
+// both the baseline and the structure-only run loses it under attack. The
+// structure-only floor states the exact guarantee trust weighting provides:
+// a bounded clique can at worst *silence* a mapping's feedback channel
+// (θ-routing stops revisiting a transiently smeared mapping, so honest
+// confirmations it would have earned never arrive), but it can never
+// *weaponize* feedback to drag a verdict below what the network's own
+// structural evidence assigns. A mapping the structure itself leaves below θ
+// owes any positive verdict to feedback, and feedback is exactly what a
+// denial attack suppresses. The attacked runs must also stay violation-free,
+// which (via the adversary invariant) pins that only declared clique members
+// are ever discounted.
+func TestBoundedAttackerNonInversion(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		cfg := GenConfig{
+			Seed:            int64(5000 + seed),
+			Peers:           12,
+			Epochs:          3,
+			Events:          -1, // static: the clique is the only perturbation
+			FeedbackQueries: 12,
+			Verify:          true,
+			AdvFraction:     2.0 / 12,
+			AdvStrategy:     AdvPoison,
+			AdvVolume:       6,
+		}
+		sc, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		if len(sc.Adversaries) == 0 {
+			t.Fatalf("seed %d: generator produced no clique", seed)
+		}
+		sc.RecordPosteriors = true
+
+		baseline := sc
+		baseline.Adversaries = nil
+		structOnly := baseline
+		structOnly.Epochs = append([]Epoch(nil), baseline.Epochs...)
+		for i := range structOnly.Epochs {
+			structOnly.Epochs[i].FeedbackQueries = 0
+		}
+		base := runResult(t, baseline)
+		floor := runResult(t, structOnly)
+		attacked := runResult(t, sc)
+
+		if attacked.Violations != 0 {
+			t.Errorf("seed %d: attacked run has %d violations: %s", seed, attacked.Violations, collectViolations(attacked))
+		}
+		baseV := cleanVerdicts(t, baseline, base)
+		floorV := cleanVerdicts(t, structOnly, floor)
+		attV := cleanVerdicts(t, sc, attacked)
+		for key, ok := range baseV {
+			if ok && floorV[key] && !attV[key] {
+				t.Errorf("seed %d: clean mapping %s flipped below θ under a bounded poison clique", seed, key)
+			}
+		}
+	}
+}
+
+// teethScenario is the pinned attack of the teeth test: the adv-poison
+// golden topology — a 12-peer necklace, m4 corrupted in epoch 1, a two-peer
+// clique flooding negative verdicts against clean m0 at volume 6.
+func teethScenario(noTrust bool) Scenario {
+	name := "teeth-trust"
+	if noTrust {
+		name = "teeth-notrust"
+	}
+	return Scenario{
+		Name:             name,
+		Seed:             11,
+		Topology:         "necklace",
+		Peers:            12,
+		RecordPosteriors: true,
+		NoTrust:          noTrust,
+		Adversaries: []AdversarySpec{
+			{Strategy: AdvPoison, Peers: []string{"p6", "p7"}, Targets: []string{"m0"}, Volume: 6},
+		},
+		Epochs: []Epoch{
+			{Events: []Event{{Op: OpCorrupt, Mapping: "m4"}}, FeedbackQueries: 16},
+			{FeedbackQueries: 16},
+			{FeedbackQueries: 16},
+		},
+	}
+}
+
+// TestTrustHasTeeth proves the robustness layer is load-bearing: under the
+// pinned poison attack, disabling trust weighting lets the clique collapse
+// the targeted clean mapping m0 below θ, while the trust-weighted detector
+// keeps its verdict intact. If a refactor ever makes both branches agree,
+// the attack scenarios no longer exercise the defense and this test fails.
+func TestTrustHasTeeth(t *testing.T) {
+	theta := 0.5
+	robust := runResult(t, teethScenario(false))
+	broken := runResult(t, teethScenario(true))
+	rp := robust.Epochs[len(robust.Epochs)-1].Posteriors["m0/a0"]
+	bp := broken.Epochs[len(broken.Epochs)-1].Posteriors["m0/a0"]
+	if rp < theta {
+		t.Errorf("trust-weighted detector lost clean m0 to the clique: posterior %v < θ", rp)
+	}
+	if bp >= theta {
+		t.Errorf("attack has no teeth: even without trust, m0 holds posterior %v ≥ θ", bp)
+	}
+	if robust.Violations != 0 {
+		t.Errorf("robust run has %d violations: %s", robust.Violations, collectViolations(robust))
+	}
+}

@@ -31,8 +31,11 @@ type FeedbackTrace struct {
 	Queries int `json:"queries,omitempty"`
 	// Observations is the number of classified observations ingested, split
 	// into Positive/Negative/Neutral polarities; Stale counts observations
-	// whose chain churn had already dissolved.
+	// whose chain churn had already dissolved. Injected counts the
+	// adversarial fabrications that rode the batch alongside the honest
+	// burst (included in Observations).
 	Observations int `json:"observations"`
+	Injected     int `json:"injected,omitempty"`
 	Positive     int `json:"positive"`
 	Negative     int `json:"negative"`
 	Neutral      int `json:"neutral,omitempty"`
@@ -160,7 +163,7 @@ func (s *Simulation) ingestAndRedetect(obs []core.QueryFeedback, noise float64, 
 		// memory for nothing.
 		s.fedback = append(s.fedback, obs...)
 	}
-	rep, err := s.net.IngestFeedback(core.FeedbackOptions{Delta: s.sc.Delta, Noise: noise}, obs...)
+	rep, err := s.net.IngestFeedback(core.FeedbackOptions{Delta: s.sc.Delta, Noise: noise, NoTrust: s.sc.NoTrust}, obs...)
 	if err != nil {
 		return nil, core.DetectResult{}, err
 	}
@@ -178,6 +181,7 @@ func (s *Simulation) ingestAndRedetect(obs []core.QueryFeedback, noise float64, 
 		Shards:      s.sc.Shards,
 		Workers:     s.sc.DetectWorkers,
 		FixedSweeps: s.sc.FixedSweeps,
+		Blocked:     s.blockedFn(),
 	})
 	if err != nil {
 		return nil, core.DetectResult{}, err
@@ -228,7 +232,7 @@ func (s *Simulation) collectFeedbackObs(n int, det core.DetectResult, seed int64
 				continue
 			}
 			verdict := noisyVerdict(s.pathVerdict(attrs, v.Via), s.sc.FeedbackNoise, rng)
-			obs = append(obs, core.QueryFeedback{Attr: attr, Chain: v.Via, Polarity: serve.VerdictPolarity(verdict)})
+			obs = append(obs, core.QueryFeedback{Attr: attr, Chain: v.Via, Polarity: serve.VerdictPolarity(verdict), Reporter: origin})
 		}
 	}
 	return obs, viol
@@ -236,15 +240,19 @@ func (s *Simulation) collectFeedbackObs(n int, det core.DetectResult, seed int64
 
 // feedbackBurst is the scenario replay's feedback epoch: route n queries on
 // the fresh posteriors, judge every traversed path with the (noisy) oracle,
-// ingest, and re-detect incrementally.
+// append the adversarial cliques' fabrications to the same batch, ingest,
+// and re-detect incrementally.
 func (s *Simulation) feedbackBurst(n int, det core.DetectResult, seed int64) (*FeedbackTrace, core.DetectResult, []string, error) {
 	obs, viol := s.collectFeedbackObs(n, det, seed)
+	injected := s.adversaryObs()
+	obs = append(obs, injected...)
 	errBefore := s.posteriorError(det)
 	ft, det2, err := s.ingestAndRedetect(obs, s.sc.FeedbackNoise, 0, seed+1)
 	if err != nil {
 		return nil, core.DetectResult{}, viol, err
 	}
 	ft.Queries = n
+	ft.Injected = len(injected)
 	ft.ErrBefore = errBefore
 	return ft, det2, viol, nil
 }
@@ -271,6 +279,23 @@ func (s *Simulation) pruneFeedback(removed ...graph.EdgeID) {
 			}
 		}
 		if !touches {
+			kept = append(kept, o)
+		}
+	}
+	s.fedback = kept
+}
+
+// pruneFeedbackReporter drops accumulated observations reported by a departed
+// peer — mirroring core's eager reporter retraction on RemovePeer, so the
+// scratch differential's replay stays exactly equivalent to the maintained
+// state.
+func (s *Simulation) pruneFeedbackReporter(id graph.PeerID) {
+	if len(s.fedback) == 0 {
+		return
+	}
+	kept := s.fedback[:0]
+	for _, o := range s.fedback {
+		if o.Reporter != id {
 			kept = append(kept, o)
 		}
 	}

@@ -39,17 +39,66 @@ const (
 	OpCorrupt EventOp = "corrupt-mapping"
 	// OpFix replaces a mapping in place with the clean identity revision.
 	OpFix EventOp = "fix-mapping"
+	// OpFlashcrowd floods this epoch's feedback cycle with Count extra
+	// routed feedback queries — a sudden surge of honest traffic whose
+	// observations all land in one ingestion batch.
+	OpFlashcrowd EventOp = "flashcrowd"
+	// OpPartition splits the live peers into two halves (by sorted name) and
+	// severs detection messages across the cut until OpHeal. Routing and
+	// feedback ingestion are unaffected: the partition models a failed
+	// message substrate, not a split database federation.
+	OpPartition EventOp = "partition"
+	// OpHeal reconnects a partitioned network.
+	OpHeal EventOp = "heal"
 )
 
 // Event is one churn event. Which fields are meaningful depends on Op:
 // Peer for join/leave, Mapping for every mapping op, From/To only for
-// add-mapping.
+// add-mapping, Count only for flashcrowd. Partition and heal carry nothing.
 type Event struct {
 	Op      EventOp `json:"op"`
 	Peer    string  `json:"peer,omitempty"`
 	Mapping string  `json:"mapping,omitempty"`
 	From    string  `json:"from,omitempty"`
 	To      string  `json:"to,omitempty"`
+	Count   int     `json:"count,omitempty"`
+}
+
+// Adversary strategy names (AdversarySpec.Strategy).
+const (
+	// AdvPoison floods the feedback plane with coordinated lies about the
+	// target chains: clean targets are denounced (contradict), corrupted
+	// ones whitewashed (confirm), Volume observations per clique member and
+	// target every feedback epoch.
+	AdvPoison = "poison"
+	// AdvSelfPromote manipulates belief propagation itself: the clique's
+	// peers send the hard "my mappings are certainly correct" message on
+	// every outgoing factor edge, whatever their local evidence says.
+	AdvSelfPromote = "selfpromote"
+	// AdvSybil is a clique vouching for its own corrupted mappings: every
+	// member confirms every target chain, Volume observations each, every
+	// feedback epoch.
+	AdvSybil = "sybil"
+)
+
+// AdversarySpec declares one coordinated group of misbehaving peers. The
+// clique is active for the whole scenario; members that leave (or have not
+// joined yet) simply fall silent, and targets that churn away are skipped.
+type AdversarySpec struct {
+	Strategy string `json:"strategy"`
+	// Peers are the clique members (reporters for poison/sybil, message
+	// manipulators for selfpromote).
+	Peers []string `json:"peers"`
+	// Targets are the attacked mapping IDs (poison: chains to lie about;
+	// sybil: the clique's own corrupted mappings to vouch for). Unused by
+	// selfpromote.
+	Targets []string `json:"targets,omitempty"`
+	// Volume is how many lying observations each member fabricates per
+	// target per feedback epoch (default 3 — deliberately below the trust
+	// plane's conviction threshold, so default attacks show the delayed
+	// decay; set it ≥ internal/feedback.TrustMinVolume for same-batch
+	// conviction).
+	Volume int `json:"volume,omitempty"`
 }
 
 // Epoch is one simulation step: apply the events, re-discover evidence
@@ -150,6 +199,16 @@ type Scenario struct {
 	// checkpoints). Requires WAL.
 	CheckpointEvery int `json:"checkpointEvery,omitempty"`
 
+	// Adversaries declares coordinated misbehaving cliques active for the
+	// whole scenario (see AdversarySpec). Their lies ride the same feedback
+	// batches as honest observations; the trust-weighted detector is
+	// expected to discount them.
+	Adversaries []AdversarySpec `json:"adversaries,omitempty"`
+	// NoTrust disables per-reporter trust weighting in feedback ingestion —
+	// the vulnerable baseline the adversarial scenarios demonstrate their
+	// attacks against. A bit-exact no-op on honest networks.
+	NoTrust bool `json:"noTrust,omitempty"`
+
 	// RecordPosteriors includes the full posterior map in every epoch
 	// trace (keep scenarios small when enabling it).
 	RecordPosteriors bool `json:"recordPosteriors,omitempty"`
@@ -189,6 +248,11 @@ func (sc Scenario) withDefaults() Scenario {
 	}
 	if sc.MaxRounds == 0 {
 		sc.MaxRounds = 300
+	}
+	for i := range sc.Adversaries {
+		if sc.Adversaries[i].Volume == 0 {
+			sc.Adversaries[i].Volume = 3
+		}
 	}
 	return sc
 }
@@ -230,6 +294,26 @@ func (sc Scenario) check() error {
 	if sc.CheckpointEvery != 0 && !sc.WAL {
 		return fmt.Errorf("sim: checkpointEvery requires wal")
 	}
+	selfPromote := false
+	for i, ad := range sc.Adversaries {
+		switch ad.Strategy {
+		case AdvPoison, AdvSelfPromote, AdvSybil:
+		default:
+			return fmt.Errorf("sim: adversary %d: unknown strategy %q", i+1, ad.Strategy)
+		}
+		if len(ad.Peers) == 0 {
+			return fmt.Errorf("sim: adversary %d: no peers", i+1)
+		}
+		if ad.Strategy != AdvSelfPromote && len(ad.Targets) == 0 {
+			return fmt.Errorf("sim: adversary %d: %s needs targets", i+1, ad.Strategy)
+		}
+		if ad.Volume < 0 {
+			return fmt.Errorf("sim: adversary %d: negative volume", i+1)
+		}
+		if ad.Strategy == AdvSelfPromote {
+			selfPromote = true
+		}
+	}
 	for i, ep := range sc.Epochs {
 		if ep.PSend < 0 || ep.PSend > 1 {
 			return fmt.Errorf("sim: epoch %d: psend %v out of [0,1]", i+1, ep.PSend)
@@ -245,6 +329,20 @@ func (sc Scenario) check() error {
 		}
 		if ep.CrashAt > 0 && !sc.WAL {
 			return fmt.Errorf("sim: epoch %d: crashAt requires wal", i+1)
+		}
+		if ep.CrashAt > 0 && selfPromote {
+			// The self-promotion flag lies on the wire, not in the journaled
+			// network state: a crash recovery would silently disarm the
+			// attack mid-run, so the combination is rejected outright.
+			return fmt.Errorf("sim: epoch %d: crashAt cannot be combined with a selfpromote adversary", i+1)
+		}
+		for j, ev := range ep.Events {
+			if ev.Op == OpFlashcrowd && ev.Count <= 0 {
+				return fmt.Errorf("sim: epoch %d event %d: flashcrowd needs a positive count", i+1, j+1)
+			}
+			if ev.Op != OpFlashcrowd && ev.Count != 0 {
+				return fmt.Errorf("sim: epoch %d event %d: count is only meaningful on flashcrowd", i+1, j+1)
+			}
 		}
 	}
 	return nil
@@ -279,6 +377,19 @@ type GenConfig struct {
 	// ingested and incrementally re-detected). Default 0 = off.
 	FeedbackQueries int
 	FeedbackNoise   float64
+	// AdvFraction converts that share of the initial peers into one
+	// coordinated adversarial clique (rounded down, at least one member when
+	// positive). AdvStrategy picks its strategy (default "poison"); poison
+	// cliques target the first two initially clean mappings, sybil cliques
+	// the first two initially corrupted ones. AdvVolume is the per-member
+	// per-target lie volume (0 = the scenario default). If the seeded
+	// topology offers no suitable target the clique is omitted.
+	AdvFraction float64
+	AdvStrategy string
+	AdvVolume   int
+	// NoTrust disables trust weighting in the generated scenario — the
+	// vulnerable baseline for differential experiments.
+	NoTrust bool
 }
 
 func (cfg GenConfig) withDefaults() GenConfig {
@@ -324,11 +435,13 @@ func Generate(cfg GenConfig) (Scenario, error) {
 		Corrupt:       cfg.Corrupt,
 		Verify:        cfg.Verify,
 		FeedbackNoise: cfg.FeedbackNoise,
+		NoTrust:       cfg.NoTrust,
 	}
 	shadow, err := New(sc)
 	if err != nil {
 		return Scenario{}, err
 	}
+	sc.Adversaries = generateAdversaries(cfg, shadow)
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
 	for e := 0; e < cfg.Epochs; e++ {
 		ep := Epoch{PSend: cfg.PSend, Queries: cfg.Queries, FeedbackQueries: cfg.FeedbackQueries}
@@ -344,6 +457,48 @@ func Generate(cfg GenConfig) (Scenario, error) {
 		sc.Epochs = append(sc.Epochs, ep)
 	}
 	return sc, nil
+}
+
+// generateAdversaries converts GenConfig.AdvFraction of the initial peers
+// into one clique against the shadow simulation's seeded initial state. The
+// clique members are the lowest-numbered peers (declarative and seed-stable);
+// poison targets the first initially clean mappings, sybil the first
+// initially corrupted ones. Nil when the fraction is zero or no target fits.
+func generateAdversaries(cfg GenConfig, shadow *Simulation) []AdversarySpec {
+	if cfg.AdvFraction <= 0 {
+		return nil
+	}
+	k := int(cfg.AdvFraction * float64(cfg.Peers))
+	if k < 1 {
+		k = 1
+	}
+	if k > cfg.Peers {
+		k = cfg.Peers
+	}
+	strategy := cfg.AdvStrategy
+	if strategy == "" {
+		strategy = AdvPoison
+	}
+	peers := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		peers = append(peers, fmt.Sprintf("p%d", i))
+	}
+	ad := AdversarySpec{Strategy: strategy, Peers: peers, Volume: cfg.AdvVolume}
+	if strategy != AdvSelfPromote {
+		wantCorrupt := strategy == AdvSybil
+		for _, id := range shadow.liveMappings() {
+			if shadow.corrupted[graph.EdgeID(id)] == wantCorrupt {
+				ad.Targets = append(ad.Targets, id)
+				if len(ad.Targets) == 2 {
+					break
+				}
+			}
+		}
+		if len(ad.Targets) == 0 {
+			return nil
+		}
+	}
+	return []AdversarySpec{ad}
 }
 
 // randomEvents draws one churn action against the current shadow state. A

@@ -42,9 +42,17 @@ type Simulation struct {
 	nextEdge   int
 
 	// fedback accumulates every ingested query-feedback observation (pruned
-	// when churn removes a chain's mapping, mirroring core's retraction) so
-	// the scratch differential can replay them into a rebuilt network.
+	// when churn removes a chain's mapping or a reporter leaves, mirroring
+	// core's retraction) so the scratch differential can replay them into a
+	// rebuilt network.
 	fedback []core.QueryFeedback
+
+	// Adversary and partition state (see adversary.go). partSide maps peers
+	// to their side while partitioned (absent = side 0); flashPending is the
+	// extra feedback-query volume flashcrowd events queued for this epoch.
+	partitioned  bool
+	partSide     map[graph.PeerID]int
+	flashPending int
 
 	// Durability plane (Scenario.WAL): every mutation of net is journaled to
 	// wlog over wstore; Epoch.CrashAt cuts the log mid-detection and rebuilds
@@ -149,6 +157,7 @@ func build(sc Scenario, ext *wal.Log) (*Simulation, error) {
 	}
 	s.nextPeer = sc.Peers
 	s.nextEdge = topo.NumEdges()
+	s.applyAdversaries()
 	return s, nil
 }
 
@@ -284,6 +293,8 @@ func (s *Simulation) applyEvent(ev Event) error {
 			return err
 		}
 		bumpCounter(&s.nextPeer, ev.Peer, "p")
+		// A joining peer may be a declared self-promoter waiting to activate.
+		s.applyAdversaries()
 	case OpLeave:
 		if _, ok := s.net.Peer(graph.PeerID(ev.Peer)); !ok {
 			return fmt.Errorf("sim: leave of unknown peer %q", ev.Peer)
@@ -294,6 +305,9 @@ func (s *Simulation) applyEvent(ev Event) error {
 			delete(s.corrupted, id)
 		}
 		s.pruneFeedback(removed...)
+		// Core retracted the departed peer's feedback contributions too; the
+		// scratch replay log must forget the same observations.
+		s.pruneFeedbackReporter(graph.PeerID(ev.Peer))
 	case OpAddMapping:
 		id := graph.EdgeID(ev.Mapping)
 		if _, err := s.net.AddMapping(id, graph.PeerID(ev.From), graph.PeerID(ev.To), s.idPairs); err != nil {
@@ -335,6 +349,15 @@ func (s *Simulation) applyEvent(ev Event) error {
 		} else {
 			delete(s.corrupted, id)
 		}
+	case OpFlashcrowd:
+		if ev.Count <= 0 {
+			return fmt.Errorf("sim: flashcrowd without a positive count")
+		}
+		s.flashPending += ev.Count
+	case OpPartition:
+		s.partitionNetwork()
+	case OpHeal:
+		s.healNetwork()
 	default:
 		return fmt.Errorf("sim: unknown event op %q", ev.Op)
 	}
@@ -397,13 +420,16 @@ type RoutingTrace struct {
 
 // EpochTrace is the reproducible record of one epoch.
 type EpochTrace struct {
-	Epoch     int            `json:"epoch"`
-	Events    int            `json:"events"`
-	Peers     int            `json:"peers"`
-	Mappings  int            `json:"mappings"`
-	Corrupted int            `json:"corrupted"`
-	Discovery DiscoveryTrace `json:"discovery"`
-	Detection DetectionTrace `json:"detection"`
+	Epoch     int `json:"epoch"`
+	Events    int `json:"events"`
+	Peers     int `json:"peers"`
+	Mappings  int `json:"mappings"`
+	Corrupted int `json:"corrupted"`
+	// Partitioned marks epochs whose detection ran over a severed network
+	// (between an OpPartition and its OpHeal).
+	Partitioned bool           `json:"partitioned,omitempty"`
+	Discovery   DiscoveryTrace `json:"discovery"`
+	Detection   DetectionTrace `json:"detection"`
 	// CoveredClean/CoveredCorrupt count mappings with a posterior for the
 	// analysis attribute; MeanClean/MeanCorrupt average those posteriors
 	// (corrupted mappings must rank below clean ones).
@@ -504,6 +530,7 @@ func (s *Simulation) advanceEpoch(i int) (EpochTrace, core.DetectResult, float64
 	tr.Peers = s.net.NumPeers()
 	tr.Mappings = s.net.Topology().NumEdges()
 	tr.Corrupted = len(s.corrupted)
+	tr.Partitioned = s.partitioned
 
 	// 2. Evidence: full discovery on the first epoch, incremental after.
 	cfg := s.discoverCfg()
@@ -559,6 +586,7 @@ func (s *Simulation) advanceEpoch(i int) (EpochTrace, core.DetectResult, float64
 		Seed:      s.epochSeed(i + 1),
 		Transport: network.Kind(s.sc.Transport),
 		Shards:    s.sc.Shards,
+		Blocked:   s.blockedFn(),
 	})
 	if err != nil {
 		return tr, core.DetectResult{}, 0, err
@@ -598,6 +626,7 @@ func (s *Simulation) crashRecover(i, round int, psend float64) (*CrashTrace, err
 		Seed:      s.epochSeed(i + 1),
 		Transport: network.Kind(s.sc.Transport),
 		Shards:    s.sc.Shards,
+		Blocked:   s.blockedFn(),
 	}); err != nil {
 		return nil, fmt.Errorf("sim: pre-crash detection: %w", err)
 	}
@@ -654,19 +683,23 @@ func (s *Simulation) runEpoch(i int) (EpochTrace, error) {
 	tr.Violations = append(tr.Violations, viol...)
 
 	// 6. Result-feedback cycle: judge routed answers against ground truth,
-	// ingest the observations, re-detect incrementally, and hold the
+	// ingest the observations — together with any adversarial fabrications
+	// and flashcrowd surge traffic — re-detect incrementally, and hold the
 	// updated posteriors to the same invariants (and, with Verify, to the
 	// scratch differential — the rebuilt network replays the accumulated
 	// feedback, so incremental maintenance of feedback factors is pinned to
 	// a from-scratch ingest + full detection).
-	if ep.FeedbackQueries > 0 {
-		ftr, det2, fviol, err := s.feedbackBurst(ep.FeedbackQueries, det, s.epochSeed(i+1)+2)
+	fq := ep.FeedbackQueries + s.flashPending
+	s.flashPending = 0
+	if fq > 0 {
+		ftr, det2, fviol, err := s.feedbackBurst(fq, det, s.epochSeed(i+1)+2)
 		if err != nil {
 			return tr, err
 		}
 		tr.Feedback = ftr
 		tr.Violations = append(tr.Violations, fviol...)
 		tr.Violations = append(tr.Violations, s.checkInvariants(det2)...)
+		tr.Violations = append(tr.Violations, s.checkAdversaryInvariants()...)
 		if s.sc.Verify {
 			tr.Violations = append(tr.Violations, s.checkScratchDifferential(det2, psend)...)
 		}

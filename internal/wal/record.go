@@ -92,6 +92,7 @@ func appendPayload(dst []byte, seq uint64, m core.Mutation) []byte {
 	case core.MutFeedback:
 		dst = appendFloat(dst, m.FbOpts.Delta)
 		dst = appendFloat(dst, m.FbOpts.Noise)
+		dst = appendBool(dst, m.FbOpts.NoTrust)
 		dst = binary.AppendUvarint(dst, uint64(len(m.Groups)))
 		for _, g := range m.Groups {
 			dst = appendString(dst, string(g.Attr))
@@ -101,6 +102,7 @@ func appendPayload(dst []byte, seq uint64, m core.Mutation) []byte {
 			}
 			dst = binary.AppendUvarint(dst, uint64(g.Pos))
 			dst = binary.AppendUvarint(dst, uint64(g.Neg))
+			dst = appendString(dst, string(g.Reporter))
 		}
 	case core.MutPriorSamples:
 		dst = binary.AppendUvarint(dst, uint64(len(m.Samples)))
@@ -345,6 +347,9 @@ func decodeFeedback(r *reader, m *core.Mutation) error {
 	if opts.Noise, err = r.float(); err != nil {
 		return err
 	}
+	if opts.NoTrust, err = r.bool(); err != nil {
+		return err
+	}
 	m.FbOpts = &opts
 	n, err := r.length(4)
 	if err != nil {
@@ -379,6 +384,10 @@ func decodeFeedback(r *reader, m *core.Mutation) error {
 		if g.Neg, err = r.uint(); err != nil {
 			return err
 		}
+		if s, err = r.str(); err != nil {
+			return err
+		}
+		g.Reporter = graph.PeerID(s)
 	}
 	return nil
 }
