@@ -1,0 +1,209 @@
+// Command pdmsvet runs the project invariant analyzers — determinism,
+// journal, snapshotimmutable, canonicalenc — over Go packages. See
+// internal/analysis for what each analyzer proves and the annotation
+// contract (//pdms:deterministic, //pdms:durable, //pdms:immutable and the
+// per-line suppression markers).
+//
+// Standalone, loading packages itself:
+//
+//	pdmsvet [-run determinism,journal] [-C dir] [packages]
+//
+// As a go vet tool, which adds build caching and runs one process per
+// compilation unit:
+//
+//	go build -o /tmp/pdmsvet ./cmd/pdmsvet
+//	go vet -vettool=/tmp/pdmsvet ./...
+//
+// Exit status: 0 clean, 1 internal error, 2 findings (standalone exits 1 on
+// findings to match conventional linters).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var (
+	runList   = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+	chdir     = flag.String("C", ".", "directory to load packages from (standalone mode)")
+	vFlag     = flag.String("V", "", "print version and exit (go vet protocol: -V=full)")
+	flagsFlag = flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *vFlag != "":
+		printVersion()
+	case *flagsFlag:
+		// No analyzer-specific flags are exposed through go vet.
+		fmt.Println("[]")
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
+		os.Exit(runVetUnit(flag.Arg(0)))
+	default:
+		os.Exit(runStandalone(flag.Args()))
+	}
+}
+
+// printVersion implements the go vet tool identification protocol: the go
+// command keys its action cache on this line, so it embeds a hash of the
+// executable.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+}
+
+func runStandalone(patterns []string) int {
+	analyzers, err := analysis.ByName(*runList)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	units, err := analysis.Load(*chdir, patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	found := 0
+	for _, u := range units {
+		diags, err := analysis.RunUnit(u, analyzers)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "pdmsvet: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go vet unit configuration pdmsvet reads;
+// the go command writes one such JSON file per compilation unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgPath, err)
+	}
+	// The go command requires the facts output to exist even when empty,
+	// and expects nothing else when it only wants facts for a dependency.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	analyzers, err := analysis.ByName(*runList)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	hasTests := false
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			hasTests = true
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("pdmsvet: no export data for %q in unit %s", path, cfg.ImportPath)
+		}
+		return os.Open(file)
+	})
+	u, err := analysis.TypeCheckUnit(basePath(cfg.ImportPath), cfg.Dir, fset, files, imp, hasTests)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatalf("%v", err)
+	}
+	diags, err := analysis.RunUnit(u, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// basePath strips the " [pkg.test]" variant suffix go vet appends to the
+// import path of test-inclusive units, so path-keyed analyzer rules
+// (canonicalenc, the immutable registry) still apply to them.
+func basePath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pdmsvet: "+format+"\n", args...)
+	os.Exit(1)
+}

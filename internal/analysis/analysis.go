@@ -1,0 +1,275 @@
+// Package analysis is a project-specific static-analysis suite that proves,
+// at compile time, the three invariants every end-to-end guarantee of this
+// reproduction leans on:
+//
+//   - determinism: code reachable from a //pdms:deterministic root must not
+//     iterate maps in hash order, read wall clocks, or draw from the global
+//     math/rand source — golden traces, WAL bytes and snapshot digests are
+//     byte-compared across runs, transports and crash recoveries;
+//   - journaling: every write to //pdms:durable network state must be
+//     journaled through the core.Journal hook before it applies — an
+//     un-journaled mutator is exactly the bug class that silently corrupts
+//     wal.Recover;
+//   - snapshot immutability: nothing reachable from a published
+//     //pdms:immutable RoutingSnapshot may ever be written outside its
+//     //pdms:snapshot-builder construction path — lock-free serving depends
+//     on it;
+//   - canonical encoding: every wire frame kind and WAL record kind must be
+//     seeded in its round-trip fuzz corpus, so encode∘decode = id can never
+//     silently lose coverage for a newly added kind.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built purely on the standard library:
+// packages load through `go list -e -export -deps -test -json`, dependencies
+// resolve from compiler export data via go/importer, and target packages are
+// type-checked from source, in-package test files included. If x/tools ever
+// becomes a dependency, the analyzers port mechanically.
+//
+// Findings are suppressed per line with a justification comment whose marker
+// is analyzer-specific (for example //pdms:nondeterministic-ok); the marker
+// must appear on the flagged line or the line directly above it, and should
+// always carry a reason. See README.md for the full annotation contract.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description of the invariant it proves.
+	Doc string
+	// Suppress is the comment marker that waives a finding on the line it
+	// annotates (for example "pdms:nondeterministic-ok"). Suppressions are
+	// applied by the driver, not the analyzer.
+	Suppress string
+	// Run reports findings on one type-checked unit via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package (in-package test files included) to
+// an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the parsed source files of the unit, GoFiles followed by
+	// in-package test files. External (_test package) files are not loaded.
+	Files []*ast.File
+	// Pkg is the type-checked package; imports resolve to export data.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Journal,
+		SnapshotImmutable,
+		CanonicalEnc,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("determinism,journal");
+// the empty string selects the whole suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunUnit runs the given analyzers over one loaded unit and returns the
+// surviving (unsuppressed) findings sorted by position.
+func RunUnit(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := collectSuppressions(u)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, u.PkgPath, err)
+		}
+		for _, d := range pass.diags {
+			if sup.suppressed(a.Suppress, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// suppressions maps file -> line -> the comment text on that line.
+type suppressions map[string]map[int]string
+
+func collectSuppressions(u *Unit) suppressions {
+	sup := make(suppressions)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := u.Fset.Position(c.Pos())
+				m := sup[pos.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					sup[pos.Filename] = m
+				}
+				m[pos.Line] += c.Text
+			}
+		}
+	}
+	return sup
+}
+
+// suppressed reports whether the marker annotates the diagnostic's line or
+// the line directly above it.
+func (s suppressions) suppressed(marker string, pos token.Position) bool {
+	if marker == "" {
+		return false
+	}
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return strings.Contains(lines[pos.Line], marker) ||
+		strings.Contains(lines[pos.Line-1], marker)
+}
+
+// --- small shared AST/type helpers used by several analyzers ---
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves a call expression to the function or method object it
+// statically invokes, or nil for dynamic calls (function values, interface
+// methods resolve to the interface method object).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// docHasMarker reports whether a declaration's doc comment mentions marker.
+// It scans raw comment text: CommentGroup.Text() strips directive-form
+// comments, and //pdms:deterministic is one.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvBaseType returns the named base type of a method receiver (stripping
+// the pointer), or nil for plain functions.
+func recvBaseType(info *types.Info, decl *ast.FuncDecl) *types.Named {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(decl.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// namedOf strips pointers and returns the named type of t, if any.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// pathHasSuffix reports whether a slash-separated import path ends with the
+// given suffix at a path-component boundary ("internal/core" matches
+// "repro/internal/core" but not "x/sinternal/core").
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}

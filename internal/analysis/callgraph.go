@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncs indexes a unit's function and method declarations and their
+// intra-package static call edges. Function literals are attributed to the
+// declaration that lexically encloses them, so a helper closure's calls and
+// writes count against its owning function.
+type pkgFuncs struct {
+	decls  []*ast.FuncDecl
+	byObj  map[*types.Func]*ast.FuncDecl
+	objOf  map[*ast.FuncDecl]*types.Func
+	callee map[*ast.FuncDecl][]*ast.FuncDecl // static same-package call edges
+	sites  map[*ast.FuncDecl]map[*ast.FuncDecl]ast.Node
+}
+
+func collectFuncs(pass *Pass) *pkgFuncs {
+	pf := &pkgFuncs{
+		byObj:  make(map[*types.Func]*ast.FuncDecl),
+		objOf:  make(map[*ast.FuncDecl]*types.Func),
+		callee: make(map[*ast.FuncDecl][]*ast.FuncDecl),
+		sites:  make(map[*ast.FuncDecl]map[*ast.FuncDecl]ast.Node),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			pf.decls = append(pf.decls, fd)
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				pf.byObj[obj] = fd
+				pf.objOf[fd] = obj
+			}
+		}
+	}
+	for _, fd := range pf.decls {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			target, ok := pf.byObj[callee]
+			if !ok {
+				return true
+			}
+			if pf.sites[fd] == nil {
+				pf.sites[fd] = make(map[*ast.FuncDecl]ast.Node)
+			}
+			if _, dup := pf.sites[fd][target]; !dup {
+				pf.sites[fd][target] = call
+				pf.callee[fd] = append(pf.callee[fd], target)
+			}
+			return true
+		})
+	}
+	return pf
+}
+
+// reachInfo records how a function became reachable from an annotated root.
+type reachInfo struct {
+	root *ast.FuncDecl
+	via  *ast.FuncDecl // direct caller on the path from root (nil at root)
+}
+
+// reachableFrom walks static call edges breadth-first from the given roots
+// and returns every reachable declaration with its nearest root.
+func (pf *pkgFuncs) reachableFrom(roots []*ast.FuncDecl) map[*ast.FuncDecl]reachInfo {
+	out := make(map[*ast.FuncDecl]reachInfo)
+	var queue []*ast.FuncDecl
+	for _, r := range roots {
+		if _, ok := out[r]; ok {
+			continue
+		}
+		out[r] = reachInfo{root: r}
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range pf.callee[cur] {
+			if _, ok := out[next]; ok {
+				continue
+			}
+			out[next] = reachInfo{root: out[cur].root, via: cur}
+			queue = append(queue, next)
+		}
+	}
+	return out
+}
+
+// funcDisplayName renders "Recv.Name" for methods and "Name" for functions.
+func funcDisplayName(fd *ast.FuncDecl, info *types.Info) string {
+	if named := recvBaseType(info, fd); named != nil {
+		return named.Obj().Name() + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// canonicalEncPackages are the packages under the canonical-encoding
+// contract: every discriminator constant of their frame/record enums must be
+// seeded in the package's round-trip fuzz corpus.
+var canonicalEncPackages = []string{"internal/wire", "internal/wal"}
+
+// kindTypeSuffix selects the enum types under the contract: named integer
+// types whose name ends in "Kind" (wire.Kind, core.MutKind).
+const kindTypeSuffix = "Kind"
+
+// messageCtorName is the method linking a message type to its kind constant
+// (wire.Message.WireKind); a composite literal of the implementing type in
+// the fuzz corpus covers the constant it returns.
+const messageCtorName = "WireKind"
+
+// CanonicalEnc proves fuzz-corpus completeness for the canonical encodings:
+// a frame kind or WAL record kind added without a corresponding seed in
+// FuzzWireRoundTrip/FuzzWALDecode ships an encode/decode pair whose
+// round-trip property is never exercised. The analyzer resolves every
+// constant of each *Kind enum the package encodes and requires it to be
+// referenced — directly, or through a composite literal of the message type
+// whose WireKind method returns it — in code statically reachable from a
+// Fuzz function.
+var CanonicalEnc = &Analyzer{
+	Name:     "canonicalenc",
+	Suppress: "pdms:nofuzz-ok",
+	Doc: `flags frame/record kinds missing from the round-trip fuzz corpus
+in internal/wire and internal/wal: every constant of a *Kind enum the
+package encodes must be constructed or referenced in code reachable from a
+Fuzz function, so encode∘decode = id keeps covering every kind ever added.`,
+	Run: runCanonicalEnc,
+}
+
+func runCanonicalEnc(pass *Pass) error {
+	applicable := false
+	for _, suffix := range canonicalEncPackages {
+		if pathHasSuffix(pass.Pkg.Path(), suffix) {
+			applicable = true
+		}
+	}
+	if !applicable {
+		return nil
+	}
+	// Without the in-package test files there is no corpus to inspect; the
+	// test-inclusive unit (standalone driver, repo-clean test, or the
+	// go-vet test variant) performs the check.
+	if !unitHasTestFiles(pass) {
+		return nil
+	}
+
+	enums := collectKindEnums(pass)
+	if len(enums) == 0 {
+		return nil
+	}
+	pf := collectFuncs(pass)
+	var fuzzRoots []*ast.FuncDecl
+	for _, fd := range pf.decls {
+		if strings.HasPrefix(fd.Name.Name, "Fuzz") && fd.Recv == nil {
+			fuzzRoots = append(fuzzRoots, fd)
+		}
+	}
+	if len(fuzzRoots) == 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"package %s encodes %s but declares no round-trip fuzz target (Fuzz*)", pass.Pkg.Name(), enumNames(enums))
+		return nil
+	}
+	reach := pf.reachableFrom(fuzzRoots)
+
+	// What the corpus covers: every enum constant referenced, and every
+	// type instantiated, in fuzz-reachable code.
+	coveredConst := make(map[types.Object]bool)
+	coveredType := make(map[*types.TypeName]bool)
+	for fd := range reach {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if c, ok := constObj(pass.Info, n).(*types.Const); ok {
+					coveredConst[c] = true
+				}
+			case *ast.CompositeLit:
+				if tn := namedOf(pass.Info.TypeOf(n)); tn != nil {
+					coveredType[tn.Obj()] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Kind constants carried by message constructors: WireKind methods map
+	// an implementing type to the constant it returns.
+	ctorOf := wireKindReturns(pass)
+
+	for _, e := range enums {
+		for _, c := range e.consts {
+			if coveredConst[c] {
+				continue
+			}
+			if t, ok := ctorOf[c]; ok && coveredType[t] {
+				continue
+			}
+			pos := c.Pos()
+			if !pos.IsValid() || pass.Fset.Position(pos).Filename == "" {
+				pos = fuzzRoots[0].Name.Pos() // imported constant: anchor at the corpus
+			}
+			if t, ok := ctorOf[c]; ok {
+				pass.Reportf(pos, "frame kind %s (message type %s) is not seeded in the round-trip fuzz corpus (%s)",
+					c.Name(), t.Name(), rootNames(fuzzRoots))
+			} else {
+				pass.Reportf(pos, "record kind %s of enum %s is not covered by the round-trip fuzz corpus (%s)",
+					c.Name(), e.name, rootNames(fuzzRoots))
+			}
+		}
+	}
+	return nil
+}
+
+func unitHasTestFiles(pass *Pass) bool {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+type kindEnum struct {
+	name   string
+	consts []*types.Const
+}
+
+// collectKindEnums finds every *Kind enum the package's non-test code
+// references: for each, the full constant set is enumerated from the
+// declaring package's scope (the unit itself, or an import via export
+// data).
+func collectKindEnums(pass *Pass) []*kindEnum {
+	types_ := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := constObj(pass.Info, id)
+			c, ok := obj.(*types.Const)
+			if !ok {
+				return true
+			}
+			if tn := enumTypeName(c); tn != nil {
+				types_[tn] = true
+			}
+			return true
+		})
+	}
+	var out []*kindEnum
+	for tn := range types_ {
+		scope := tn.Pkg().Scope()
+		e := &kindEnum{name: tn.Name()}
+		for _, name := range scope.Names() {
+			if c, ok := scope.Lookup(name).(*types.Const); ok {
+				if etn := enumTypeName(c); etn == tn {
+					e.consts = append(e.consts, c)
+				}
+			}
+		}
+		sort.Slice(e.consts, func(i, j int) bool {
+			vi, _ := constant.Uint64Val(e.consts[i].Val())
+			vj, _ := constant.Uint64Val(e.consts[j].Val())
+			return vi < vj
+		})
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// enumTypeName returns the named type of a constant when it is a *Kind
+// integer enum, else nil.
+func enumTypeName(c *types.Const) *types.TypeName {
+	named, ok := c.Type().(*types.Named)
+	if !ok || !strings.HasSuffix(named.Obj().Name(), kindTypeSuffix) {
+		return nil
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return named.Obj()
+}
+
+// wireKindReturns maps each kind constant to the message type whose
+// WireKind method returns it.
+func wireKindReturns(pass *Pass) map[*types.Const]*types.TypeName {
+	out := make(map[*types.Const]*types.TypeName)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != messageCtorName || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := recvBaseType(pass.Info, fd)
+			if recv == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 1 {
+					return true
+				}
+				if c, ok := constObj(pass.Info, ret.Results[0]).(*types.Const); ok {
+					out[c] = recv.Obj()
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// constObj resolves an identifier (or selector tail) to its object.
+func constObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func enumNames(enums []*kindEnum) string {
+	var names []string
+	for _, e := range enums {
+		names = append(names, e.name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func rootNames(roots []*ast.FuncDecl) string {
+	var names []string
+	for _, r := range roots {
+		names = append(names, r.Name.Name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterministicMarker annotates a function whose output must be
+// bit-reproducible: golden traces, digests, wire/WAL encodings, canonical
+// merges. The determinism analyzer walks every function statically reachable
+// from a marked root (within its package) and flags operations whose result
+// depends on map iteration order, the wall clock, or the global math/rand
+// source.
+const DeterministicMarker = "pdms:deterministic"
+
+// Determinism proves the byte-reproducibility invariant: within call graphs
+// reachable from //pdms:deterministic roots, map iteration must be
+// canonically ordered (or provably order-independent), wall clocks are
+// forbidden, and randomness must come from explicitly seeded generators.
+var Determinism = &Analyzer{
+	Name:     "determinism",
+	Suppress: "pdms:nondeterministic-ok",
+	Doc: `flags nondeterminism reachable from //pdms:deterministic roots:
+map ranges whose effect depends on iteration order (including float
+accumulation keyed by map walks), time.Now/Since/Until, and draws from the
+global math/rand source. A map range is accepted as order-independent when
+every statement in its body is an append into a slice that is sorted later
+in the same function, a map store keyed by the range key, a commutative
+integer accumulation, a delete, or a pure early-exit test.`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	pf := collectFuncs(pass)
+	var roots []*ast.FuncDecl
+	for _, fd := range pf.decls {
+		if docHasMarker(fd.Doc, DeterministicMarker) {
+			roots = append(roots, fd)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	for fd, ri := range pf.reachableFrom(roots) {
+		if fd.Body == nil {
+			continue
+		}
+		rootName := funcDisplayName(ri.root, pass.Info)
+		self := funcDisplayName(fd, pass.Info)
+		where := "deterministic root " + rootName
+		if fd != ri.root {
+			where = self + ", reachable from deterministic root " + rootName
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if !rangesOverMap(pass.Info, n) {
+					return true
+				}
+				if reason := mapRangeOrderDependent(pass, fd, n); reason != "" {
+					pass.Reportf(n.Pos(), "map iteration order reaches %s: %s", where, reason)
+				}
+			case *ast.CallExpr:
+				if f := calleeFunc(pass.Info, n); f != nil && f.Pkg() != nil {
+					checkNondetCall(pass, n, f, where)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nondetTimeFuncs reads the wall clock; any of them in a deterministic call
+// graph makes output depend on when it ran.
+var nondetTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// detRandConstructors build explicitly seeded generators and are fine; every
+// other package-level math/rand function draws from the global source.
+var detRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func checkNondetCall(pass *Pass, call *ast.CallExpr, f *types.Func, where string) {
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are deterministic
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if nondetTimeFuncs[f.Name()] {
+			pass.Reportf(call.Pos(), "wall-clock read time.%s reaches %s", f.Name(), where)
+		}
+	case "math/rand", "math/rand/v2":
+		if !detRandConstructors[f.Name()] {
+			pass.Reportf(call.Pos(), "global math/rand draw rand.%s reaches %s (use an explicitly seeded *rand.Rand)", f.Name(), where)
+		}
+	}
+}
+
+// rangesOverMap reports whether the range statement iterates a map — either
+// directly or through maps.Keys/maps.Values iterators.
+func rangesOverMap(info *types.Info, rng *ast.RangeStmt) bool {
+	if t := info.TypeOf(rng.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	if call, ok := unparen(rng.X).(*ast.CallExpr); ok {
+		if f := calleeFunc(info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "maps" {
+			return f.Name() == "Keys" || f.Name() == "Values"
+		}
+	}
+	return false
+}
+
+// mapRangeOrderDependent decides whether a map-range body is provably
+// order-independent; it returns a non-empty reason when it is not.
+func mapRangeOrderDependent(pass *Pass, enclosing *ast.FuncDecl, rng *ast.RangeStmt) string {
+	info := pass.Info
+	keyObj := identObj(info, rng.Key)
+	valObj := identObj(info, rng.Value)
+
+	// Variables written anywhere in the loop body: a map store whose value
+	// reads one of these is an order-dependent accumulation.
+	written := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if o := identObj(info, lhs); o != nil {
+					written[o] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if o := identObj(info, n.X); o != nil {
+				written[o] = true
+			}
+		}
+		return true
+	})
+
+	for _, stmt := range rng.Body.List {
+		if reason := orderDependentStmt(pass, enclosing, rng, stmt, keyObj, valObj, written); reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
+func orderDependentStmt(pass *Pass, enclosing *ast.FuncDecl, rng *ast.RangeStmt, stmt ast.Stmt,
+	keyObj, valObj types.Object, written map[types.Object]bool) string {
+	info := pass.Info
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return "multi-assignment inside a map range"
+		}
+		lhs, rhs := unparen(s.Lhs[0]), unparen(s.Rhs[0])
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE:
+			// s = append(s, ...) with a later canonical sort of s.
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(info, call, "append") && len(call.Args) >= 1 {
+				target := identObj(info, lhs)
+				if target != nil && target == identObj(info, call.Args[0]) {
+					if sliceSortedAfter(pass, enclosing, target, rng.End()) {
+						return ""
+					}
+					return "appends in map order into a slice that is never canonically sorted afterwards"
+				}
+			}
+			// m2[k] = v: distinct keys make the stores commute, as long as
+			// the value does not read an accumulator written in the loop.
+			if idx, ok := lhs.(*ast.IndexExpr); ok {
+				if t := info.TypeOf(idx.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && identObj(info, idx.Index) == keyObj && keyObj != nil {
+						if o := readsAnyOf(info, rhs, written, keyObj, valObj); o != nil {
+							return "map store whose value reads loop-written variable " + o.Name()
+						}
+						return ""
+					}
+				}
+			}
+			return "assignment whose result can depend on map iteration order"
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			if t := info.TypeOf(lhs); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok {
+					if b.Info()&types.IsInteger != 0 {
+						return "" // commutative integer accumulation
+					}
+					if b.Info()&types.IsFloat != 0 {
+						return "floating-point accumulation in map iteration order (addition does not commute in float64)"
+					}
+				}
+			}
+			return "compound assignment on a non-commutative type inside a map range"
+		default:
+			return "compound assignment inside a map range"
+		}
+	case *ast.IncDecStmt:
+		if t := info.TypeOf(s.X); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return ""
+			}
+		}
+		return "non-integer increment inside a map range"
+	case *ast.ExprStmt:
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok && isBuiltin(info, call, "delete") {
+			return ""
+		}
+		return "call with possible side effects inside a map range"
+	case *ast.IfStmt:
+		return orderDependentIf(pass, s)
+	case *ast.BranchStmt:
+		return "" // continue/break
+	case *ast.EmptyStmt:
+		return ""
+	default:
+		return "statement whose effect can depend on map iteration order"
+	}
+}
+
+// orderDependentIf accepts pure early-exit tests: no calls (except len/cap)
+// in the condition or init, and branches containing only return, continue or
+// break.
+func orderDependentIf(pass *Pass, s *ast.IfStmt) string {
+	impure := ""
+	check := func(e ast.Node) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if !isBuiltin(pass.Info, call, "len") && !isBuiltin(pass.Info, call, "cap") {
+					impure = "early-exit condition calls a function inside a map range"
+					return false
+				}
+			}
+			return true
+		})
+	}
+	check(s.Init)
+	check(s.Cond)
+	if impure != "" {
+		return impure
+	}
+	exitOnly := func(b *ast.BlockStmt) bool {
+		if b == nil {
+			return true
+		}
+		for _, st := range b.List {
+			switch st.(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !exitOnly(s.Body) {
+		return "conditional body inside a map range is not a pure early exit"
+	}
+	switch e := s.Else.(type) {
+	case nil:
+		return ""
+	case *ast.BlockStmt:
+		if exitOnly(e) {
+			return ""
+		}
+	}
+	return "conditional else-branch inside a map range is not a pure early exit"
+}
+
+// sliceSortedAfter reports whether the slice object is passed to a canonical
+// sort (sort.* / slices.Sort*) somewhere in the enclosing function after pos.
+func sliceSortedAfter(pass *Pass, enclosing *ast.FuncDecl, slice types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		if identObj(pass.Info, call.Args[0]) == slice {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// readsAnyOf returns the first object in `written` (other than the range key
+// and value) that expr reads, or nil.
+func readsAnyOf(info *types.Info, expr ast.Expr, written map[types.Object]bool, keyObj, valObj types.Object) types.Object {
+	var hit types.Object
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := info.Uses[id]; o != nil && written[o] && o != keyObj && o != valObj {
+				hit = o
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	_, isB := obj.(*types.Builtin)
+	return isB
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFixture type-checks the fixture package at importPath under
+// root (conventionally testdata/src): fixture imports resolve to sibling
+// fixture directories first and to real export data (standard library)
+// otherwise. Fixture _test.go files are loaded into the same unit, matching
+// how Load treats in-package test files.
+func LoadFixture(root, importPath string) (*Unit, error) {
+	fset := token.NewFileSet()
+	res := newExportResolver(".")
+	fl := &fixtureLoader{
+		root:    root,
+		fset:    fset,
+		exports: res,
+		checked: make(map[string]*fixturePkg),
+	}
+	fp, err := fl.load(importPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{
+		PkgPath:      importPath,
+		Dir:          filepath.Join(root, filepath.FromSlash(importPath)),
+		Fset:         fset,
+		Files:        fp.files,
+		Pkg:          fp.pkg,
+		Info:         fp.info,
+		HasTestFiles: fp.hasTests,
+	}, nil
+}
+
+type fixturePkg struct {
+	files    []*ast.File
+	pkg      *types.Package
+	info     *types.Info
+	hasTests bool
+}
+
+type fixtureLoader struct {
+	root    string
+	fset    *token.FileSet
+	exports *exportResolver
+	checked map[string]*fixturePkg
+	loading []string // cycle detection
+}
+
+// Import implements types.Importer for fixture units: fixture-tree packages
+// are type-checked from source; everything else comes from export data.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return l.exports.Import(path)
+}
+
+func (l *fixtureLoader) load(importPath string) (*fixturePkg, error) {
+	if fp, ok := l.checked[importPath]; ok {
+		return fp, nil
+	}
+	for _, p := range l.loading {
+		if p == importPath {
+			return nil, fmt.Errorf("analysis: fixture import cycle through %q", importPath)
+		}
+	}
+	l.loading = append(l.loading, importPath)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.root, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture %q: %w", importPath, err)
+	}
+	var names []string
+	hasTests := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			hasTests = true
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: fixture %q: no Go files in %s", importPath, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixture %q: %w", importPath, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := typeCheck(importPath, l.fset, files, l)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info, hasTests: hasTests}
+	l.checked[importPath] = fp
+	return fp, nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// CheckFixture runs one analyzer over a fixture package and compares its
+// findings against the fixture's `// want "regexp"` comments, analysistest
+// style: every diagnostic must match a want on its line, and every want must
+// be matched by exactly one diagnostic. It returns a list of mismatch
+// descriptions (empty means the fixture passes).
+func CheckFixture(root, importPath string, a *Analyzer) ([]string, error) {
+	u, err := LoadFixture(root, importPath)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := RunUnit(u, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+	wants, err := collectWants(u)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, d := range diags {
+		if !wants.match(d) {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s: %s", d.Pos, d.Message))
+		}
+	}
+	for _, w := range wants.unmatched() {
+		problems = append(problems, fmt.Sprintf("no diagnostic matched want %q at %s:%d", w.pattern, w.file, w.line))
+	}
+	return problems, nil
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import "testing"
+
+// testFixture runs one analyzer over one fixture package and asserts its
+// findings line up exactly with the fixture's // want comments.
+func testFixture(t *testing.T, importPath string, a *Analyzer) {
+	t.Helper()
+	problems, err := CheckFixture("testdata/src", importPath, a)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", importPath, err)
+	}
+	for _, p := range problems {
+		t.Errorf("fixture %s: %s", importPath, p)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	testFixture(t, "determinism/a", Determinism)
+}
+
+func TestJournalFixture(t *testing.T) {
+	testFixture(t, "journal/core", Journal)
+}
+
+func TestJournalFixtureGraphIsClean(t *testing.T) {
+	// The external store itself has no durable markers: no findings.
+	testFixture(t, "journal/graph", Journal)
+}
+
+func TestSnapshotImmutableFixture(t *testing.T) {
+	testFixture(t, "immutable/internal/core", SnapshotImmutable)
+}
+
+func TestSnapshotImmutableCrossPackage(t *testing.T) {
+	testFixture(t, "immutable/client", SnapshotImmutable)
+}
+
+func TestCanonicalEncFixtureWireMissingKind(t *testing.T) {
+	testFixture(t, "canonicalenc/bad/internal/wire", CanonicalEnc)
+}
+
+func TestCanonicalEncFixtureWireComplete(t *testing.T) {
+	testFixture(t, "canonicalenc/good/internal/wire", CanonicalEnc)
+}
+
+func TestCanonicalEncFixtureWALMissingKind(t *testing.T) {
+	testFixture(t, "canonicalenc/bad/internal/wal", CanonicalEnc)
+}
+
+func TestCanonicalEncFixtureNoFuzzTarget(t *testing.T) {
+	testFixture(t, "canonicalenc/nofuzz/internal/wire", CanonicalEnc)
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("determinism, journal")
+	if err != nil || len(two) != 2 || two[0] != Determinism || two[1] != Journal {
+		t.Fatalf("ByName subset = %v, err %v", two, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DurableMarker annotates struct fields that the write-ahead log persists: a
+// write to (or through) such a field is lost on crash unless a Mutation was
+// journaled first.
+const DurableMarker = "pdms:durable"
+
+// journalCallName is the durability hook every mutator must go through
+// (core.Network.journal, reached as n.journal(...) or p.net.journal(...)).
+const journalCallName = "journal"
+
+// externalMutatorPrefixes classify method calls on durable state owned by
+// another package (the topology graph): a call whose name starts with one of
+// these mutates the receiver. Same-package callees are analyzed by body, not
+// by name.
+var externalMutatorPrefixes = []string{"Add", "Remove", "Set", "Drop", "Clear", "Insert"}
+
+// Journal proves the journal-before-apply discipline: every exported method
+// on a struct with //pdms:durable fields that (transitively, through
+// same-package helpers) writes durable state must journal a Mutation, and
+// the journal call must precede the first direct durable write.
+var Journal = &Analyzer{
+	Name:     "journal",
+	Suppress: "pdms:nojournal-ok",
+	Doc: `flags exported methods that mutate //pdms:durable state without
+journaling a core.Mutation first — the bug class that silently corrupts
+WAL recovery. Durable writes are assignments, deletes and appends whose
+access path crosses a //pdms:durable field (aliases included when the
+field appears in the path), plus Add*/Remove*/Set*/Drop*/Clear*/Insert*
+calls on durable fields owned by other packages. Unexported helpers are
+exempt but propagate their writes to exported callers; propagation stops
+at any function that journals itself.`,
+	Run: runJournal,
+}
+
+func runJournal(pass *Pass) error {
+	durable := collectDurableFields(pass)
+	if len(durable) == 0 {
+		return nil
+	}
+	// Named struct types that own at least one durable field: methods on
+	// these are the audited surface.
+	owners := make(map[*types.TypeName]bool)
+	for f := range durable {
+		if owner := fieldOwner(pass, f); owner != nil {
+			owners[owner] = true
+		}
+	}
+
+	pf := collectFuncs(pass)
+	info := make(map[*ast.FuncDecl]*journalFacts)
+	for _, fd := range pf.decls {
+		info[fd] = journalFactsOf(pass, fd, durable)
+	}
+
+	// Propagate "needs a journal entry" through same-package call edges:
+	// a function needs one if it writes durable state directly, or calls a
+	// non-journaling same-package function that needs one.
+	needs := func(fd *ast.FuncDecl) bool { return info[fd].firstWrite.IsValid() }
+	changed := true
+	for changed {
+		changed = false
+		for _, fd := range pf.decls {
+			jf := info[fd]
+			if jf.needsVia != nil || needs(fd) {
+				continue
+			}
+			for _, callee := range pf.callee[fd] {
+				cf := info[callee]
+				if cf.journalPos.IsValid() {
+					continue // callee journals for itself
+				}
+				if needs(callee) || cf.needsVia != nil {
+					jf.needsVia = callee
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fd := range pf.decls {
+		if !ast.IsExported(fd.Name.Name) {
+			continue
+		}
+		recv := recvBaseType(pass.Info, fd)
+		if recv == nil || !owners[recv.Obj()] {
+			continue
+		}
+		jf := info[fd]
+		name := funcDisplayName(fd, pass.Info)
+		switch {
+		case jf.journalPos.IsValid():
+			if jf.firstWrite.IsValid() && jf.firstWrite < jf.journalPos {
+				pass.Reportf(jf.firstWrite,
+					"%s applies a durable mutation before journaling it (journal call is later in the method); crash recovery can observe the write without its record", name)
+			}
+		case jf.firstWrite.IsValid():
+			pass.Reportf(fd.Name.Pos(),
+				"exported method %s writes //pdms:durable state but never journals a core.Mutation; the write is invisible to WAL recovery", name)
+		case jf.needsVia != nil:
+			pass.Reportf(fd.Name.Pos(),
+				"exported method %s mutates //pdms:durable state via %s without journaling a core.Mutation", name, funcDisplayName(jf.needsVia, pass.Info))
+		}
+	}
+	return nil
+}
+
+// collectDurableFields finds struct fields whose declaration carries the
+// //pdms:durable marker (doc comment or trailing line comment).
+func collectDurableFields(pass *Pass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !docHasMarker(field.Doc, DurableMarker) && !docHasMarker(field.Comment, DurableMarker) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldOwner returns the named type declaring the field, found by scanning
+// package-level type declarations for the struct containing it.
+func fieldOwner(pass *Pass, field *types.Var) *types.TypeName {
+	for _, name := range pass.Pkg.Scope().Names() {
+		tn, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+// journalFacts summarizes one function body for the journal analyzer.
+type journalFacts struct {
+	firstWrite token.Pos     // first direct durable write (NoPos if none)
+	journalPos token.Pos     // first journal(...) call (NoPos if none)
+	needsVia   *ast.FuncDecl // set by propagation: callee that writes
+}
+
+func journalFactsOf(pass *Pass, fd *ast.FuncDecl, durable map[*types.Var]bool) *journalFacts {
+	jf := &journalFacts{}
+	if fd.Body == nil {
+		return jf
+	}
+	record := func(pos token.Pos) {
+		if !jf.firstWrite.IsValid() || pos < jf.firstWrite {
+			jf.firstWrite = pos
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if pathCrossesDurable(pass.Info, lhs, durable) {
+					record(lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if pathCrossesDurable(pass.Info, n.X, durable) {
+				record(n.X.Pos())
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if (id.Name == "delete" || id.Name == "clear") && len(n.Args) >= 1 {
+					if _, isB := pass.Info.Uses[id].(*types.Builtin); isB && pathCrossesDurable(pass.Info, n.Args[0], durable) {
+						record(n.Pos())
+					}
+				}
+				return true
+			}
+			sel, ok := unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == journalCallName {
+				if !jf.journalPos.IsValid() || n.Pos() < jf.journalPos {
+					jf.journalPos = n.Pos()
+				}
+				return true
+			}
+			// Mutating calls on durable state owned by another package
+			// (n.topo.AddEdge). Same-package callees are covered by body
+			// analysis plus propagation.
+			if f := calleeFunc(pass.Info, n); f != nil && f.Pkg() != pass.Pkg {
+				if hasMutatorPrefix(sel.Sel.Name) && pathCrossesDurable(pass.Info, sel.X, durable) {
+					record(n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return jf
+}
+
+func hasMutatorPrefix(name string) bool {
+	for _, p := range externalMutatorPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathCrossesDurable reports whether the access path of expr steps through a
+// //pdms:durable field: n.order, n.peers[id], p.samples[key], and writes via
+// a selector chain that includes such a field.
+func pathCrossesDurable(info *types.Info, expr ast.Expr, durable map[*types.Var]bool) bool {
+	for {
+		switch e := unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok {
+				if v, ok := sel.Obj().(*types.Var); ok && durable[v] {
+					return true
+				}
+			} else if v, ok := info.Uses[e.Sel].(*types.Var); ok && durable[v] {
+				return true
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}

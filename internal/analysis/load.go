@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Unit is one loaded, type-checked package: its non-test sources plus its
+// in-package test files, with imports resolved from compiler export data.
+type Unit struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	// HasTestFiles reports whether in-package _test.go files were loaded;
+	// analyzers that inspect fuzz corpora only apply when they were.
+	HasTestFiles bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath  string
+	Name        string
+	Dir         string
+	Export      string
+	Standard    bool
+	DepOnly     bool
+	ForTest     string
+	GoFiles     []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+// exportResolver resolves import paths to types.Packages from the export
+// data `go list -export` leaves in the build cache. It is shared across all
+// units of a Load so common dependencies type-check once.
+type exportResolver struct {
+	dir string // module directory go list runs in
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+func newExportResolver(dir string) *exportResolver {
+	r := &exportResolver{dir: dir, exports: make(map[string]string)}
+	r.imp = importer.ForCompiler(token.NewFileSet(), "gc", r.lookup)
+	return r
+}
+
+func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
+	r.mu.Lock()
+	file, ok := r.exports[path]
+	r.mu.Unlock()
+	if !ok {
+		// On-demand resolution: fixture packages import standard-library
+		// packages the repo's own dependency closure may not cover.
+		out, err := runGoList(r.dir, "-e", "-export", "-deps", "-json=ImportPath,Export", path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: resolving export data for %q: %w", path, err)
+		}
+		r.mu.Lock()
+		for _, p := range out {
+			if p.Export != "" {
+				r.exports[normalizePath(p.ImportPath)] = p.Export
+			}
+		}
+		file, ok = r.exports[path]
+		r.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+func (r *exportResolver) add(path, exportFile string) {
+	r.mu.Lock()
+	if _, dup := r.exports[path]; !dup && exportFile != "" {
+		r.exports[path] = exportFile
+	}
+	r.mu.Unlock()
+}
+
+// Import implements types.Importer.
+func (r *exportResolver) Import(path string) (*types.Package, error) {
+	return r.imp.Import(path)
+}
+
+// normalizePath strips the " [pkg.test]" variant suffix go list -test
+// appends to recompiled dependencies.
+func normalizePath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+func runGoList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the packages matching patterns in the module rooted at dir,
+// builds export data for the whole dependency closure (test imports
+// included) and type-checks every matched package from source, in-package
+// test files included. Packages that fail to list or parse abort the load:
+// the analyzers only run on code the compiler accepts.
+func Load(dir string, patterns ...string) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,ForTest,GoFiles,TestGoFiles,Error",
+	}, patterns...)
+	pkgs, err := runGoList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	res := newExportResolver(dir)
+	var targets []listPkg
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.Error != nil && !p.DepOnly && p.ForTest == "" && !strings.HasSuffix(p.ImportPath, ".test") {
+			return nil, fmt.Errorf("analysis: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		res.add(normalizePath(p.ImportPath), p.Export)
+		// Targets are the plain (non-variant, non-dep-only) packages the
+		// patterns matched; the synthesized *.test mains are skipped.
+		if p.DepOnly || p.Standard || p.ForTest != "" ||
+			strings.HasSuffix(p.ImportPath, ".test") || seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		targets = append(targets, p)
+	}
+	units := make([]*Unit, 0, len(targets))
+	for _, t := range targets {
+		u, err := checkUnit(t, res)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// checkUnit parses and type-checks one target package from source.
+func checkUnit(p listPkg, res *exportResolver) (*Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	parse := func(names []string) error {
+		for _, name := range names {
+			path := filepath.Join(p.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("analysis: parsing %s: %w", path, err)
+			}
+			files = append(files, f)
+		}
+		return nil
+	}
+	if err := parse(p.GoFiles); err != nil {
+		return nil, err
+	}
+	if err := parse(p.TestGoFiles); err != nil {
+		return nil, err
+	}
+	pkg, info, err := typeCheck(p.ImportPath, fset, files, res)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{
+		PkgPath:      p.ImportPath,
+		Dir:          p.Dir,
+		Fset:         fset,
+		Files:        files,
+		Pkg:          pkg,
+		Info:         info,
+		HasTestFiles: len(p.TestGoFiles) > 0,
+	}, nil
+}
+
+// TypeCheckUnit type-checks externally parsed files into a Unit. The
+// unitchecker driver (cmd/pdmsvet under go vet) uses it with the import and
+// export-file maps go vet supplies per compilation unit.
+func TypeCheckUnit(pkgPath, dir string, fset *token.FileSet, files []*ast.File, imp types.Importer, hasTests bool) (*Unit, error) {
+	pkg, info, err := typeCheck(pkgPath, fset, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{
+		PkgPath:      pkgPath,
+		Dir:          dir,
+		Fset:         fset,
+		Files:        files,
+		Pkg:          pkg,
+		Info:         info,
+		HasTestFiles: hasTests,
+	}, nil
+}
+
+func typeCheck(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ImmutableMarker annotates a type whose values must never be written after
+// construction; SnapshotBuilderMarker annotates the only functions allowed
+// to write them (constructors and the copy-on-write publication path).
+const (
+	ImmutableMarker       = "pdms:immutable"
+	SnapshotBuilderMarker = "pdms:snapshot-builder"
+)
+
+// immutableRegistry names frozen types by declaring-package path suffix, so
+// the invariant also holds in packages that only see the types through
+// export data (where doc comments — and thus //pdms:immutable markers — are
+// unavailable). In-source declarations additionally opt in via the marker.
+var immutableRegistry = map[string][]string{
+	"internal/core": {"RoutingSnapshot", "SnapshotDelta", "snapPeer", "snapEdge"},
+}
+
+// SnapshotImmutable proves the no-write-after-publish invariant: no
+// assignment, delete, append target or mutating call may step through a
+// value of an immutable type (//pdms:immutable or the registry) outside a
+// //pdms:snapshot-builder function. Lock-free concurrent serving is sound
+// only because nothing reachable from a published snapshot is ever written.
+var SnapshotImmutable = &Analyzer{
+	Name:     "snapshotimmutable",
+	Suppress: "pdms:snapshot-write-ok",
+	Doc: `flags writes whose access path crosses a value of an immutable
+snapshot type (RoutingSnapshot, SnapshotDelta and their frozen internals,
+plus any type annotated //pdms:immutable) outside functions annotated
+//pdms:snapshot-builder. This includes writes through method results, e.g.
+snap.PeerIDs()[0] = x. Aliases that fully escape (x := snap.PeerIDs();
+x[0] = y) are out of scope — do not create them.`,
+	Run: runSnapshotImmutable,
+}
+
+func runSnapshotImmutable(pass *Pass) error {
+	frozen := collectFrozenTypes(pass)
+	if len(frozen) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if docHasMarker(fd.Doc, SnapshotBuilderMarker) {
+				continue
+			}
+			name := funcDisplayName(fd, pass.Info)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if t := frozenOnPath(pass, lhs, frozen); t != "" {
+							pass.Reportf(lhs.Pos(), "%s writes through immutable snapshot type %s outside a //pdms:snapshot-builder function", name, t)
+						}
+					}
+				case *ast.IncDecStmt:
+					if t := frozenOnPath(pass, n.X, frozen); t != "" {
+						pass.Reportf(n.X.Pos(), "%s writes through immutable snapshot type %s outside a //pdms:snapshot-builder function", name, t)
+					}
+				case *ast.CallExpr:
+					if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+						if _, isB := pass.Info.Uses[id].(*types.Builtin); isB && (id.Name == "delete" || id.Name == "clear") && len(n.Args) >= 1 {
+							if t := frozenOnPath(pass, n.Args[0], frozen); t != "" {
+								pass.Reportf(n.Pos(), "%s %ss from state reachable from immutable snapshot type %s outside a //pdms:snapshot-builder function", name, id.Name, t)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectFrozenTypes resolves the frozen type set for this unit: registry
+// entries for every package in view (the unit's own package and its direct
+// imports) plus in-source //pdms:immutable annotations.
+func collectFrozenTypes(pass *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	addRegistry := func(pkg *types.Package) {
+		for suffix, names := range immutableRegistry {
+			if !pathHasSuffix(pkg.Path(), suffix) {
+				continue
+			}
+			for _, n := range names {
+				if tn, ok := pkg.Scope().Lookup(n).(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	addRegistry(pass.Pkg)
+	for _, imp := range pass.Pkg.Imports() {
+		addRegistry(imp)
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !docHasMarker(gd.Doc, ImmutableMarker) && !docHasMarker(ts.Doc, ImmutableMarker) && !docHasMarker(ts.Comment, ImmutableMarker) {
+					continue
+				}
+				if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// frozenOnPath walks the access path of expr (selectors, indexes, derefs,
+// slices, and receivers of method calls) and returns the name of the first
+// frozen type it crosses, or "". A bare identifier is never a frozen write:
+// assigning to a local that happens to hold a frozen value rebinds the
+// variable, it does not mutate the value.
+func frozenOnPath(pass *Pass, expr ast.Expr, frozen map[*types.TypeName]bool) string {
+	if _, ok := unparen(expr).(*ast.Ident); ok {
+		return ""
+	}
+	for {
+		e := unparen(expr)
+		if t := namedOf(pass.Info.TypeOf(e)); t != nil && frozen[t.Obj()] {
+			return t.Obj().Name()
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.SliceExpr:
+			expr = x.X
+		case *ast.CallExpr:
+			// Method result: keep walking into the receiver so that
+			// snap.PeerIDs()[0] = x is caught.
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+				expr = sel.X
+				continue
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

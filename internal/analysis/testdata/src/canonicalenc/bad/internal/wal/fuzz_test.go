@@ -1,0 +1,11 @@
+package wal
+
+import "testing"
+
+// FuzzWALDecode seeds only RecPut.
+func FuzzWALDecode(f *testing.F) {
+	f.Add(Append(RecPut))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_ = b
+	})
+}

@@ -1,0 +1,19 @@
+// Package wal is a record codec whose decode-fuzz corpus misses a kind;
+// RecKind has no WireKind constructors, so coverage requires a direct
+// constant reference in fuzz-reachable code.
+package wal
+
+// RecKind discriminates log records.
+type RecKind uint8
+
+// The record kinds.
+const (
+	RecPut RecKind = 1
+	RecDel RecKind = 2 // want "record kind RecDel of enum RecKind"
+)
+
+// Append encodes one record header.
+func Append(k RecKind) []byte { return []byte{byte(k)} }
+
+// Valid reports whether k names a known record kind.
+func Valid(k RecKind) bool { return k == RecPut || k == RecDel }

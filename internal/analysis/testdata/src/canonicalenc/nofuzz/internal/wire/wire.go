@@ -1,0 +1,12 @@
+// Package wire encodes a kind enum but its test file declares no fuzz
+// target at all.
+package wire // want "declares no round-trip fuzz target"
+
+// Kind discriminates frame types.
+type Kind uint8
+
+// KindRaw is the only frame kind.
+const KindRaw Kind = 1
+
+// Encode renders one raw frame.
+func Encode(b []byte) []byte { return append([]byte{byte(KindRaw)}, b...) }

@@ -1,0 +1,9 @@
+package wire
+
+import "testing"
+
+func TestEncode(t *testing.T) {
+	if got := Encode(nil); len(got) != 1 {
+		t.Fatalf("len = %d", len(got))
+	}
+}

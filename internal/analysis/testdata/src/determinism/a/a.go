@@ -1,0 +1,160 @@
+// Package a exercises the determinism analyzer: every // want comment is a
+// seeded violation, everything else must stay silent.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Digest folds a map in hash order: the canonical violation.
+//
+//pdms:deterministic
+func Digest(m map[string]int) string {
+	out := ""
+	for k := range m { // want "map iteration order reaches deterministic root Digest"
+		out += k
+	}
+	return out
+}
+
+// Canonical is the compliant version of Digest: append, sort, fold.
+//
+//pdms:deterministic
+func Canonical(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k
+	}
+	return out
+}
+
+// Stamp reads the wall clock.
+//
+//pdms:deterministic
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now reaches deterministic root Stamp"
+}
+
+// Pick draws from the global math/rand source.
+//
+//pdms:deterministic
+func Pick(xs []int) int {
+	return xs[rand.Intn(len(xs))] // want "global math/rand draw rand.Intn"
+}
+
+// Seeded draws from an explicitly seeded generator: allowed.
+//
+//pdms:deterministic
+func Seeded(xs []int) int {
+	r := rand.New(rand.NewSource(42))
+	return xs[r.Intn(len(xs))]
+}
+
+// Sum accumulates floats in map order; float addition does not commute.
+//
+//pdms:deterministic
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "floating-point accumulation"
+		s += v
+	}
+	return s
+}
+
+// Count accumulates integers in map order; integer addition commutes.
+//
+//pdms:deterministic
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Scale stores into a map keyed by the range key: stores commute.
+//
+//pdms:deterministic
+func Scale(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Prefix stores a running total: the stored value depends on visit order.
+//
+//pdms:deterministic
+func Prefix(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	total := 0
+	for k, v := range m { // want "reads loop-written variable total"
+		total += v
+		out[k] = total
+	}
+	return out
+}
+
+// Walk reaches a violating helper through a call edge.
+//
+//pdms:deterministic
+func Walk(m map[string]int) []string {
+	return helper(m)
+}
+
+func helper(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "reachable from deterministic root Walk"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Unmarked is not reachable from any deterministic root; no findings.
+func Unmarked(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// Has early-exits on a pure condition: order-independent.
+//
+//pdms:deterministic
+func Has(m map[string]bool) bool {
+	for _, v := range m {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset deletes every key: deletes of distinct keys commute.
+//
+//pdms:deterministic
+func Reset(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Waived carries a justified suppression on the flagged line.
+//
+//pdms:deterministic
+func Waived(m map[string]int) string {
+	s := ""
+	for k := range m { //pdms:nondeterministic-ok: fixture waiver, order folded away downstream
+		s += k
+	}
+	return s
+}

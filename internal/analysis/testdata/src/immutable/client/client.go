@@ -1,0 +1,16 @@
+// Package client consumes the frozen snapshot types from another package:
+// the registry identifies them across the import boundary, where doc
+// comments (and thus //pdms:immutable markers) are not available.
+package client
+
+import "immutable/internal/core"
+
+// Tamper writes an imported frozen type.
+func Tamper(s *core.RoutingSnapshot) {
+	s.Gen = 9 // want "writes through immutable snapshot type RoutingSnapshot"
+}
+
+// Inspect reads an imported frozen type: allowed.
+func Inspect(s *core.RoutingSnapshot) int {
+	return s.Gen + len(s.Order())
+}

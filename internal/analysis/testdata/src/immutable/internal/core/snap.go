@@ -1,0 +1,102 @@
+// Package core mirrors the frozen snapshot types of the real
+// repro/internal/core: the registry freezes them by name under any package
+// path ending in internal/core, this fixture included.
+package core
+
+// RoutingSnapshot is frozen after construction (registry entry).
+type RoutingSnapshot struct {
+	// Gen is exported so the cross-package fixture can attempt a write.
+	Gen   int
+	epoch int
+	peers map[string]*snapPeer
+	order []string
+}
+
+type snapPeer struct {
+	id  string
+	out []snapEdge
+}
+
+type snapEdge struct{ to string }
+
+// SnapshotDelta is frozen too (registry entry).
+type SnapshotDelta struct{ edges []snapEdge }
+
+// Frozen opts in through the in-source marker instead of the registry.
+//
+//pdms:immutable
+type Frozen struct{ n int }
+
+// build is the allowed construction path.
+//
+//pdms:snapshot-builder
+func build(ids []string) *RoutingSnapshot {
+	s := &RoutingSnapshot{peers: map[string]*snapPeer{}}
+	s.epoch = 1
+	for _, id := range ids {
+		s.peers[id] = &snapPeer{id: id}
+		s.order = append(s.order, id)
+	}
+	return s
+}
+
+// Peers returns the live peer map.
+func (s *RoutingSnapshot) Peers() map[string]*snapPeer { return s.peers }
+
+// Order returns the canonical peer order.
+func (s *RoutingSnapshot) Order() []string { return s.order }
+
+// Mutate writes a field of a published snapshot.
+func Mutate(s *RoutingSnapshot) {
+	s.epoch++ // want "writes through immutable snapshot type RoutingSnapshot"
+}
+
+// Rewire writes a nested frozen value.
+func Rewire(p *snapPeer) {
+	p.out[0] = snapEdge{to: "x"} // want "writes through immutable snapshot type snapEdge"
+}
+
+// Poison writes through a getter result.
+func Poison(s *RoutingSnapshot) {
+	s.Peers()["x"] = nil // want "writes through immutable snapshot type snapPeer"
+}
+
+// Scramble writes through a method-result slice; only the receiver walk
+// catches this one.
+func Scramble(s *RoutingSnapshot) {
+	s.Order()[0] = "z" // want "writes through immutable snapshot type RoutingSnapshot"
+}
+
+// Evict deletes from a frozen map.
+func Evict(s *RoutingSnapshot, id string) {
+	delete(s.Peers(), id) // want "deletes from state reachable from immutable snapshot type RoutingSnapshot"
+}
+
+// Thaw writes an //pdms:immutable-annotated type.
+func Thaw(f *Frozen) {
+	f.n = 2 // want "writes through immutable snapshot type Frozen"
+}
+
+// Read only reads; reads are always allowed.
+func Read(s *RoutingSnapshot) int {
+	return s.epoch + len(s.Peers()) + delta(s)
+}
+
+func delta(s *RoutingSnapshot) int { return len(s.order) }
+
+// Scratch carries a justified waiver on the flagged line.
+func Scratch(s *RoutingSnapshot) {
+	s.epoch = 0 //pdms:snapshot-write-ok: fixture waiver on a throwaway clone
+}
+
+// Copy binds frozen values to locals; rebinding a variable is not a
+// mutation and must stay silent.
+func Copy(s *RoutingSnapshot) *snapPeer {
+	p := s.Peers()["x"]
+	o := s.Order()
+	_ = o
+	return p
+}
+
+// Grow uses the builder but keeps build itself referenced.
+func Grow(ids []string) *RoutingSnapshot { return build(ids) }

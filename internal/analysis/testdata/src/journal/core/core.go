@@ -1,0 +1,73 @@
+// Package core is a scaled-down Network exercising the journal analyzer:
+// exported methods mutating //pdms:durable state must journal first.
+package core
+
+import "journal/graph"
+
+// Mutation is the journaled record.
+type Mutation struct {
+	Kind int
+	Key  string
+}
+
+// Network owns durable and volatile state.
+type Network struct {
+	topo  *graph.G       //pdms:durable
+	peers map[string]int //pdms:durable
+	clock int            // volatile: never journaled
+}
+
+func (n *Network) journal(m Mutation) error { return nil }
+
+// AddPeer journals before applying: the compliant shape.
+func (n *Network) AddPeer(id string) error {
+	if err := n.journal(Mutation{Kind: 1, Key: id}); err != nil {
+		return err
+	}
+	n.peers[id] = 0
+	return nil
+}
+
+// DropPeer forgets to journal entirely.
+func (n *Network) DropPeer(id string) { // want "writes //pdms:durable state but never journals"
+	delete(n.peers, id)
+}
+
+// Bump applies the write before journaling it.
+func (n *Network) Bump(id string) error {
+	n.peers[id]++ // want "applies a durable mutation before journaling it"
+	return n.journal(Mutation{Kind: 2, Key: id})
+}
+
+// Link mutates durable state through an unexported helper.
+func (n *Network) Link(a, b string) { // want "mutates //pdms:durable state via Network.link"
+	n.link(a, b)
+}
+
+func (n *Network) link(a, b string) {
+	n.topo.AddEdge(a, b)
+}
+
+// Mark delegates to a helper that journals for itself: compliant.
+func (n *Network) Mark(id string) {
+	n.mark(id)
+}
+
+func (n *Network) mark(id string) {
+	_ = n.journal(Mutation{Kind: 3, Key: id})
+	n.peers[id] = 1
+}
+
+// Tick writes only volatile state: no journal required.
+func (n *Network) Tick() { n.clock++ }
+
+// Degree only reads durable state.
+func (n *Network) Degree(id string) int { return n.topo.Degree(id) }
+
+// Rebuild replays recovered state with no WAL attached; the waiver line
+// below suppresses the finding.
+//
+//pdms:nojournal-ok: recovery-only replay, the WAL is the source here
+func (n *Network) Rebuild(id string) {
+	n.peers[id] = 0
+}

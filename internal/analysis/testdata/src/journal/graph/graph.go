@@ -1,0 +1,17 @@
+// Package graph is a stand-in for an externally owned topology store: the
+// journal analyzer classifies its mutating methods by name prefix.
+package graph
+
+// G is an adjacency store.
+type G struct {
+	edges map[string][]string
+}
+
+// New returns an empty store.
+func New() *G { return &G{edges: map[string][]string{}} }
+
+// AddEdge mutates the store.
+func (g *G) AddEdge(a, b string) { g.edges[a] = append(g.edges[a], b) }
+
+// Degree reads the store.
+func (g *G) Degree(a string) int { return len(g.edges[a]) }

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// want is one expected-diagnostic annotation from a fixture file.
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	hit     bool
+}
+
+type wantSet struct {
+	byLine map[string]map[int][]*want
+	all    []*want
+}
+
+// wantRe matches the trailing expectation of a `// want "re1" "re2"` comment.
+// The payload must open with a quote so prose mentioning the word "want"
+// does not parse as an expectation.
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*)$`)
+
+// collectWants extracts `// want "regexp"` comments from the unit's files.
+func collectWants(u *Unit) (*wantSet, error) {
+	ws := &wantSet{byLine: make(map[string]map[int][]*want)}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				patterns, err := splitQuoted(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: malformed want comment: %w", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: want pattern %q: %w", pos, p, err)
+					}
+					w := &want{file: pos.Filename, line: pos.Line, pattern: p, re: re}
+					ws.add(w)
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
+func (ws *wantSet) add(w *want) {
+	m := ws.byLine[w.file]
+	if m == nil {
+		m = make(map[int][]*want)
+		ws.byLine[w.file] = m
+	}
+	m[w.line] = append(m[w.line], w)
+	ws.all = append(ws.all, w)
+}
+
+// match consumes the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func (ws *wantSet) match(d Diagnostic) bool {
+	for _, w := range ws.byLine[d.Pos.Filename][d.Pos.Line] {
+		if !w.hit && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.all {
+		if !w.hit {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: `"a" "b \"c\""`.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		// Find the closing quote, honouring escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern at %q", s)
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

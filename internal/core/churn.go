@@ -231,6 +231,8 @@ func (n *Network) ResetMessages() {
 // factor degree) and per ⊥ pin, sorted. Two networks with equal digests hold
 // the same factor-graph fragments — the structural equality the incremental
 // churn path is pinned to scratch rediscovery with.
+//
+//pdms:deterministic
 func (n *Network) InferenceDigest() []string {
 	var out []string
 	for _, p := range n.Peers() {

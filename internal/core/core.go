@@ -33,19 +33,22 @@ import (
 // plane: PublishSnapshot installs an immutable RoutingSnapshot with an atomic
 // pointer swap and Snapshot loads it lock-free from any goroutine.
 type Network struct {
+	// The //pdms:durable fields are the WAL-persisted surface: the journal
+	// analyzer (cmd/pdmsvet) requires every exported method writing one to
+	// journal a Mutation first.
 	directed bool
-	topo     *graph.Graph
-	peers    map[graph.PeerID]*Peer
-	order    []graph.PeerID // insertion order for deterministic iteration
-	mappings map[graph.EdgeID]*schema.Mapping
+	topo     *graph.Graph                     //pdms:durable
+	peers    map[graph.PeerID]*Peer           //pdms:durable
+	order    []graph.PeerID                   //pdms:durable (insertion order for deterministic iteration)
+	mappings map[graph.EdgeID]*schema.Mapping //pdms:durable
 	// pinRecs remembers which structure justified each ⊥ pin so churn can
 	// retract pins whose structures dissolved (see churn.go).
-	pinRecs []pinRecord
+	pinRecs []pinRecord //pdms:durable
 	// fbFactors indexes the installed query-feedback factors by canonical
 	// observation key, and fbDirty marks the variables touched by feedback
 	// since the last detection — the scope of the next incremental
 	// re-detect (see feedback_ingest.go).
-	fbFactors map[string]*fbFactor
+	fbFactors map[string]*fbFactor //pdms:durable
 	fbDirty   map[varKey]bool
 	// fbTrust is the sparse per-reporter trust map (absent = full trust),
 	// recomputed from the factors' tallies after every feedback mutation;
@@ -53,7 +56,7 @@ type Network struct {
 	// triggered outside an ingestion (RemovePeer) refresh factors under the
 	// same weighting regime.
 	fbTrust   map[graph.PeerID]float64
-	fbNoTrust bool
+	fbNoTrust bool //pdms:durable
 
 	// Serving plane (snapshot.go): the current published snapshot and the
 	// monotone epoch counter stamping each publication, plus two version
@@ -216,6 +219,9 @@ func (n *Network) AddMapping(id graph.EdgeID, from, to graph.PeerID, pairs map[s
 			return nil, err
 		}
 	}
+	// The edge is inserted first so journaling sees a validated mutation,
+	// and is rolled back below if the journal fails.
+	// pdms:nojournal-ok — write precedes journal only under rollback cover.
 	if err := n.topo.AddEdge(id, from, to); err != nil {
 		return nil, err
 	}
@@ -313,7 +319,7 @@ type Peer struct {
 	id     graph.PeerID
 	schema *schema.Schema
 	net    *Network
-	out    map[graph.EdgeID]*schema.Mapping
+	out    map[graph.EdgeID]*schema.Mapping //pdms:durable
 	store  *xmldb.Store
 
 	// Local factor-graph fragment. pinned counts, per variable, how many
@@ -328,8 +334,8 @@ type Peer struct {
 
 	// Prior beliefs (§4.4): current prior per variable and the evidence
 	// samples it is the running mean of. Lazily allocated.
-	priors  map[varKey]float64
-	samples map[varKey][]float64
+	priors  map[varKey]float64   //pdms:durable
+	samples map[varKey][]float64 //pdms:durable
 
 	// selfPromote marks an adversarial peer that lies on the wire: every
 	// remote µ-message it emits claims its mapping is certainly correct,

@@ -602,10 +602,11 @@ func (n *Network) CommitPriors(result DetectResult, defPrior float64) int {
 		defPrior = 0.5
 	}
 	// Collect the exact samples the pass will append — including the seed
-	// sample a freshly tracked variable gets — journal them as one record,
-	// then apply. Journaling the resolved samples (rather than the trigger)
-	// keeps replay exact even when later churn changes which variables a
-	// re-run of the pass would see.
+	// sample a freshly tracked variable gets — then hand the batch to
+	// ApplyPriorSamples, which journals it as one record before applying.
+	// Journaling the resolved samples (rather than the trigger) keeps
+	// replay exact even when later churn changes which variables a re-run
+	// of the pass would see.
 	var entries []PriorSample
 	updated := 0
 	for _, p := range n.Peers() {
@@ -634,7 +635,6 @@ func (n *Network) CommitPriors(result DetectResult, defPrior float64) int {
 	if updated == 0 {
 		return 0
 	}
-	n.journal(Mutation{Kind: MutPriorSamples, Samples: entries})
 	n.ApplyPriorSamples(entries)
 	return updated
 }

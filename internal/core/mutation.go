@@ -222,12 +222,17 @@ func PairMap(pairs []AttrPair) map[schema.Attribute]schema.Attribute {
 	return out
 }
 
-// ApplyPriorSamples replays journaled prior samples: each entry is appended
-// to the owning peer's sample sequence and the prior becomes the running
-// mean, exactly as CommitPriors (or SetPrior seeding) left it. Entries for
-// unknown peers are skipped — the peer was removed after the samples were
-// journaled, and removal discards its priors.
+// ApplyPriorSamples appends prior samples: each entry is appended to the
+// owning peer's sample sequence and the prior becomes the running mean,
+// exactly as CommitPriors (or SetPrior seeding) leaves it. The batch is
+// journaled as one MutPriorSamples record before it applies; during
+// recovery the replaying network has no journal attached, so replay does
+// not re-journal. Entries for unknown peers are skipped — the peer was
+// removed after the samples were journaled, and removal discards its
+// priors. Journal failures surface through the network's sticky WAL error
+// (see journal).
 func (n *Network) ApplyPriorSamples(entries []PriorSample) {
+	n.journal(Mutation{Kind: MutPriorSamples, Samples: entries})
 	n.bumpInfer()
 	for _, e := range entries {
 		p, ok := n.peers[e.Peer]

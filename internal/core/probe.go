@@ -80,7 +80,16 @@ type probeRun struct {
 // every analysis attribute, detecting cycles and (on directed networks)
 // parallel paths, and installs the resulting evidence exactly as
 // DiscoverStructural does. The two discovery methods find the same
-// structures up to the TTL/maxLen horizon.
+// structures up to the TTL/maxLen horizon, but only to within floating-
+// point tolerance (the two flood orders sum the same evidence in different
+// orders), so probe discovery has no journal form: replaying it as a
+// MutDiscover would diverge from the journaled checkpoint digests.
+// Networks with a WAL attached must use Discover/DiscoverIncremental;
+// calling this on one is rejected before any state changes.
+//
+// The unjournaled resetInference below can never desync a log: the guard
+// rejects WAL-backed networks before any state changes.
+// pdms:nojournal-ok — probe discovery is rejected on WAL-backed networks.
 func (n *Network) DiscoverByProbes(attrs []schema.Attribute, ttl int, delta float64) (DiscoveryReport, error) {
 	if ttl < 2 {
 		return DiscoveryReport{}, fmt.Errorf("core: ttl %d too small for cycle discovery", ttl)
@@ -90,6 +99,9 @@ func (n *Network) DiscoverByProbes(attrs []schema.Attribute, ttl int, delta floa
 	}
 	if len(attrs) == 0 {
 		return DiscoveryReport{}, fmt.Errorf("core: no attributes to analyze")
+	}
+	if n.wal != nil {
+		return DiscoveryReport{}, fmt.Errorf("core: probe discovery has no journal form; detach the WAL or use Discover")
 	}
 	n.bumpInfer()
 	n.resetInference()

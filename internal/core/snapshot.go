@@ -172,6 +172,8 @@ func sigBits(id graph.EdgeID) Sig {
 
 // snapEdge is one frozen outgoing mapping: destination, the immutable
 // mapping object, and the θ verdict per source-schema attribute.
+//
+//pdms:immutable
 type snapEdge struct {
 	id       graph.EdgeID
 	to       graph.PeerID
@@ -186,6 +188,8 @@ type snapEdge struct {
 }
 
 // snapPeer is one peer's frozen serving state.
+//
+//pdms:immutable
 type snapPeer struct {
 	schema *schema.Schema
 	store  *xmldb.Store
@@ -197,7 +201,11 @@ type snapPeer struct {
 // reachable from a snapshot is ever written after Publish returns it. A
 // delta-published snapshot shares unchanged peers, edges and posterior maps
 // with its predecessor — sharing is safe for exactly the same reason the
-// mapping pointers are: nothing is ever written again.
+// mapping pointers are: nothing is ever written again. The
+// snapshotimmutable analyzer (cmd/pdmsvet) enforces the no-write rule at
+// compile time, here and in every importing package.
+//
+//pdms:immutable
 type RoutingSnapshot struct {
 	epoch         uint64
 	structVersion uint64
@@ -215,6 +223,8 @@ type RoutingSnapshot struct {
 // alter a route), a compact bloom signature over them, and a bounded chain
 // back through earlier deltas so caches can revalidate entries that are
 // several publications old.
+//
+//pdms:immutable
 type SnapshotDelta struct {
 	fromEpoch uint64
 	edges     []graph.EdgeID // sorted; edges with at least one verdict flip
@@ -338,6 +348,8 @@ func (s *RoutingSnapshot) Posterior(m graph.EdgeID, a schema.Attribute, def floa
 // posterior bits. The epoch stamp and publication mechanism are excluded, so
 // a delta-published snapshot and a from-scratch republication of the same
 // state digest identically — the structural oracle of the delta path.
+//
+//pdms:deterministic
 func (s *RoutingSnapshot) Digest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "opts|%x|%x|%d\n",
@@ -476,6 +488,8 @@ func (s *RoutingSnapshot) RouteQuery(origin graph.PeerID, q query.Query) (RouteR
 // and the snapshot carries a SnapshotDelta for cache revalidation. It must be
 // called from the goroutine that owns the network (the one running detection
 // and churn); readers call Snapshot concurrently at any time.
+//
+//pdms:snapshot-builder
 func (n *Network) PublishSnapshot(det DetectResult, opts SnapshotOptions) *RoutingSnapshot {
 	opts = opts.withDefaults(n.NumPeers())
 	prev := n.snap.Load()
@@ -502,6 +516,8 @@ func thetaFn(opts SnapshotOptions) func(schema.Attribute) float64 {
 }
 
 // fullSnapshot rebuilds every peer, edge and posterior map from scratch.
+//
+//pdms:snapshot-builder
 func (n *Network) fullSnapshot(det DetectResult, opts SnapshotOptions) *RoutingSnapshot {
 	theta := thetaFn(opts)
 	snap := &RoutingSnapshot{
@@ -567,6 +583,8 @@ func (n *Network) fullSnapshot(det DetectResult, opts SnapshotOptions) *RoutingS
 // incremental-scope invariant (untouched components keep bit-identical
 // posteriors); without it every edge is recomputed attr-by-attr (alloc-free
 // for unchanged edges) and shared if bit-equal.
+//
+//pdms:snapshot-builder
 func (n *Network) deltaSnapshot(prev *RoutingSnapshot, det DetectResult, opts SnapshotOptions) *RoutingSnapshot {
 	theta := thetaFn(opts)
 	snap := &RoutingSnapshot{

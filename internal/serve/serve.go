@@ -107,6 +107,8 @@ type Path struct {
 // Fingerprint returns a stable SHA-256 hex digest of the answer's canonical
 // record set (the bytes the differential oracle and the workload traces
 // compare).
+//
+//pdms:deterministic
 func (a Answer) Fingerprint() string {
 	if a.fp != "" {
 		return a.fp
@@ -291,6 +293,8 @@ func computeAnswer(snap *core.RoutingSnapshot, origin graph.PeerID, q query.Quer
 // is rendered with xmldb.Record.CanonicalString (attributes sorted, values
 // in stored order) and records sort by that rendering. The input is not
 // mutated.
+//
+//pdms:deterministic
 func Canonical(records []xmldb.Record) []xmldb.Record {
 	type keyed struct {
 		key string
@@ -314,6 +318,8 @@ func Canonical(records []xmldb.Record) []xmldb.Record {
 }
 
 // CanonicalBytes renders a canonical record set to one stable byte string.
+//
+//pdms:deterministic
 func CanonicalBytes(records []xmldb.Record) []byte {
 	var b strings.Builder
 	for _, r := range Canonical(records) {

@@ -726,6 +726,8 @@ func flattenPosteriors(det core.DetectResult) map[string]float64 {
 
 // summarize fills the covered/mean posterior statistics, iterating in
 // sorted order so float accumulation is reproducible.
+//
+//pdms:deterministic
 func (s *Simulation) summarize(tr *EpochTrace, det core.DetectResult) {
 	attr := schema.Attribute(s.sc.AnalysisAttr)
 	var sumClean, sumCorrupt float64
@@ -753,6 +755,8 @@ func (s *Simulation) summarize(tr *EpochTrace, det core.DetectResult) {
 // queryBurst routes n projection queries on the analysis attribute from
 // deterministically drawn origins and independently re-verifies the θ gate
 // along every reported path.
+//
+//pdms:deterministic
 func (s *Simulation) queryBurst(n int, det core.DetectResult, seed int64) (RoutingTrace, []string) {
 	tr := RoutingTrace{Queries: n}
 	var viol []string

@@ -199,6 +199,8 @@ func groupKey(g core.FeedbackGroup) string {
 // snapshot emits the compacted mutation sequence in replay order: init,
 // peers, discovered mappings, the last discovery configuration, pending
 // mappings, prior records, and one merged feedback batch.
+//
+//pdms:deterministic
 func (c *compactor) snapshot() []core.Mutation {
 	var out []core.Mutation
 	if c.init != nil {

@@ -42,6 +42,8 @@ type record struct {
 }
 
 // appendRecord appends the framed encoding of (seq, m) to dst.
+//
+//pdms:deterministic
 func appendRecord(dst []byte, seq uint64, m core.Mutation) []byte {
 	payload := appendPayload(nil, seq, m)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))

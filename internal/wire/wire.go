@@ -136,6 +136,8 @@ type Tick struct{}
 func (Tick) WireKind() Kind { return KindTick }
 
 // Encode renders the message as a canonical binary frame.
+//
+//pdms:deterministic
 func Encode(m Message) []byte {
 	return Append(nil, m)
 }

@@ -44,6 +44,8 @@ func (r Record) Clone() Record {
 // Attribute names and values are quoted, so the rendering is injective:
 // two records are answer-equal iff their canonical strings are equal, even
 // when values contain the delimiter characters.
+//
+//pdms:deterministic
 func (r Record) CanonicalString() string {
 	attrs := make([]string, 0, len(r))
 	for a := range r {
